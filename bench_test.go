@@ -1,0 +1,340 @@
+// The root benchmark suite regenerates each of the paper's tables and
+// figures at reduced scale (go test -bench=.), reporting the paper's
+// headline metrics via b.ReportMetric. cmd/intbench runs the full-size
+// versions.
+package intsched_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/experiment"
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+	"intsched/internal/telemetry"
+	"intsched/internal/transport"
+	"intsched/internal/workload"
+)
+
+// benchTasks trades bench runtime against statistical noise in the gain
+// metrics; intbench runs the paper's full 200 tasks.
+const benchTasks = 100
+
+// BenchmarkTable1WorkloadGeneration measures workload synthesis from the
+// paper's Table I class definitions.
+func BenchmarkTable1WorkloadGeneration(b *testing.B) {
+	devices := []netsim.NodeID{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.Generate(workload.GenConfig{
+			Kind:      workload.Distributed,
+			TaskCount: 200,
+			Devices:   devices,
+		}, simtime.NewRand(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Utilization runs the calibration sweep at three utilization
+// levels and reports the saturated queue depth and RTT.
+func BenchmarkFig3Utilization(b *testing.B) {
+	var last []experiment.Fig3Point
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.Fig3(experiment.Fig3Config{
+			Utilizations: []float64{0, 0.5, 1.0},
+			Duration:     20 * time.Second,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+	}
+	if len(last) == 3 {
+		b.ReportMetric(last[2].MeanMaxQueue, "satQueue(pkts)")
+		b.ReportMetric(last[2].MeanRTT.Seconds()*1000, "satRTT(ms)")
+		b.ReportMetric(last[0].MeanRTT.Seconds()*1000, "idleRTT(ms)")
+	}
+}
+
+// benchCompare runs the scenario under the network-aware metric and the
+// Nearest baseline and reports the paper's gain headline.
+func benchCompare(b *testing.B, kind workload.Kind, metric core.Metric, transfer bool) {
+	b.Helper()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiment.Compare(experiment.Scenario{
+			Seed:       int64(42 + i),
+			Workload:   kind,
+			TaskCount:  benchTasks,
+			Background: experiment.BackgroundRandom,
+		}, []core.Metric{metric, core.MetricNearest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = cmp.OverallGain(metric, core.MetricNearest, transfer)
+	}
+	b.ReportMetric(gain*100, "gain%vsNearest")
+}
+
+// BenchmarkFig5ServerlessDelay regenerates Fig 5 (paper: 17-31% gain).
+func BenchmarkFig5ServerlessDelay(b *testing.B) {
+	benchCompare(b, workload.Serverless, core.MetricDelay, false)
+}
+
+// BenchmarkFig6DistributedDelay regenerates Fig 6 (paper: 7-13% gain).
+func BenchmarkFig6DistributedDelay(b *testing.B) {
+	benchCompare(b, workload.Distributed, core.MetricDelay, false)
+}
+
+// BenchmarkFig7DistributedBandwidth regenerates Fig 7 on transfer times
+// (paper: 28-40% reduction).
+func BenchmarkFig7DistributedBandwidth(b *testing.B) {
+	benchCompare(b, workload.Distributed, core.MetricBandwidth, true)
+}
+
+// BenchmarkFig8GainECDF regenerates the per-task gain distribution and
+// reports the ≤0-gain fraction (paper: 19% for distributed-bandwidth).
+func BenchmarkFig8GainECDF(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiment.Compare(experiment.Scenario{
+			Seed:       int64(42 + i),
+			Workload:   workload.Distributed,
+			TaskCount:  benchTasks,
+			Background: experiment.BackgroundRandom,
+		}, []core.Metric{core.MetricBandwidth, core.MetricNearest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := experiment.BuildFig8Curve("bw", cmp, core.MetricBandwidth)
+		frac = curve.ZeroOrNegativeFraction()
+	}
+	b.ReportMetric(frac*100, "zeroOrNegGain%")
+}
+
+// BenchmarkFig9ProbingInterval regenerates the probing-frequency sweep at
+// its two extremes and reports the slowdown of 30s probing vs 100ms
+// (paper: >20%).
+func BenchmarkFig9ProbingInterval(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.Fig9(experiment.Fig9Config{
+			Seed:      int64(42 + i),
+			TaskCount: benchTasks,
+			Intervals: []time.Duration{100 * time.Millisecond, 30 * time.Second},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, slow := pts[0].Traffic1MeanTransfer, pts[1].Traffic1MeanTransfer
+		if fast > 0 {
+			slowdown = float64(slow-fast) / float64(fast)
+		}
+	}
+	b.ReportMetric(slowdown*100, "slowdown%@30s")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationKFactor sweeps the queue→latency conversion factor,
+// reporting the gain at the paper's k=20ms.
+func BenchmarkAblationKFactor(b *testing.B) {
+	for _, k := range []time.Duration{time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond} {
+		b.Run(k.String(), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				cmp, err := experiment.Compare(experiment.Scenario{
+					Seed:       int64(42 + i),
+					Workload:   workload.Serverless,
+					TaskCount:  benchTasks,
+					Background: experiment.BackgroundRandom,
+					K:          k,
+				}, []core.Metric{core.MetricDelay, core.MetricNearest})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gain = cmp.OverallGain(core.MetricDelay, core.MetricNearest, false)
+			}
+			b.ReportMetric(gain*100, "gain%vsNearest")
+		})
+	}
+}
+
+// BenchmarkAblationQueueCapacity sweeps the switch egress queue depth
+// (BMv2 defaults to 64) at 95% utilization: shallow queues drop instead of
+// delaying, deep queues buffer-bloat the max-queue signal INT reports.
+func BenchmarkAblationQueueCapacity(b *testing.B) {
+	for _, cap := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			var q float64
+			var drops uint64
+			for i := 0; i < b.N; i++ {
+				pts, err := experiment.Fig3(experiment.Fig3Config{
+					Utilizations: []float64{0.95},
+					Duration:     15 * time.Second,
+					Seed:         int64(i),
+					Links:        experiment.LinkParams{QueueCap: cap},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = pts[0].MeanMaxQueue
+				drops = pts[0].Drops
+			}
+			b.ReportMetric(q, "maxQueue@95%")
+			b.ReportMetric(float64(drops), "drops")
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrates -----------------------------------
+
+// BenchmarkEngineEventThroughput measures raw DES event processing.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := simtime.NewEngine()
+	var next func()
+	count := 0
+	next = func() {
+		count++
+		if count < b.N {
+			e.After(time.Microsecond, next)
+		}
+	}
+	b.ResetTimer()
+	e.After(time.Microsecond, next)
+	e.RunUntilIdle()
+}
+
+// BenchmarkNetsimPacketForwarding measures per-hop packet cost through the
+// Fig 4 topology.
+func BenchmarkNetsimPacketForwarding(b *testing.B) {
+	engine := simtime.NewEngine()
+	topo, err := experiment.BuildFig4(engine, experiment.LinkParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := topo.Net
+	nw.Node("n8").Handler = func(p *netsim.Packet) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.Send(nw.NewPacket(netsim.KindData, "n1", "n8", 1500))
+		engine.RunUntilIdle()
+	}
+}
+
+// BenchmarkTCPTransfer measures the simulated transport: one 1 MB transfer
+// across the Fig 4 topology per iteration.
+func BenchmarkTCPTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		engine := simtime.NewEngine()
+		topo, err := experiment.BuildFig4(engine, experiment.LinkParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		domain := transport.NewDomain(topo.Net).InstallAll()
+		done := false
+		domain.Stack("n1").Transfer("n8", 1_000_000, func(transport.FlowStats) { done = true })
+		engine.RunUntilIdle()
+		if !done {
+			b.Fatal("transfer did not finish")
+		}
+	}
+}
+
+// BenchmarkProbeCodec measures INT probe marshal/unmarshal (the live-mode
+// hot path).
+func BenchmarkProbeCodec(b *testing.B) {
+	p := &telemetry.ProbePayload{Origin: "n1", Seq: 9, SentAt: time.Second}
+	for h := 0; h < 6; h++ {
+		p.Stack.Append(telemetry.Record{
+			Device: "s01", IngressPort: 1, EgressPort: 2,
+			LinkLatency: 10 * time.Millisecond, HopLatency: time.Millisecond,
+			EgressTS: time.Second,
+			Queues: []telemetry.PortQueue{
+				{Port: 0, MaxQueue: 5, Packets: 100},
+				{Port: 1, MaxQueue: 0, Packets: 3},
+				{Port: 2, MaxQueue: 31, Packets: 999},
+			},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := telemetry.MarshalProbe(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := telemetry.UnmarshalProbe(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectorIngest measures probe processing at the scheduler.
+func BenchmarkCollectorIngest(b *testing.B) {
+	coll := collector.New("sched", func() time.Duration { return time.Second }, collector.Config{})
+	p := &telemetry.ProbePayload{Origin: "n1"}
+	for h := 0; h < 4; h++ {
+		p.Stack.Append(telemetry.Record{
+			Device: string(rune('a' + h)), EgressPort: 1, EgressTS: time.Second,
+			LinkLatency: 10 * time.Millisecond,
+			Queues:      []telemetry.PortQueue{{Port: 1, MaxQueue: 4, Packets: 10}},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seq = uint64(i + 1)
+		coll.HandleProbe(p)
+	}
+}
+
+// BenchmarkDelayRanking measures Algorithm 1 over a learned Fig-4-sized
+// topology.
+func BenchmarkDelayRanking(b *testing.B) {
+	coll := warmedCollector(b)
+	topo := coll.Snapshot()
+	ranker := &core.DelayRanker{}
+	candidates := []netsim.NodeID{"n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranker.Rank(topo, "n1", candidates)
+	}
+}
+
+// BenchmarkBandwidthRanking measures the bottleneck estimator.
+func BenchmarkBandwidthRanking(b *testing.B) {
+	coll := warmedCollector(b)
+	topo := coll.Snapshot()
+	ranker := &core.BandwidthRanker{}
+	candidates := []netsim.NodeID{"n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranker.Rank(topo, "n1", candidates)
+	}
+}
+
+// warmedCollector builds a collector taught the Fig 4 topology via a short
+// simulated probing phase.
+func warmedCollector(b *testing.B) *collector.Collector {
+	b.Helper()
+	engine := simtime.NewEngine()
+	topo, err := experiment.BuildFig4(engine, experiment.LinkParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := experiment.WarmCollector(topo, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}

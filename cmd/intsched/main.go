@@ -1,0 +1,75 @@
+// Command intsched runs the live scheduler: the INT collector daemon that
+// ingests probe datagrams over UDP, learns the network topology, and serves
+// delay/bandwidth ranking queries over TCP.
+//
+// Example:
+//
+//	intsched -id sched -udp 127.0.0.1:7001 -tcp 127.0.0.1:7002
+//
+// The daemon prints a coverage report (fresh vs stale devices) every
+// -report interval so operators can see whether probe routes cover the
+// network — the paper's probe-coverage concern made observable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intsched/internal/core"
+	"intsched/internal/live"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "sched", "scheduler node name")
+		udp    = flag.String("udp", "127.0.0.1:7001", "UDP bind address for probe ingestion")
+		tcp    = flag.String("tcp", "127.0.0.1:7002", "TCP bind address for the query API")
+		k      = flag.Duration("k", core.DefaultK, "queue occupancy to latency conversion factor")
+		rate   = flag.Int64("link-rate", 20_000_000, "assumed link capacity (bps) for bandwidth estimates")
+		window = flag.Duration("queue-window", 0, "queue report freshness window (default: collector default)")
+		report = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
+	)
+	flag.Parse()
+
+	daemon, err := live.NewCollectorDaemon(*id, live.DaemonConfig{
+		UDPAddr:     *udp,
+		TCPAddr:     *tcp,
+		K:           *k,
+		LinkRateBps: *rate,
+		QueueWindow: *window,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "intsched: %v\n", err)
+		os.Exit(1)
+	}
+	defer daemon.Close()
+	fmt.Printf("intsched: node %s, probes on udp://%s, queries on tcp://%s\n",
+		daemon.ID(), daemon.UDPAddr(), daemon.QueryAddr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *report > 0 {
+		ticker = time.NewTicker(*report)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-tick:
+			st := daemon.Collector().Stats()
+			cov := daemon.Collector().Coverage()
+			fmt.Printf("intsched: probes=%d records=%d fresh=%v stale=%v\n",
+				st.ProbesReceived, st.RecordsParsed, cov.Fresh, cov.Stale)
+		case <-stop:
+			fmt.Println("\nintsched: shutting down")
+			return
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command intsim runs a single scheduling scenario in the packet-level
+// network simulator and prints per-class results.
+//
+// Example:
+//
+//	intsim -workload serverless -metric delay -tasks 200 -seed 42
+//	intsim -workload distributed -metric bandwidth -background random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"intsched/internal/core"
+	"intsched/internal/experiment"
+	"intsched/internal/stats"
+	"intsched/internal/workload"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 42, "random seed (drives workload, traffic, random ranking)")
+		kind       = flag.String("workload", "serverless", "workload type: serverless | distributed")
+		metric     = flag.String("metric", "delay", "ranking metric: delay | bandwidth | nearest | random | compute-aware")
+		tasks      = flag.Int("tasks", 200, "number of tasks")
+		interval   = flag.Duration("probe-interval", 100*time.Millisecond, "INT probing interval")
+		background = flag.String("background", "random", "background traffic: none | random | traffic1 | traffic2")
+		k          = flag.Duration("k", core.DefaultK, "queue occupancy to latency conversion factor")
+		class      = flag.String("class", "", "restrict to one task class: VS | S | M | L (default: all)")
+		slots      = flag.Int("slots", 0, "execution slots per server (0 = unlimited)")
+		topoFile   = flag.String("topo", "", "JSON topology spec file (default: the paper's Fig 4)")
+		hysteresis = flag.Float64("hysteresis", 0, "anti-jitter switching margin (0 disables)")
+		csvOut     = flag.String("csv", "", "write per-task results as CSV to this file")
+		verbose    = flag.Bool("v", false, "print per-task results")
+	)
+	flag.Parse()
+
+	sc := experiment.Scenario{
+		Seed:          *seed,
+		TaskCount:     *tasks,
+		ProbeInterval: *interval,
+		K:             *k,
+		Slots:         *slots,
+		Hysteresis:    *hysteresis,
+	}
+	if *topoFile != "" {
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec, err := experiment.ParseTopoSpec(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc.Topo = spec
+	}
+	switch *kind {
+	case "serverless":
+		sc.Workload = workload.Serverless
+	case "distributed":
+		sc.Workload = workload.Distributed
+	default:
+		fatalf("unknown workload %q", *kind)
+	}
+	m, ok := core.ParseMetric(*metric)
+	if !ok {
+		fatalf("unknown metric %q", *metric)
+	}
+	sc.Metric = m
+	sc.ComputeAware = m == core.MetricComputeAware
+	switch *background {
+	case "none":
+		sc.Background = experiment.BackgroundNone
+	case "random":
+		sc.Background = experiment.BackgroundRandom
+	case "traffic1":
+		sc.Background = experiment.BackgroundTraffic1
+	case "traffic2":
+		sc.Background = experiment.BackgroundTraffic2
+	default:
+		fatalf("unknown background %q", *background)
+	}
+	if *class != "" {
+		found := false
+		for _, c := range workload.Classes() {
+			if c.String() == *class {
+				sc.Classes = []workload.Class{c}
+				found = true
+			}
+		}
+		if !found {
+			fatalf("unknown class %q", *class)
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("running %s workload, %s ranking, %d tasks, seed %d, background %s...\n",
+		sc.Workload, sc.Metric, sc.TaskCount, sc.Seed, sc.Background)
+	start := time.Now()
+	res, err := experiment.Run(sc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("done in %v wall (%v virtual, %d events, %d probes, %d drops)\n\n",
+		time.Since(start).Round(time.Millisecond), res.VirtualDuration.Round(time.Second),
+		res.EventsProcessed, res.ProbesReceived, res.PacketsDropped)
+
+	if *verbose {
+		tb := stats.NewTable("task", "class", "device", "server", "transfer", "completion")
+		for _, r := range res.Results {
+			tb.AddRow(r.TaskID, r.Class.String(), string(r.Device), string(r.Server),
+				r.TransferTime(), r.CompletionTime())
+		}
+		fmt.Println(tb.String())
+	}
+
+	byClass := experiment.SummarizeByClass(res)
+	tb := stats.NewTable("class", "tasks", "mean transfer", "mean completion")
+	for _, c := range workload.Classes() {
+		s := byClass[c]
+		tb.AddRow(c.String(), s.Count, s.MeanTransfer, s.MeanCompletion)
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("overall: mean transfer %v, mean completion %v, incomplete %d\n",
+		res.MeanTransfer().Round(time.Millisecond), res.MeanCompletion().Round(time.Millisecond), res.Incomplete)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteResultsCSV(f, res); err != nil {
+			fatalf("writing csv: %v", err)
+		}
+		fmt.Printf("per-task results written to %s\n", *csvOut)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "intsim: "+format+"\n", args...)
+	os.Exit(1)
+}

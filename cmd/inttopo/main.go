@@ -1,0 +1,46 @@
+// Command inttopo emits topology spec files (JSON) consumable by
+// cmd/intsim's -topo flag:
+//
+//	inttopo -kind fig4 > fig4.json
+//	inttopo -kind leafspine -spines 2 -leaves 4 -hosts-per-leaf 2 > ls.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"intsched/internal/experiment"
+)
+
+func main() {
+	var (
+		kind         = flag.String("kind", "fig4", "topology kind: fig4 | leafspine")
+		spines       = flag.Int("spines", 2, "leafspine: number of spine switches")
+		leaves       = flag.Int("leaves", 4, "leafspine: number of leaf switches")
+		hostsPerLeaf = flag.Int("hosts-per-leaf", 2, "leafspine: hosts per leaf")
+	)
+	flag.Parse()
+
+	var spec *experiment.TopoSpec
+	var err error
+	switch *kind {
+	case "fig4":
+		spec = experiment.Fig4Spec()
+	case "leafspine":
+		spec, err = experiment.FatTreeSpec(*spines, *leaves, *hostsPerLeaf)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inttopo: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		fmt.Fprintf(os.Stderr, "inttopo: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module intsched
+
+go 1.22

@@ -1,0 +1,429 @@
+// Package collector implements the scheduler-side telemetry collector: it
+// parses INT probe packets, infers the network topology from the order of
+// INT records (consecutive records identify adjacent devices), and maintains
+// a link-state database of measured link latencies and per-port maximum
+// queue occupancies.
+//
+// The collector is deliberately independent of the simulator's ground-truth
+// topology: everything the scheduler knows, it learned from probes — exactly
+// the information a real INT deployment would have.
+package collector
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/telemetry"
+	"intsched/internal/transport"
+)
+
+// Config tunes the collector.
+type Config struct {
+	// QueueWindow is how long a flushed max-queue report stays eligible
+	// when computing the current per-port maximum. The paper ranks on the
+	// "maximum observed queue size in the last probing interval"; use
+	// roughly 2× the probing interval so in-flight jitter cannot open
+	// coverage gaps. Zero means DefaultQueueWindow.
+	QueueWindow time.Duration
+	// DelayAlpha is the EWMA weight for new link-latency samples in
+	// (0, 1]. Zero means DefaultDelayAlpha.
+	DelayAlpha float64
+	// DefaultLinkRateBps is the assumed capacity of links whose rate the
+	// operator has not configured; bandwidth ranking needs capacities.
+	// Zero means DefaultLinkRate.
+	DefaultLinkRateBps int64
+	// StaleAfter marks devices whose last report is older than this as
+	// stale in Coverage reports. Zero means DefaultStaleAfter.
+	StaleAfter time.Duration
+}
+
+// Defaults for Config.
+const (
+	DefaultQueueWindow = 200 * time.Millisecond
+	DefaultDelayAlpha  = 0.3
+	DefaultLinkRate    = 20_000_000 // 20 Mbps, the paper's effective link rate
+	DefaultStaleAfter  = 2 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.QueueWindow <= 0 {
+		c.QueueWindow = DefaultQueueWindow
+	}
+	if c.DelayAlpha <= 0 || c.DelayAlpha > 1 {
+		c.DelayAlpha = DefaultDelayAlpha
+	}
+	if c.DefaultLinkRateBps <= 0 {
+		c.DefaultLinkRateBps = DefaultLinkRate
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = DefaultStaleAfter
+	}
+	return c
+}
+
+type edgeKey struct{ from, to string }
+
+type portKey struct {
+	device string
+	port   int
+}
+
+type queueReport struct {
+	at       time.Duration
+	maxQueue int
+	packets  uint32
+}
+
+type linkState struct {
+	ewma       time.Duration
+	lastSample time.Duration
+	samples    uint64
+	updatedAt  time.Duration
+	// Welford accumulators for jitter (sample standard deviation); the
+	// paper probes link latency periodically precisely "to capture jitter
+	// characteristics".
+	mean float64
+	m2   float64
+}
+
+// Collector builds and maintains the scheduler's view of the network.
+type Collector struct {
+	self  string
+	clock func() time.Duration
+	cfg   Config
+
+	mu sync.Mutex
+
+	// adj maps device -> egress port -> neighbor, learned from record
+	// order; hosts appear as devices with a single implicit port 0.
+	adj map[string]map[int]string
+	// isHost marks nodes known to be hosts (probe origins + the collector
+	// itself); everything else that reports INT records is a switch.
+	isHost map[string]bool
+
+	linkDelay map[edgeKey]*linkState
+	linkRate  map[edgeKey]int64
+
+	queues     map[portKey][]queueReport
+	lastReport map[string]time.Duration // device -> last INT record time
+	lastProbe  map[probeKey]probeMeta   // (origin, target) -> latest probe metadata
+
+	// Stats (guarded by mu; read via Stats()).
+	probesReceived   uint64
+	probesOutOfOrder uint64
+	recordsParsed    uint64
+}
+
+// Stats is a snapshot of the collector's ingestion counters.
+type Stats struct {
+	// ProbesReceived counts ingested probe payloads.
+	ProbesReceived uint64
+	// ProbesOutOfOrder counts probes dropped for stale sequence numbers.
+	ProbesOutOfOrder uint64
+	// RecordsParsed counts INT records processed.
+	RecordsParsed uint64
+}
+
+// Stats returns the ingestion counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		ProbesReceived:   c.probesReceived,
+		ProbesOutOfOrder: c.probesOutOfOrder,
+		RecordsParsed:    c.recordsParsed,
+	}
+}
+
+type probeMeta struct {
+	seq uint64
+	at  time.Duration
+}
+
+// probeKey identifies one probe stream: a host may probe several targets
+// (coverage-planned routes), each with its own sequence space.
+type probeKey struct {
+	origin, target string
+}
+
+// New creates a collector for the scheduler host self. clock supplies the
+// current time (virtual in simulation, wall-clock in live mode).
+func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector {
+	return &Collector{
+		self:       string(self),
+		clock:      clock,
+		cfg:        cfg.withDefaults(),
+		adj:        make(map[string]map[int]string),
+		isHost:     map[string]bool{string(self): true},
+		linkDelay:  make(map[edgeKey]*linkState),
+		linkRate:   make(map[edgeKey]int64),
+		queues:     make(map[portKey][]queueReport),
+		lastReport: make(map[string]time.Duration),
+		lastProbe:  make(map[probeKey]probeMeta),
+	}
+}
+
+// Self returns the collector's own host ID.
+func (c *Collector) Self() netsim.NodeID { return netsim.NodeID(c.self) }
+
+// SetQueueWindow adjusts the queue-report window, typically to track a
+// changed probing interval (Fig 9 sweeps).
+func (c *Collector) SetQueueWindow(w time.Duration) {
+	if w <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.QueueWindow = w
+}
+
+// SetLinkRate records the capacity of the directed link from->to. Both
+// directions are set (links are full duplex and symmetric in this system).
+func (c *Collector) SetLinkRate(from, to netsim.NodeID, rateBps int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.linkRate[edgeKey{string(from), string(to)}] = rateBps
+	c.linkRate[edgeKey{string(to), string(from)}] = rateBps
+}
+
+// Bind installs the collector as the probe handler of the scheduler host's
+// transport stack. It also chains into the stack's control handler so that
+// INT reports relayed by probe-sink hosts (coverage-planned probes that
+// terminated elsewhere) are ingested too.
+func (c *Collector) Bind(stack *transport.Stack) {
+	stack.ProbeHandler = func(pkt *netsim.Packet) {
+		if pkt.Probe != nil {
+			c.HandleProbe(pkt.Probe)
+		}
+	}
+	prev := stack.ControlHandler
+	stack.ControlHandler = func(from netsim.NodeID, payload any) {
+		if p, ok := payload.(*telemetry.ProbePayload); ok {
+			c.HandleProbe(p)
+			return
+		}
+		if prev != nil {
+			prev(from, payload)
+		}
+	}
+}
+
+// HandleProbe ingests one probe payload.
+func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.probesReceived++
+	key := probeKey{origin: p.Origin, target: p.Target}
+	if meta, ok := c.lastProbe[key]; ok && p.Seq <= meta.seq {
+		// Reordered or duplicate probe: its registers were flushed before
+		// the one we already processed; ignore to keep freshness monotone.
+		c.probesOutOfOrder++
+		return
+	}
+	c.lastProbe[key] = probeMeta{seq: p.Seq, at: now}
+	c.isHost[p.Origin] = true
+
+	recs := p.Stack.Records
+	prev := p.Origin
+	prevEgress := 0 // hosts have a single port
+	for i := range recs {
+		rec := &recs[i]
+		c.recordsParsed++
+		c.lastReport[rec.Device] = now
+
+		// Topology: prev --(prev's egress port)--> rec.Device, and the
+		// reverse direction leaves rec.Device via the probe's ingress
+		// port (ports are full duplex).
+		c.learnEdge(prev, prevEgress, rec.Device)
+		c.learnEdge(rec.Device, rec.IngressPort, prev)
+
+		// Link latency of the hop the probe arrived on.
+		if rec.LinkLatency > 0 || i > 0 {
+			c.updateDelay(edgeKey{prev, rec.Device}, rec.LinkLatency, now)
+			// Symmetric links: seed the reverse direction too (a probe
+			// may never traverse it).
+			c.updateDelay(edgeKey{rec.Device, prev}, rec.LinkLatency, now)
+		}
+
+		// Queue registers flushed by this device.
+		for _, q := range rec.Queues {
+			key := portKey{rec.Device, q.Port}
+			c.queues[key] = append(c.queues[key], queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
+		}
+		c.pruneQueuesLocked(rec.Device, now)
+
+		prev = rec.Device
+		prevEgress = rec.EgressPort
+	}
+
+	// Final hop: last device -> the probe's target host. Coverage-planned
+	// probes may terminate at another edge host that relays the payload;
+	// the collector itself measures the latency only when it is the
+	// target (otherwise the relay measured it).
+	target := p.Target
+	if target == "" {
+		target = c.self
+	}
+	c.isHost[target] = true
+	if len(recs) > 0 {
+		last := &recs[len(recs)-1]
+		c.learnEdge(prev, prevEgress, target)
+		c.learnEdge(target, 0, prev)
+		lat := p.LastHopLatency
+		if target == c.self {
+			lat = now - last.EgressTS
+		}
+		if lat > 0 {
+			c.updateDelay(edgeKey{prev, target}, lat, now)
+			c.updateDelay(edgeKey{target, prev}, lat, now)
+		}
+	} else {
+		// Direct host-to-host probe (no switches): origin adjacent to the
+		// target.
+		c.learnEdge(p.Origin, 0, target)
+		c.learnEdge(target, 0, p.Origin)
+	}
+}
+
+func (c *Collector) learnEdge(from string, port int, to string) {
+	m := c.adj[from]
+	if m == nil {
+		m = make(map[int]string)
+		c.adj[from] = m
+	}
+	m[port] = to
+}
+
+func (c *Collector) updateDelay(k edgeKey, sample time.Duration, now time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	st := c.linkDelay[k]
+	if st == nil {
+		st = &linkState{ewma: sample}
+		c.linkDelay[k] = st
+	} else {
+		a := c.cfg.DelayAlpha
+		st.ewma = time.Duration(a*float64(sample) + (1-a)*float64(st.ewma))
+	}
+	st.lastSample = sample
+	st.samples++
+	st.updatedAt = now
+	delta := float64(sample) - st.mean
+	st.mean += delta / float64(st.samples)
+	st.m2 += delta * (float64(sample) - st.mean)
+}
+
+// jitterLocked returns the sample standard deviation of link latency.
+func (st *linkState) jitterLocked() time.Duration {
+	if st.samples < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(st.m2 / float64(st.samples-1)))
+}
+
+// LinkJitter returns the standard deviation of latency samples for the
+// directed link from->to, and whether at least two samples exist.
+func (c *Collector) LinkJitter(from, to string) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.linkDelay[edgeKey{from, to}]
+	if st == nil || st.samples < 2 {
+		return 0, false
+	}
+	return st.jitterLocked(), true
+}
+
+func (c *Collector) pruneQueuesLocked(device string, now time.Duration) {
+	cutoff := now - c.cfg.QueueWindow
+	for key, reports := range c.queues {
+		if key.device != device {
+			continue
+		}
+		i := 0
+		for i < len(reports) && reports[i].at < cutoff {
+			i++
+		}
+		if i > 0 {
+			c.queues[key] = append(reports[:0:0], reports[i:]...)
+		}
+	}
+}
+
+// MaxQueue returns the maximum queue occupancy reported for (device, port)
+// within the queue window, and whether any report exists in the window.
+func (c *Collector) MaxQueue(device string, port int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxQueueLocked(device, port, c.clock())
+}
+
+func (c *Collector) maxQueueLocked(device string, port int, now time.Duration) (int, bool) {
+	reports := c.queues[portKey{device, port}]
+	cutoff := now - c.cfg.QueueWindow
+	best, found := 0, false
+	for i := range reports {
+		if reports[i].at < cutoff {
+			continue
+		}
+		found = true
+		if reports[i].maxQueue > best {
+			best = reports[i].maxQueue
+		}
+	}
+	return best, found
+}
+
+// LinkDelay returns the EWMA latency estimate for the directed link
+// from->to, and whether any measurement exists.
+func (c *Collector) LinkDelay(from, to string) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.linkDelay[edgeKey{from, to}]
+	if st == nil {
+		return 0, false
+	}
+	return st.ewma, true
+}
+
+// CoverageReport describes telemetry freshness across known devices.
+type CoverageReport struct {
+	// Fresh lists devices whose last INT record is within StaleAfter.
+	Fresh []string
+	// Stale lists known devices with no recent report — the paper's
+	// future-work concern that probe routes may not cover every device.
+	Stale []string
+	// LastSeen maps every known device to its last report time.
+	LastSeen map[string]time.Duration
+}
+
+// Coverage reports which devices have fresh telemetry.
+func (c *Collector) Coverage() CoverageReport {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := CoverageReport{LastSeen: make(map[string]time.Duration, len(c.lastReport))}
+	for dev, at := range c.lastReport {
+		rep.LastSeen[dev] = at
+		if now-at <= c.cfg.StaleAfter {
+			rep.Fresh = append(rep.Fresh, dev)
+		} else {
+			rep.Stale = append(rep.Stale, dev)
+		}
+	}
+	sortStrings(rep.Fresh)
+	sortStrings(rep.Stale)
+	return rep
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

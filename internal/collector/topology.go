@@ -1,0 +1,205 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Topology is an immutable snapshot of the collector's learned network view,
+// used by the ranking algorithms. All lookups are against the snapshot, so a
+// ranking pass sees one consistent picture.
+type Topology struct {
+	// Nodes lists every known node ID (hosts and switches), sorted.
+	Nodes []string
+	// hosts marks which nodes are hosts.
+	hosts map[string]bool
+	// neighbors maps node -> sorted neighbor IDs.
+	neighbors map[string][]string
+	// egressPort maps (from, to) -> from's egress port toward to.
+	egressPort map[edgeKey]int
+	// linkDelay maps (from, to) -> EWMA latency estimate.
+	linkDelay map[edgeKey]time.Duration
+	// linkJitter maps (from, to) -> latency standard deviation.
+	linkJitter map[edgeKey]time.Duration
+	// queueMax maps (device, port) -> max queue within the window.
+	queueMax map[portKey]int
+	// queueSeen marks (device, port) pairs with at least one in-window
+	// report.
+	queueSeen map[portKey]bool
+	// linkRate maps (from, to) -> capacity in bps.
+	linkRate    map[edgeKey]int64
+	defaultRate int64
+	// TakenAt is the snapshot time.
+	TakenAt time.Duration
+}
+
+// Snapshot captures the current learned topology and link state.
+func (c *Collector) Snapshot() *Topology {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	t := &Topology{
+		hosts:       make(map[string]bool, len(c.isHost)),
+		neighbors:   make(map[string][]string, len(c.adj)),
+		egressPort:  make(map[edgeKey]int),
+		linkDelay:   make(map[edgeKey]time.Duration, len(c.linkDelay)),
+		linkJitter:  make(map[edgeKey]time.Duration, len(c.linkDelay)),
+		queueMax:    make(map[portKey]int),
+		queueSeen:   make(map[portKey]bool),
+		linkRate:    make(map[edgeKey]int64, len(c.linkRate)),
+		defaultRate: c.cfg.DefaultLinkRateBps,
+		TakenAt:     now,
+	}
+	nodeSet := make(map[string]bool)
+	for from, ports := range c.adj {
+		nodeSet[from] = true
+		seen := make(map[string]bool)
+		for port, to := range ports {
+			nodeSet[to] = true
+			t.egressPort[edgeKey{from, to}] = port
+			if !seen[to] {
+				seen[to] = true
+				t.neighbors[from] = append(t.neighbors[from], to)
+			}
+		}
+	}
+	for n := range nodeSet {
+		t.Nodes = append(t.Nodes, n)
+		sort.Strings(t.neighbors[n])
+	}
+	sort.Strings(t.Nodes)
+	for h := range c.isHost {
+		t.hosts[h] = true
+	}
+	for k, st := range c.linkDelay {
+		t.linkDelay[k] = st.ewma
+		t.linkJitter[k] = st.jitterLocked()
+	}
+	for k, rate := range c.linkRate {
+		t.linkRate[k] = rate
+	}
+	for key := range c.queues {
+		if q, ok := c.maxQueueLocked(key.device, key.port, now); ok {
+			t.queueMax[key] = q
+			t.queueSeen[key] = true
+		}
+	}
+	return t
+}
+
+// IsHost reports whether id is a known host.
+func (t *Topology) IsHost(id string) bool { return t.hosts[id] }
+
+// Hosts returns all known hosts, sorted.
+func (t *Topology) Hosts() []string {
+	var out []string
+	for h := range t.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns the sorted neighbors of id.
+func (t *Topology) Neighbors(id string) []string { return t.neighbors[id] }
+
+// EgressPort returns from's egress port toward its direct neighbor to.
+func (t *Topology) EgressPort(from, to string) (int, bool) {
+	p, ok := t.egressPort[edgeKey{from, to}]
+	return p, ok
+}
+
+// LinkDelay returns the latency estimate for the directed link from->to.
+// Links never measured report ok=false.
+func (t *Topology) LinkDelay(from, to string) (time.Duration, bool) {
+	d, ok := t.linkDelay[edgeKey{from, to}]
+	return d, ok
+}
+
+// LinkJitter returns the latency standard deviation for the directed link
+// from->to (0 with fewer than two samples).
+func (t *Topology) LinkJitter(from, to string) time.Duration {
+	return t.linkJitter[edgeKey{from, to}]
+}
+
+// LinkRate returns the assumed capacity of the directed link from->to.
+func (t *Topology) LinkRate(from, to string) int64 {
+	if r, ok := t.linkRate[edgeKey{from, to}]; ok {
+		return r
+	}
+	return t.defaultRate
+}
+
+// QueueMax returns the windowed maximum queue occupancy of the egress port
+// on from feeding the link from->to. The boolean reports whether the port
+// had an in-window report.
+func (t *Topology) QueueMax(from, to string) (int, bool) {
+	port, ok := t.egressPort[edgeKey{from, to}]
+	if !ok {
+		return 0, false
+	}
+	key := portKey{from, port}
+	if !t.queueSeen[key] {
+		return 0, false
+	}
+	return t.queueMax[key], true
+}
+
+// Path returns the hop sequence (including endpoints) from src to dst using
+// breadth-first shortest paths with lexicographic tie-breaking over sorted
+// neighbors — the same deterministic rule the simulator's routing uses, so
+// the scheduler's estimate walks the links traffic will actually take.
+// Hosts never forward transit traffic.
+func (t *Topology) Path(src, dst string) ([]string, error) {
+	if src == dst {
+		return []string{src}, nil
+	}
+	if _, ok := t.neighbors[src]; !ok {
+		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
+	}
+	// BFS from dst so each node learns its next hop toward dst, mirroring
+	// netsim.ComputeRoutes.
+	next := map[string]string{}
+	visited := map[string]bool{dst: true}
+	frontier := []string{dst}
+	for len(frontier) > 0 {
+		var nextFrontier []string
+		for _, cur := range frontier {
+			for _, nb := range t.neighbors[cur] {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				next[nb] = cur
+				if !(t.hosts[nb] && nb != dst) {
+					nextFrontier = append(nextFrontier, nb)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	if _, ok := next[src]; !ok {
+		return nil, fmt.Errorf("collector: no learned path from %q to %q", src, dst)
+	}
+	path := []string{src}
+	cur := src
+	for cur != dst {
+		cur = next[cur]
+		path = append(path, cur)
+		if len(path) > len(t.Nodes)+1 {
+			return nil, fmt.Errorf("collector: path loop from %q to %q", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// HopCount returns the number of links on the learned path src->dst.
+func (t *Topology) HopCount(src, dst string) (int, error) {
+	p, err := t.Path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}

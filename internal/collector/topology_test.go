@@ -1,0 +1,143 @@
+package collector
+
+import (
+	"testing"
+	"time"
+)
+
+// buildDiamond teaches a collector the diamond n1 - s1 - {s2,s3} - s4 - sched
+// via two probes taking each branch.
+func buildDiamond(t *testing.T) (*Collector, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{now: time.Second}
+	c := newTestCollector(clk)
+	c.HandleProbe(probeFrom("n1", 1, 10*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 2, 2: 8}, egressTS: clk.now},
+		devSpec{id: "s2", in: 0, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 0, out: 2, egressTS: clk.now},
+	))
+	clk.now += 10 * time.Millisecond
+	c.HandleProbe(probeFrom("n1", 2, 10*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 2, queues: map[int]int{1: 2, 2: 8}, egressTS: clk.now},
+		devSpec{id: "s3", in: 0, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 1, out: 2, egressTS: clk.now},
+	))
+	return c, clk
+}
+
+func TestPathDeterministicTieBreak(t *testing.T) {
+	c, _ := buildDiamond(t)
+	topo := c.Snapshot()
+	path, err := topo.Path("n1", "sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two equal-length paths exist (via s2 or s3); lexicographic
+	// tie-breaking must pick s2, matching netsim's routing rule.
+	want := []string{"n1", "s1", "s2", "s4", "sched"}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	if hops, _ := topo.HopCount("n1", "sched"); hops != 4 {
+		t.Fatalf("hops %d", hops)
+	}
+}
+
+func TestPathTrivialAndErrors(t *testing.T) {
+	c, _ := buildDiamond(t)
+	topo := c.Snapshot()
+	p, err := topo.Path("s1", "s1")
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self path %v %v", p, err)
+	}
+	if _, err := topo.Path("ghost", "sched"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := topo.Path("n1", "ghost"); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}
+
+func TestHostsDoNotForwardInLearnedTopology(t *testing.T) {
+	clk := &fakeClock{now: time.Second}
+	c := newTestCollector(clk)
+	// n1 -> s1 -> sched and n2 -> s1 -> sched: path n1->n2 must go via s1,
+	// never through sched (a host).
+	c.HandleProbe(probeFrom("n1", 1, time.Millisecond, devSpec{id: "s1", in: 0, out: 2, egressTS: clk.now}))
+	c.HandleProbe(probeFrom("n2", 1, time.Millisecond, devSpec{id: "s1", in: 1, out: 2, egressTS: clk.now}))
+	topo := c.Snapshot()
+	path, err := topo.Path("n1", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range path[1 : len(path)-1] {
+		if topo.IsHost(n) {
+			t.Fatalf("path %v transits host %s", path, n)
+		}
+	}
+}
+
+func TestQueueMaxPerDirection(t *testing.T) {
+	c, _ := buildDiamond(t)
+	topo := c.Snapshot()
+	// s1's egress toward s2 is port 1 (queue 2); toward s3 is port 2
+	// (queue 8).
+	if q, ok := topo.QueueMax("s1", "s2"); !ok || q != 2 {
+		t.Fatalf("s1->s2 queue %d,%v", q, ok)
+	}
+	if q, ok := topo.QueueMax("s1", "s3"); !ok || q != 8 {
+		t.Fatalf("s1->s3 queue %d,%v", q, ok)
+	}
+	// Unreported port: s2 egress toward s1 has no queue report (s2
+	// reported no queues at all).
+	if _, ok := topo.QueueMax("s2", "s1"); ok {
+		t.Fatal("unreported queue visible")
+	}
+	// Unknown edge.
+	if _, ok := topo.QueueMax("s2", "ghost"); ok {
+		t.Fatal("unknown edge visible")
+	}
+}
+
+func TestSnapshotIsConsistentView(t *testing.T) {
+	c, clk := buildDiamond(t)
+	topo := c.Snapshot()
+	before, _ := topo.LinkDelay("n1", "s1")
+	// Mutate the collector afterwards; the snapshot must not change.
+	clk.now += 10 * time.Millisecond
+	c.HandleProbe(probeFrom("n1", 3, 50*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 60}, egressTS: clk.now}))
+	after, _ := topo.LinkDelay("n1", "s1")
+	if before != after {
+		t.Fatal("snapshot mutated by later probe")
+	}
+	if q, _ := topo.QueueMax("s1", "s2"); q == 60 {
+		t.Fatal("snapshot sees post-snapshot queue report")
+	}
+}
+
+func TestTopologyAccessors(t *testing.T) {
+	c, _ := buildDiamond(t)
+	topo := c.Snapshot()
+	if len(topo.Nodes) == 0 || topo.TakenAt == 0 {
+		t.Fatal("snapshot metadata empty")
+	}
+	hosts := topo.Hosts()
+	if len(hosts) != 2 || hosts[0] != "n1" || hosts[1] != "sched" {
+		t.Fatalf("hosts %v", hosts)
+	}
+	if p, ok := topo.EgressPort("s1", "s2"); !ok || p != 1 {
+		t.Fatalf("egress port %d,%v", p, ok)
+	}
+	if _, ok := topo.EgressPort("s1", "ghost"); ok {
+		t.Fatal("phantom egress port")
+	}
+	if _, ok := topo.LinkDelay("ghost", "s1"); ok {
+		t.Fatal("phantom link delay")
+	}
+}

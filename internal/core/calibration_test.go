@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCalibrationInterpolation(t *testing.T) {
+	c, err := NewCalibration([]CalPoint{{0, 0}, {10, 0.5}, {20, 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    int
+		want float64
+	}{
+		{-5, 0}, {0, 0}, {5, 0.25}, {10, 0.5}, {15, 0.75}, {20, 1.0}, {100, 1.0},
+	}
+	for _, tc := range cases {
+		if got := c.Utilization(tc.q); got != tc.want {
+			t.Errorf("util(%d) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCalibrationForcedMonotone(t *testing.T) {
+	c, err := NewCalibration([]CalPoint{{0, 0.5}, {10, 0.2}, {20, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for q := 0; q <= 25; q++ {
+		u := c.Utilization(q)
+		if u < prev {
+			t.Fatalf("non-monotone at q=%d: %v < %v", q, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestCalibrationClampsUtil(t *testing.T) {
+	c, _ := NewCalibration([]CalPoint{{0, -1}, {10, 2}})
+	if c.Utilization(0) != 0 || c.Utilization(10) != 1 {
+		t.Fatalf("clamping failed: %v %v", c.Utilization(0), c.Utilization(10))
+	}
+}
+
+func TestCalibrationEmptyRejected(t *testing.T) {
+	if _, err := NewCalibration(nil); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+}
+
+func TestDefaultCalibrationMonotoneProperty(t *testing.T) {
+	c := DefaultCalibration()
+	f := func(a, b uint8) bool {
+		qa, qb := int(a), int(b)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		ua, ub := c.Utilization(qa), c.Utilization(qb)
+		return ua <= ub && ua >= 0 && ub <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitCalibrationAveragesDuplicates(t *testing.T) {
+	c, err := FitCalibration([]CalPoint{{5, 0.4}, {5, 0.6}, {10, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(5); got != 0.5 {
+		t.Fatalf("averaged util %v, want 0.5", got)
+	}
+	if _, err := FitCalibration(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestCalibrationPointsCopy(t *testing.T) {
+	c := DefaultCalibration()
+	pts := c.Points()
+	pts[0].Util = 99
+	if c.Utilization(0) == 99 {
+		t.Fatal("Points leaked internal state")
+	}
+}
+
+func TestCalibrateKLeastSquares(t *testing.T) {
+	// Perfect k=20ms data.
+	var samples []KSample
+	for q := 1; q <= 10; q++ {
+		samples = append(samples, KSample{QueueSum: q, ExtraDelay: time.Duration(q) * 20 * time.Millisecond})
+	}
+	k, err := CalibrateK(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 19*time.Millisecond || k > 21*time.Millisecond {
+		t.Fatalf("k=%v, want 20ms", k)
+	}
+}
+
+func TestCalibrateKIgnoresZeroQueues(t *testing.T) {
+	_, err := CalibrateK([]KSample{{QueueSum: 0, ExtraDelay: time.Hour}})
+	if err == nil {
+		t.Fatal("zero-queue-only samples accepted")
+	}
+	k, err := CalibrateK([]KSample{
+		{QueueSum: 0, ExtraDelay: time.Hour},
+		{QueueSum: 4, ExtraDelay: 40 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 10*time.Millisecond {
+		t.Fatalf("k=%v, want 10ms", k)
+	}
+}
+
+func TestCalibrateKNegativeClamped(t *testing.T) {
+	k, err := CalibrateK([]KSample{{QueueSum: 5, ExtraDelay: -time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("negative k not clamped: %v", k)
+	}
+}

@@ -1,0 +1,312 @@
+// Package core implements the paper's contribution: the network-aware task
+// scheduler for edge computing. It ranks candidate edge servers for a
+// querying edge device using INT-derived telemetry — either by estimated
+// end-to-end delay (Algorithm 1 of the paper) or by estimated bottleneck
+// available bandwidth — and serves ranking queries over the network.
+//
+// The two baselines the paper compares against (Nearest and Random) are
+// implemented here too, plus the paper's future-work extensions:
+// compute-aware ranking, heterogeneous capability filtering, and automatic
+// calibration of the queue→latency conversion factor k.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// Metric selects the ranking strategy.
+type Metric uint8
+
+const (
+	// MetricDelay ranks by estimated one-way network delay (Algorithm 1).
+	MetricDelay Metric = iota
+	// MetricBandwidth ranks by estimated bottleneck available bandwidth.
+	MetricBandwidth
+	// MetricNearest is the static closest-node baseline.
+	MetricNearest
+	// MetricRandom is the random load-balancing baseline.
+	MetricRandom
+	// MetricComputeAware is the future-work extension combining network
+	// delay with reported server backlog.
+	MetricComputeAware
+	// MetricTransferTime is the size-aware extension estimating total
+	// transfer completion time (delay + data / bottleneck bandwidth).
+	MetricTransferTime
+)
+
+var metricNames = [...]string{"delay", "bandwidth", "nearest", "random", "compute-aware", "transfer-time"}
+
+func (m Metric) String() string {
+	if int(m) < len(metricNames) {
+		return metricNames[m]
+	}
+	return "unknown"
+}
+
+// ParseMetric converts a string (as used by CLI flags) to a Metric.
+func ParseMetric(s string) (Metric, bool) {
+	for i, n := range metricNames {
+		if n == s {
+			return Metric(i), true
+		}
+	}
+	return 0, false
+}
+
+// Candidate is one ranked edge server with the scheduler's performance
+// estimates, returned to edge devices (the paper's step 4: a list of edge
+// servers along with expected bandwidth and latency).
+type Candidate struct {
+	// Node is the edge server.
+	Node netsim.NodeID
+	// Delay is the estimated one-way delay from the querying device.
+	Delay time.Duration
+	// BandwidthBps is the estimated bottleneck available bandwidth.
+	BandwidthBps float64
+	// Hops is the learned path length in links.
+	Hops int
+	// Reachable is false when the learned topology has no path; such
+	// candidates sort last.
+	Reachable bool
+}
+
+// Ranker orders candidate edge servers for a querying device using a
+// topology snapshot.
+type Ranker interface {
+	// Metric identifies the strategy.
+	Metric() Metric
+	// Rank returns candidates ordered best-first.
+	Rank(topo *collector.Topology, from netsim.NodeID, candidates []netsim.NodeID) []Candidate
+}
+
+// DefaultK is the paper's queue-occupancy→latency conversion factor: each
+// queued packet on a hop contributes k of estimated queueing delay. The
+// paper found k = 20 ms sufficient to identify major congestion events.
+const DefaultK = 20 * time.Millisecond
+
+// FallbackLinkDelay is assumed for learned links that have no latency
+// measurement yet (e.g. before the first probe crosses them).
+const FallbackLinkDelay = 10 * time.Millisecond
+
+// DelayRanker implements Algorithm 1: for every candidate edge server it
+// sums measured link delays along the learned path and adds k × (windowed
+// max queue occupancy) for every hop, then sorts ascending.
+type DelayRanker struct {
+	// K is the queue→latency conversion factor (DefaultK when zero).
+	K time.Duration
+	// JitterWeight, when positive, adds weight × (link latency standard
+	// deviation) per link — a conservative estimate that penalizes
+	// unstable paths (the paper measures jitter but does not use it;
+	// zero keeps the paper's Algorithm 1 exactly).
+	JitterWeight float64
+}
+
+// Metric implements Ranker.
+func (r *DelayRanker) Metric() Metric { return MetricDelay }
+
+// Estimate computes the delay estimate for a single device→server path.
+// It is exported so the compute-aware extension and tests can reuse it.
+func (r *DelayRanker) Estimate(topo *collector.Topology, from, to netsim.NodeID) (Candidate, error) {
+	k := r.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	cand := Candidate{Node: to}
+	path, err := topo.Path(string(from), string(to))
+	if err != nil {
+		return cand, err
+	}
+	cand.Reachable = true
+	cand.Hops = len(path) - 1
+	var totalLinkDelay, totalHopDelay time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if d, ok := topo.LinkDelay(a, b); ok {
+			totalLinkDelay += d
+		} else {
+			totalLinkDelay += FallbackLinkDelay
+		}
+		if r.JitterWeight > 0 {
+			totalLinkDelay += time.Duration(r.JitterWeight * float64(topo.LinkJitter(a, b)))
+		}
+		// Queueing contribution of the egress port feeding this link.
+		// Hosts have no measured queues; only switch hops contribute,
+		// matching Algorithm 1's per-hop Q(h) term.
+		if !topo.IsHost(a) {
+			if q, ok := topo.QueueMax(a, b); ok {
+				totalHopDelay += time.Duration(q) * k
+			}
+		}
+	}
+	cand.Delay = totalLinkDelay + totalHopDelay
+	return cand, nil
+}
+
+// Rank implements Ranker.
+func (r *DelayRanker) Rank(topo *collector.Topology, from netsim.NodeID, candidates []netsim.NodeID) []Candidate {
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		cand, err := r.Estimate(topo, from, c)
+		if err != nil {
+			cand = Candidate{Node: c, Reachable: false}
+		}
+		out = append(out, cand)
+	}
+	sortCandidates(out, func(a, b Candidate) bool { return a.Delay < b.Delay })
+	return out
+}
+
+// BandwidthRanker estimates per-link available bandwidth from the windowed
+// max queue occupancy via a queue→utilization calibration, takes the
+// bottleneck minimum along the learned path, and sorts descending.
+type BandwidthRanker struct {
+	// Calibration maps queue occupancy to utilization (DefaultCalibration
+	// when nil).
+	Calibration *Calibration
+}
+
+// Metric implements Ranker.
+func (r *BandwidthRanker) Metric() Metric { return MetricBandwidth }
+
+// Estimate computes the bandwidth estimate for a single device→server path.
+func (r *BandwidthRanker) Estimate(topo *collector.Topology, from, to netsim.NodeID) (Candidate, error) {
+	cal := r.Calibration
+	if cal == nil {
+		cal = DefaultCalibration()
+	}
+	cand := Candidate{Node: to}
+	path, err := topo.Path(string(from), string(to))
+	if err != nil {
+		return cand, err
+	}
+	cand.Reachable = true
+	cand.Hops = len(path) - 1
+	bottleneck := -1.0
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		rate := float64(topo.LinkRate(a, b))
+		util := 0.0
+		if !topo.IsHost(a) {
+			if q, ok := topo.QueueMax(a, b); ok {
+				util = cal.Utilization(q)
+			}
+		}
+		avail := rate * (1 - util)
+		if bottleneck < 0 || avail < bottleneck {
+			bottleneck = avail
+		}
+	}
+	if bottleneck < 0 {
+		bottleneck = 0
+	}
+	cand.BandwidthBps = bottleneck
+	return cand, nil
+}
+
+// Rank implements Ranker.
+func (r *BandwidthRanker) Rank(topo *collector.Topology, from netsim.NodeID, candidates []netsim.NodeID) []Candidate {
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		cand, err := r.Estimate(topo, from, c)
+		if err != nil {
+			cand = Candidate{Node: c, Reachable: false}
+		}
+		out = append(out, cand)
+	}
+	sortCandidates(out, func(a, b Candidate) bool { return a.BandwidthBps > b.BandwidthBps })
+	return out
+}
+
+// NearestRanker is the paper's Nearest baseline: it ranks candidates by a
+// statically precomputed hop count, oblivious to congestion. The paper
+// computes nearest nodes ahead of time, so this ranker takes ground-truth
+// hop counts at construction and never consults telemetry.
+type NearestRanker struct {
+	hops map[netsim.NodeID]map[netsim.NodeID]int
+}
+
+// NewNearestRanker precomputes hop counts between all pairs of the given
+// hosts using the network's installed routes.
+func NewNearestRanker(nw *netsim.Network, hosts []netsim.NodeID) (*NearestRanker, error) {
+	r := &NearestRanker{hops: make(map[netsim.NodeID]map[netsim.NodeID]int, len(hosts))}
+	for _, a := range hosts {
+		r.hops[a] = make(map[netsim.NodeID]int, len(hosts))
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			h, err := nw.HopCount(a, b)
+			if err != nil {
+				return nil, err
+			}
+			r.hops[a][b] = h
+		}
+	}
+	return r, nil
+}
+
+// Metric implements Ranker.
+func (r *NearestRanker) Metric() Metric { return MetricNearest }
+
+// Rank implements Ranker.
+func (r *NearestRanker) Rank(_ *collector.Topology, from netsim.NodeID, candidates []netsim.NodeID) []Candidate {
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		h, ok := r.hops[from][c]
+		out = append(out, Candidate{Node: c, Hops: h, Reachable: ok})
+	}
+	sortCandidates(out, func(a, b Candidate) bool { return a.Hops < b.Hops })
+	return out
+}
+
+// RandomRanker is the paper's Random baseline: a uniformly random order for
+// load balancing, oblivious to both distance and congestion.
+type RandomRanker struct {
+	rng *simtime.Rand
+}
+
+// NewRandomRanker creates a random ranker with its own deterministic
+// sub-stream.
+func NewRandomRanker(rng *simtime.Rand) *RandomRanker {
+	return &RandomRanker{rng: rng.Stream("random-ranker")}
+}
+
+// Metric implements Ranker.
+func (r *RandomRanker) Metric() Metric { return MetricRandom }
+
+// Rank implements Ranker.
+func (r *RandomRanker) Rank(_ *collector.Topology, _ netsim.NodeID, candidates []netsim.NodeID) []Candidate {
+	perm := r.rng.Perm(len(candidates))
+	out := make([]Candidate, 0, len(candidates))
+	for _, i := range perm {
+		out = append(out, Candidate{Node: candidates[i], Reachable: true})
+	}
+	return out
+}
+
+// sortCandidates sorts with the provided better-than predicate; unreachable
+// candidates always sort last, and ties break by node ID so rankings are
+// deterministic.
+func sortCandidates(cs []Candidate, better func(a, b Candidate) bool) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.Reachable != b.Reachable {
+			return a.Reachable
+		}
+		if !a.Reachable {
+			return a.Node < b.Node
+		}
+		if better(a, b) {
+			return true
+		}
+		if better(b, a) {
+			return false
+		}
+		return a.Node < b.Node
+	})
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/netsim"
+	"intsched/internal/telemetry"
+	"intsched/internal/transport"
+)
+
+// QueryRequest is the control message an edge device sends to the scheduler
+// (Figure 1, step 3/5): "give me candidate edge servers for my task(s)".
+type QueryRequest struct {
+	// From is the querying edge device.
+	From netsim.NodeID
+	// QueryID correlates the response at the device.
+	QueryID uint64
+	// Metric selects the ranking strategy.
+	Metric Metric
+	// Count limits the returned list (0 returns all candidates). The
+	// paper's second query option — an unsorted full list for custom
+	// device-side selection — is Count = 0 with Sorted = false.
+	Count int
+	// Sorted=false requests the paper's option two: the full candidate
+	// list with estimates but in arbitrary (ID) order, for devices that
+	// implement their own selection.
+	Sorted bool
+	// DataBytes optionally hints the task's transfer size so size-aware
+	// rankers (transfer-time extension) can estimate total completion.
+	DataBytes int64
+	// Requirements optionally restricts candidates to capable servers
+	// (heterogeneous-server extension).
+	Requirements *Requirements
+}
+
+// QueryResponse is the scheduler's reply (Figure 1, step 4/6).
+type QueryResponse struct {
+	QueryID    uint64
+	Metric     Metric
+	Candidates []Candidate
+}
+
+// Requirements expresses task constraints for the heterogeneous-server
+// extension (paper future work): required hardware (e.g. "gpu") and
+// software (e.g. "keras") features.
+type Requirements struct {
+	Hardware []string
+	Software []string
+}
+
+// Capabilities describes what one edge server offers.
+type Capabilities struct {
+	Hardware []string
+	Software []string
+}
+
+// Satisfies reports whether the capabilities meet the requirements.
+func (c Capabilities) Satisfies(r *Requirements) bool {
+	if r == nil {
+		return true
+	}
+	has := func(set []string, want string) bool {
+		for _, s := range set {
+			if s == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, hw := range r.Hardware {
+		if !has(c.Hardware, hw) {
+			return false
+		}
+	}
+	for _, sw := range r.Software {
+		if !has(c.Software, sw) {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadReport is the control message servers send for the compute-aware
+// extension: the backlog of execution time queued on the server.
+type LoadReport struct {
+	Server  netsim.NodeID
+	Backlog time.Duration
+}
+
+// ServiceConfig configures the scheduler service.
+type ServiceConfig struct {
+	// QueryResponseSize is the on-wire size of a query response packet.
+	// Zero means 256 bytes (a handful of candidate entries).
+	QueryResponseSize int
+	// ComputeAware* tune the compute-aware ranking extension.
+	ComputeAwareBase Ranker // underlying network ranker (delay by default)
+}
+
+// Service is the scheduler: it owns the collector's learned topology,
+// answers ranking queries from edge devices over the network, and tracks
+// server capabilities and load reports for the extensions.
+type Service struct {
+	stack *transport.Stack
+	coll  *collector.Collector
+	cfg   ServiceConfig
+
+	rankers map[Metric]Ranker
+
+	// candidateFn returns the candidate servers for a querying device.
+	// The default is every known host except the device itself (the paper:
+	// all nodes, scheduler included, execute tasks unless they submitted).
+	candidateFn func(from netsim.NodeID) []netsim.NodeID
+
+	capabilities map[netsim.NodeID]Capabilities
+	load         map[netsim.NodeID]time.Duration
+
+	// Demux receives control messages the service does not handle
+	// (e.g. task lifecycle messages when the scheduler host also acts as
+	// an edge server/device). NewService captures any handler previously
+	// installed on the stack, so layering composes automatically.
+	Demux func(from netsim.NodeID, payload any)
+
+	// Stats
+	QueriesServed uint64
+}
+
+// NewService creates the scheduler service on the given host stack, serving
+// rankings computed from the collector's learned state. Rankers for the
+// strategies in use must be registered with Register before queries of that
+// metric arrive.
+func NewService(stack *transport.Stack, coll *collector.Collector, cfg ServiceConfig) *Service {
+	if cfg.QueryResponseSize <= 0 {
+		cfg.QueryResponseSize = 256
+	}
+	s := &Service{
+		stack:        stack,
+		coll:         coll,
+		cfg:          cfg,
+		rankers:      make(map[Metric]Ranker),
+		capabilities: make(map[netsim.NodeID]Capabilities),
+		load:         make(map[netsim.NodeID]time.Duration),
+	}
+	s.candidateFn = s.defaultCandidates
+	s.Demux = stack.ControlHandler
+	stack.ControlHandler = s.handleControl
+	return s
+}
+
+// Register installs a ranker for its metric.
+func (s *Service) Register(r Ranker) { s.rankers[r.Metric()] = r }
+
+// SetCandidateFn overrides candidate selection.
+func (s *Service) SetCandidateFn(fn func(from netsim.NodeID) []netsim.NodeID) {
+	s.candidateFn = fn
+}
+
+// SetCapabilities records an edge server's capabilities.
+func (s *Service) SetCapabilities(server netsim.NodeID, caps Capabilities) {
+	s.capabilities[server] = caps
+}
+
+// Load returns the last reported backlog for a server.
+func (s *Service) Load(server netsim.NodeID) time.Duration { return s.load[server] }
+
+// defaultCandidates: every host the collector has learned about except the
+// requester. The scheduler itself is a valid server (per the paper's
+// experimental setup).
+func (s *Service) defaultCandidates(from netsim.NodeID) []netsim.NodeID {
+	topo := s.coll.Snapshot()
+	var out []netsim.NodeID
+	for _, h := range topo.Hosts() {
+		if netsim.NodeID(h) != from {
+			out = append(out, netsim.NodeID(h))
+		}
+	}
+	return out
+}
+
+// handleControl demultiplexes scheduler-bound control messages.
+func (s *Service) handleControl(from netsim.NodeID, payload any) {
+	switch msg := payload.(type) {
+	case *QueryRequest:
+		s.handleQuery(from, msg)
+	case *LoadReport:
+		s.load[msg.Server] = msg.Backlog
+	case *telemetry.ProbePayload:
+		// Relayed INT report from a probe-sink host (coverage-planned
+		// probes that terminated away from the scheduler).
+		s.coll.HandleProbe(msg)
+	default:
+		if s.Demux != nil {
+			s.Demux(from, payload)
+		}
+	}
+}
+
+func (s *Service) handleQuery(from netsim.NodeID, req *QueryRequest) {
+	resp := &QueryResponse{QueryID: req.QueryID, Metric: req.Metric}
+	resp.Candidates = s.RankFor(req)
+	s.QueriesServed++
+	s.stack.SendControl(from, s.responseSize(len(resp.Candidates)), resp)
+}
+
+// RankFor computes the ranked candidate list for a query without the
+// network round trip (used by the service itself, tests, and the live
+// daemon).
+func (s *Service) RankFor(req *QueryRequest) []Candidate {
+	ranker := s.rankers[req.Metric]
+	if ranker == nil {
+		return nil
+	}
+	cands := s.candidateFn(req.From)
+	if req.Requirements != nil {
+		cands = s.filterCapable(cands, req.Requirements)
+	}
+	topo := s.coll.Snapshot()
+	var ranked []Candidate
+	if sa, ok := ranker.(SizeAwareRanker); ok && req.DataBytes > 0 {
+		ranked = sa.RankSize(topo, req.From, cands, req.DataBytes)
+	} else {
+		ranked = ranker.Rank(topo, req.From, cands)
+	}
+	if !req.Sorted && req.Metric != MetricRandom {
+		// Option two from the paper: return estimates unsorted (by ID) so
+		// the device can run its own selection.
+		sortCandidates(ranked, func(a, b Candidate) bool { return a.Node < b.Node })
+	}
+	if req.Count > 0 && req.Count < len(ranked) {
+		ranked = ranked[:req.Count]
+	}
+	return ranked
+}
+
+func (s *Service) filterCapable(cands []netsim.NodeID, req *Requirements) []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, c := range cands {
+		if s.capabilities[c].Satisfies(req) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// responseSize estimates the wire size of a response carrying n candidates.
+func (s *Service) responseSize(n int) int {
+	size := s.cfg.QueryResponseSize
+	if extra := 24*n + 64 - size; extra > 0 {
+		size += extra
+	}
+	return size
+}
+
+// ComputeAwareRanker implements the paper's first future-work item: it
+// combines the network delay estimate with each server's reported compute
+// backlog, ranking by (network delay + pending execution time).
+type ComputeAwareRanker struct {
+	// Network is the underlying delay estimator.
+	Network *DelayRanker
+	// LoadFn returns the current backlog estimate for a server.
+	LoadFn func(server netsim.NodeID) time.Duration
+}
+
+// Metric implements Ranker.
+func (r *ComputeAwareRanker) Metric() Metric { return MetricComputeAware }
+
+// Rank implements Ranker.
+func (r *ComputeAwareRanker) Rank(topo *collector.Topology, from netsim.NodeID, candidates []netsim.NodeID) []Candidate {
+	net := r.Network
+	if net == nil {
+		net = &DelayRanker{}
+	}
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		cand, err := net.Estimate(topo, from, c)
+		if err != nil {
+			cand = Candidate{Node: c, Reachable: false}
+		} else if r.LoadFn != nil {
+			cand.Delay += r.LoadFn(c)
+		}
+		out = append(out, cand)
+	}
+	sortCandidates(out, func(a, b Candidate) bool { return a.Delay < b.Delay })
+	return out
+}
+
+// Client is the device-side query helper: it sends a QueryRequest to the
+// scheduler and invokes the callback when the response arrives. It owns the
+// host's control-message handler.
+type Client struct {
+	stack     *transport.Stack
+	scheduler netsim.NodeID
+	nextID    uint64
+	pending   map[uint64]func(*QueryResponse)
+	// QueryRequestSize is the wire size of a query packet.
+	QueryRequestSize int
+	// Demux receives control messages that are not query responses
+	// (e.g. task lifecycle messages handled by the edge package).
+	Demux func(from netsim.NodeID, payload any)
+}
+
+// NewClient installs a query client on the device's stack.
+func NewClient(stack *transport.Stack, scheduler netsim.NodeID) *Client {
+	c := &Client{
+		stack:            stack,
+		scheduler:        scheduler,
+		pending:          make(map[uint64]func(*QueryResponse)),
+		QueryRequestSize: 128,
+	}
+	c.Demux = stack.ControlHandler
+	stack.ControlHandler = c.handleControl
+	return c
+}
+
+// Scheduler returns the scheduler host this client queries.
+func (c *Client) Scheduler() netsim.NodeID { return c.scheduler }
+
+func (c *Client) handleControl(from netsim.NodeID, payload any) {
+	if resp, ok := payload.(*QueryResponse); ok {
+		if cb := c.pending[resp.QueryID]; cb != nil {
+			delete(c.pending, resp.QueryID)
+			cb(resp)
+			return
+		}
+	}
+	if c.Demux != nil {
+		c.Demux(from, payload)
+	}
+}
+
+// Query sends a ranking request and invokes cb with the response.
+func (c *Client) Query(metric Metric, count int, reqs *Requirements, cb func(*QueryResponse)) {
+	c.QuerySized(metric, count, 0, reqs, cb)
+}
+
+// QuerySized sends a ranking request carrying the task's data size so
+// size-aware rankers can estimate total transfer completion time.
+func (c *Client) QuerySized(metric Metric, count int, dataBytes int64, reqs *Requirements, cb func(*QueryResponse)) {
+	c.send(&QueryRequest{
+		Metric:       metric,
+		Count:        count,
+		Sorted:       true,
+		DataBytes:    dataBytes,
+		Requirements: reqs,
+	}, cb)
+}
+
+// QueryUnsorted requests the paper's second option: the full candidate
+// list with bandwidth/latency estimates in ID order, for devices that
+// implement their own selection policy.
+func (c *Client) QueryUnsorted(metric Metric, dataBytes int64, reqs *Requirements, cb func(*QueryResponse)) {
+	c.send(&QueryRequest{
+		Metric:       metric,
+		Sorted:       false,
+		DataBytes:    dataBytes,
+		Requirements: reqs,
+	}, cb)
+}
+
+// send assigns identity fields and transmits the request.
+func (c *Client) send(req *QueryRequest, cb func(*QueryResponse)) {
+	c.nextID++
+	req.From = c.stack.Host()
+	req.QueryID = c.nextID
+	c.pending[req.QueryID] = cb
+	c.stack.SendControl(c.scheduler, c.QueryRequestSize, req)
+}
+
+// ReportLoad sends a compute backlog report to the scheduler.
+func (c *Client) ReportLoad(backlog time.Duration) {
+	c.stack.SendControl(c.scheduler, 64, &LoadReport{Server: c.stack.Host(), Backlog: backlog})
+}
+
+// String renders a candidate for logs.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s(delay=%v bw=%.1fMbps hops=%d)", c.Node, c.Delay, c.BandwidthBps/1e6, c.Hops)
+}

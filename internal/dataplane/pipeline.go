@@ -1,0 +1,311 @@
+package dataplane
+
+import (
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/telemetry"
+)
+
+// Headers is the parsed representation of a packet, produced by a Program's
+// Parse stage and consumed by the control stages — the P4 "headers" struct.
+type Headers struct {
+	// Kind is the packet's demultiplexing tag.
+	Kind netsim.PacketKind
+	// Src and Dst are the endpoint host IDs.
+	Src, Dst netsim.NodeID
+	// IsProbe reports whether the Geneve-style probe marker was parsed.
+	IsProbe bool
+	// Probe is the INT payload for probe packets (nil otherwise).
+	Probe *telemetry.ProbePayload
+}
+
+// Program is a four-stage P4-style packet program. The Pipeline adaptor runs
+// Parse and Deparse around the control stages so a Program matches the
+// paper's Parser / Ingress Control Flow / Egress Control Flow / Deparser
+// structure.
+type Program interface {
+	// Parse extracts headers from the packet (the Parser block).
+	Parse(pkt *netsim.Packet) Headers
+	// IngressControl runs after the forwarding decision, before the packet
+	// is enqueued on the egress port.
+	IngressControl(ctx *netsim.ProcessorContext, hdrs *Headers, pkt *netsim.Packet)
+	// EgressControl runs when the packet reaches the head of the egress
+	// queue and begins transmission.
+	EgressControl(ctx *netsim.ProcessorContext, hdrs *Headers, pkt *netsim.Packet)
+	// Deparse reassembles the packet after processing (the Deparser block).
+	Deparse(hdrs *Headers, pkt *netsim.Packet)
+}
+
+// Pipeline adapts a Program to netsim.Processor, invoking the parser and
+// deparser around each control stage.
+type Pipeline struct {
+	program Program
+
+	// Stats
+	IngressPackets uint64
+	EgressPackets  uint64
+	ProbePackets   uint64
+}
+
+// NewPipeline wraps program for attachment to a switch.
+func NewPipeline(program Program) *Pipeline {
+	return &Pipeline{program: program}
+}
+
+// Program returns the wrapped program.
+func (p *Pipeline) Program() Program { return p.program }
+
+// Ingress implements netsim.Processor.
+func (p *Pipeline) Ingress(ctx *netsim.ProcessorContext, pkt *netsim.Packet) {
+	p.IngressPackets++
+	hdrs := p.program.Parse(pkt)
+	if hdrs.IsProbe {
+		p.ProbePackets++
+	}
+	p.program.IngressControl(ctx, &hdrs, pkt)
+	p.program.Deparse(&hdrs, pkt)
+}
+
+// Egress implements netsim.Processor.
+func (p *Pipeline) Egress(ctx *netsim.ProcessorContext, pkt *netsim.Packet) {
+	p.EgressPackets++
+	hdrs := p.program.Parse(pkt)
+	p.program.EgressControl(ctx, &hdrs, pkt)
+	p.program.Deparse(&hdrs, pkt)
+}
+
+// INTConfig tunes the INT telemetry program.
+type INTConfig struct {
+	// ClockSkew is added to every timestamp this device writes, modeling
+	// imperfect NTP sync between devices. Zero means a perfect clock.
+	ClockSkew time.Duration
+	// CountProbesInQueueStats includes probe packets themselves in the
+	// max-queue register updates. Default false: only production traffic
+	// drives congestion registers, matching the paper's iperf-driven
+	// measurements.
+	CountProbesInQueueStats bool
+	// PerPacket switches to classic per-packet INT embedding — the
+	// approach the paper argues against: every switch appends a telemetry
+	// record to every DATA packet (growing it by PerHopBytes on the
+	// wire), and the destination host extracts the stack. Register
+	// staging still runs for probes, but in this mode visibility comes
+	// from production traffic itself: only paths that carry traffic are
+	// observed, and every packet pays the telemetry tax.
+	PerPacket bool
+	// PerHopBytes is the on-wire growth per traversed switch in
+	// per-packet mode (default DefaultPerHopBytes).
+	PerHopBytes int
+}
+
+// DefaultPerHopBytes approximates a classic INT per-hop report: switch ID,
+// ports, and queue depth (the paper's example uses two 4-byte fields plus
+// the shim).
+const DefaultPerHopBytes = 16
+
+// INTProgram is the paper's telemetry program for one switch:
+//
+//   - On every packet's ingress (after forwarding, before enqueue) it
+//     updates the per-egress-port max-queue register with the observed
+//     queue occupancy and bumps the per-port packet counter.
+//   - On a probe's ingress it extracts the previous device's egress
+//     timestamp (before the probe is enqueued, so the measurement excludes
+//     local queueing) and computes the arrival link's latency.
+//   - On a probe's egress it flushes all port registers into an INT record
+//     appended to the probe, resets them, and writes its own egress
+//     timestamp for the next hop.
+//
+// Production packets are never modified, so INT adds zero bytes to regular
+// traffic — the register-staging scheme that is the paper's key collection
+// idea.
+type INTProgram struct {
+	deviceID string
+	cfg      INTConfig
+
+	regs     *RegisterFile
+	maxQueue *RegisterArray // per egress port: max occupancy since flush
+	pktCount *RegisterArray // per egress port: packets since flush
+
+	// pendingLink holds, per in-flight probe packet ID, the link latency
+	// and ingress port measured at ingress, consumed at egress.
+	pendingLink map[uint64]pendingProbe
+
+	// Stats
+	RecordsEmitted uint64
+	Flushes        uint64
+	// OverheadBytes counts wire bytes added to production packets in
+	// per-packet mode (always zero with register staging — the paper's
+	// headline collection property).
+	OverheadBytes uint64
+}
+
+type pendingProbe struct {
+	linkLatency time.Duration
+	hasLatency  bool
+	inPort      int
+}
+
+// NewINTProgram creates the telemetry program for a switch with numPorts
+// ports.
+func NewINTProgram(deviceID string, numPorts int, cfg INTConfig) *INTProgram {
+	regs := NewRegisterFile()
+	return &INTProgram{
+		deviceID:    deviceID,
+		cfg:         cfg,
+		regs:        regs,
+		maxQueue:    regs.Declare("max_queue", numPorts),
+		pktCount:    regs.Declare("pkt_count", numPorts),
+		pendingLink: make(map[uint64]pendingProbe),
+	}
+}
+
+// Registers exposes the device's register file (for tests and the control
+// plane).
+func (p *INTProgram) Registers() *RegisterFile { return p.regs }
+
+// localClock returns the device's possibly-skewed clock reading.
+func (p *INTProgram) localClock(now time.Duration) time.Duration {
+	return now + p.cfg.ClockSkew
+}
+
+// Parse implements Program.
+func (p *INTProgram) Parse(pkt *netsim.Packet) Headers {
+	return Headers{
+		Kind:    pkt.Kind,
+		Src:     pkt.Src,
+		Dst:     pkt.Dst,
+		IsProbe: pkt.Kind == netsim.KindProbe && pkt.Probe != nil,
+		Probe:   pkt.Probe,
+	}
+}
+
+// IngressControl implements Program.
+func (p *INTProgram) IngressControl(ctx *netsim.ProcessorContext, hdrs *Headers, pkt *netsim.Packet) {
+	if !hdrs.IsProbe || p.cfg.CountProbesInQueueStats {
+		// Production packet (or probe, if configured to count): update the
+		// congestion registers for the chosen egress port.
+		p.maxQueue.Max(ctx.OutPort, int64(ctx.QueueLen))
+		p.pktCount.Add(ctx.OutPort, 1)
+	}
+	if p.cfg.PerPacket && (hdrs.Kind == netsim.KindData || hdrs.Kind == netsim.KindDatagram) {
+		p.embedPerPacket(ctx, pkt)
+	}
+	if hdrs.IsProbe {
+		// Extract the previous hop's egress timestamp *before* the probe
+		// is enqueued so the link-latency measurement excludes our own
+		// queueing delay.
+		pend := pendingProbe{inPort: ctx.InPort}
+		if stamp, ok := pkt.TakeEgressStamp(); ok {
+			pend.linkLatency = p.localClock(ctx.Now) - stamp
+			if pend.linkLatency < 0 {
+				// Clock skew can drive the measurement negative; clamp,
+				// as a real implementation must.
+				pend.linkLatency = 0
+			}
+			pend.hasLatency = true
+		}
+		p.pendingLink[pkt.ID] = pend
+	}
+}
+
+// EgressControl implements Program.
+func (p *INTProgram) EgressControl(ctx *netsim.ProcessorContext, hdrs *Headers, pkt *netsim.Packet) {
+	if !hdrs.IsProbe {
+		return
+	}
+	pend := p.pendingLink[pkt.ID]
+	delete(p.pendingLink, pkt.ID)
+
+	now := p.localClock(ctx.Now)
+	rec := telemetry.Record{
+		Device:      p.deviceID,
+		IngressPort: pend.inPort,
+		EgressPort:  ctx.OutPort,
+		HopLatency:  ctx.Now - pkt.IngressAt(),
+		EgressTS:    now,
+	}
+	if pend.hasLatency {
+		rec.LinkLatency = pend.linkLatency
+	}
+	// Flush-and-reset every port register into the record.
+	nports := p.maxQueue.Size()
+	rec.Queues = make([]telemetry.PortQueue, 0, nports)
+	for port := 0; port < nports; port++ {
+		mq := p.maxQueue.Swap(port, 0)
+		cnt := p.pktCount.Swap(port, 0)
+		rec.Queues = append(rec.Queues, telemetry.PortQueue{
+			Port:     port,
+			MaxQueue: int(mq),
+			Packets:  uint32(cnt),
+		})
+	}
+	p.Flushes++
+	hdrs.Probe.Stack.Append(rec)
+	p.RecordsEmitted++
+
+	// Stamp our egress time for the next hop's link-latency measurement.
+	pkt.StampEgress(now)
+}
+
+// embedPerPacket appends a classic INT record to a production packet,
+// growing its wire size — the per-packet overhead the paper's register
+// staging avoids.
+func (p *INTProgram) embedPerPacket(ctx *netsim.ProcessorContext, pkt *netsim.Packet) {
+	if pkt.Probe == nil {
+		pkt.Probe = &telemetry.ProbePayload{
+			Origin: string(pkt.Src),
+			Target: string(pkt.Dst),
+			Seq:    pkt.ID,
+			SentAt: pkt.SentAt,
+		}
+	}
+	pkt.Probe.Stack.Append(telemetry.Record{
+		Device:      p.deviceID,
+		IngressPort: ctx.InPort,
+		EgressPort:  ctx.OutPort,
+		Queues: []telemetry.PortQueue{
+			{Port: ctx.OutPort, MaxQueue: ctx.QueueLen, Packets: 1},
+		},
+	})
+	perHop := p.cfg.PerHopBytes
+	if perHop <= 0 {
+		perHop = DefaultPerHopBytes
+	}
+	pkt.Size += perHop
+	p.OverheadBytes += uint64(perHop)
+	p.RecordsEmitted++
+}
+
+// Deparse implements Program. Probe packets are padded to a fixed MTU-sized
+// frame at the origin, so appending records never changes the wire size;
+// nothing to reassemble here.
+func (p *INTProgram) Deparse(hdrs *Headers, pkt *netsim.Packet) {}
+
+// AttachINT installs an INT pipeline on every switch in the network and
+// returns the per-switch programs keyed by node ID.
+func AttachINT(net *netsim.Network, cfg INTConfig) map[netsim.NodeID]*INTProgram {
+	programs := make(map[netsim.NodeID]*INTProgram)
+	for _, id := range net.Switches() {
+		sw := net.Node(id)
+		prog := NewINTProgram(string(id), len(sw.Ports), cfg)
+		sw.Processor = NewPipeline(prog)
+		programs[id] = prog
+	}
+	return programs
+}
+
+// PerPacketINTOverhead computes, for the classic per-packet INT embedding
+// the paper argues against, the fraction of payload consumed by telemetry
+// when each of hops devices appends fields of fieldBytes each to a packet
+// of packetBytes. With 2 fields × 4 bytes over 5 switches on a 1000-byte
+// packet this reproduces the paper's 4.2% figure (40/960 ≈ 4.2%).
+func PerPacketINTOverhead(hops, fields, fieldBytes, packetBytes int) float64 {
+	if packetBytes <= 0 {
+		return 0
+	}
+	telemetryBytes := hops * fields * fieldBytes
+	if telemetryBytes >= packetBytes {
+		return 1
+	}
+	return float64(telemetryBytes) / float64(packetBytes-telemetryBytes)
+}

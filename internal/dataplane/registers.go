@@ -1,0 +1,146 @@
+// Package dataplane implements a P4-style programmable packet-processing
+// pipeline for simulated switches: named register arrays, match-action
+// tables, and the four-stage (parser / ingress / egress / deparser)
+// program structure described by the paper.
+//
+// The package's centerpiece is INTProgram, the paper's telemetry program:
+// regular packets update per-port registers (max egress-queue occupancy);
+// probe packets get the registers flushed into their INT stack at egress
+// and reset, so production traffic never carries telemetry bytes.
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegisterArray is a named array of int64 cells, the P4 register
+// abstraction. It is safe for concurrent use so the same implementation can
+// back the live (real-socket) soft switch.
+type RegisterArray struct {
+	name  string
+	mu    sync.Mutex
+	cells []int64
+}
+
+// NewRegisterArray creates an array of size cells initialized to zero.
+func NewRegisterArray(name string, size int) *RegisterArray {
+	if size <= 0 {
+		panic(fmt.Sprintf("dataplane: register array %q size must be positive", name))
+	}
+	return &RegisterArray{name: name, cells: make([]int64, size)}
+}
+
+// Name returns the array's name.
+func (r *RegisterArray) Name() string { return r.name }
+
+// Size returns the number of cells.
+func (r *RegisterArray) Size() int { return len(r.cells) }
+
+// Read returns the value at index i.
+func (r *RegisterArray) Read(i int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cells[i]
+}
+
+// Write stores v at index i.
+func (r *RegisterArray) Write(i int, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells[i] = v
+}
+
+// Max stores v at index i if v is greater than the current value, returning
+// the resulting value. This is the paper's "save it to the register if the
+// value is larger than all queue length values observed within a probing
+// interval" update, done in one step.
+func (r *RegisterArray) Max(i int, v int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v > r.cells[i] {
+		r.cells[i] = v
+	}
+	return r.cells[i]
+}
+
+// Add increments index i by delta and returns the new value.
+func (r *RegisterArray) Add(i int, delta int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells[i] += delta
+	return r.cells[i]
+}
+
+// Swap stores v at index i and returns the previous value atomically,
+// which implements the paper's flush-and-reset in a single operation.
+func (r *RegisterArray) Swap(i int, v int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.cells[i]
+	r.cells[i] = v
+	return old
+}
+
+// Reset zeroes every cell.
+func (r *RegisterArray) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.cells {
+		r.cells[i] = 0
+	}
+}
+
+// Snapshot returns a copy of all cells.
+func (r *RegisterArray) Snapshot() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int64, len(r.cells))
+	copy(out, r.cells)
+	return out
+}
+
+// RegisterFile groups a device's register arrays by name.
+type RegisterFile struct {
+	mu     sync.Mutex
+	arrays map[string]*RegisterArray
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{arrays: make(map[string]*RegisterArray)}
+}
+
+// Declare creates (or returns the existing) array with the given name and
+// size. Redeclaring with a different size panics: it is a program bug.
+func (f *RegisterFile) Declare(name string, size int) *RegisterArray {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if a, ok := f.arrays[name]; ok {
+		if a.Size() != size {
+			panic(fmt.Sprintf("dataplane: register %q redeclared with size %d (was %d)", name, size, a.Size()))
+		}
+		return a
+	}
+	a := NewRegisterArray(name, size)
+	f.arrays[name] = a
+	return a
+}
+
+// Get returns the named array, or nil.
+func (f *RegisterFile) Get(name string) *RegisterArray {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.arrays[name]
+}
+
+// Names returns the declared array names (unordered).
+func (f *RegisterFile) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.arrays))
+	for k := range f.arrays {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterArrayBasics(t *testing.T) {
+	r := NewRegisterArray("q", 4)
+	if r.Name() != "q" || r.Size() != 4 {
+		t.Fatalf("name=%q size=%d", r.Name(), r.Size())
+	}
+	r.Write(1, 7)
+	if r.Read(1) != 7 {
+		t.Fatal("write/read failed")
+	}
+	if r.Read(0) != 0 {
+		t.Fatal("fresh cell not zero")
+	}
+}
+
+func TestRegisterMaxSemantics(t *testing.T) {
+	r := NewRegisterArray("q", 1)
+	if got := r.Max(0, 5); got != 5 {
+		t.Fatalf("max=%d", got)
+	}
+	if got := r.Max(0, 3); got != 5 {
+		t.Fatalf("smaller value overwrote: %d", got)
+	}
+	if got := r.Max(0, 9); got != 9 {
+		t.Fatalf("larger value ignored: %d", got)
+	}
+}
+
+func TestRegisterSwapFlushes(t *testing.T) {
+	r := NewRegisterArray("q", 1)
+	r.Write(0, 42)
+	if old := r.Swap(0, 0); old != 42 {
+		t.Fatalf("swap returned %d", old)
+	}
+	if r.Read(0) != 0 {
+		t.Fatal("swap did not reset")
+	}
+}
+
+func TestRegisterAddAndReset(t *testing.T) {
+	r := NewRegisterArray("c", 2)
+	r.Add(0, 3)
+	r.Add(0, 4)
+	r.Add(1, -2)
+	if r.Read(0) != 7 || r.Read(1) != -2 {
+		t.Fatalf("adds wrong: %v", r.Snapshot())
+	}
+	r.Reset()
+	for i, v := range r.Snapshot() {
+		if v != 0 {
+			t.Fatalf("cell %d not reset: %d", i, v)
+		}
+	}
+}
+
+func TestRegisterConcurrentMax(t *testing.T) {
+	// The register file backs the live soft switch too, so it must be
+	// race-safe; the final value must be the true maximum.
+	r := NewRegisterArray("q", 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Max(0, int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Read(0) != 7999 {
+		t.Fatalf("concurrent max = %d, want 7999", r.Read(0))
+	}
+}
+
+func TestRegisterInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero size did not panic")
+		}
+	}()
+	NewRegisterArray("bad", 0)
+}
+
+func TestRegisterFileDeclareIdempotent(t *testing.T) {
+	f := NewRegisterFile()
+	a := f.Declare("x", 3)
+	b := f.Declare("x", 3)
+	if a != b {
+		t.Fatal("redeclare returned a different array")
+	}
+	if f.Get("x") != a {
+		t.Fatal("Get returned wrong array")
+	}
+	if f.Get("missing") != nil {
+		t.Fatal("Get invented an array")
+	}
+	if len(f.Names()) != 1 {
+		t.Fatalf("names %v", f.Names())
+	}
+}
+
+func TestRegisterFileRedeclareSizeMismatchPanics(t *testing.T) {
+	f := NewRegisterFile()
+	f.Declare("x", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	f.Declare("x", 4)
+}
+
+func TestRegisterMaxIsIdempotentProperty(t *testing.T) {
+	// Property: after any sequence of Max ops the cell equals the max of
+	// all submitted values (and zero's initial value).
+	f := func(vals []int64) bool {
+		r := NewRegisterArray("q", 1)
+		want := int64(0)
+		for _, v := range vals {
+			r.Max(0, v)
+			if v > want {
+				want = v
+			}
+		}
+		return r.Read(0) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

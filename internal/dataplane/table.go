@@ -1,0 +1,175 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MatchKind selects how a table key is matched, mirroring P4 match kinds.
+type MatchKind uint8
+
+const (
+	// MatchExact requires key equality.
+	MatchExact MatchKind = iota
+	// MatchLPM performs longest-prefix matching on '/'-separated keys
+	// (a stand-in for IP LPM that works on the simulator's string IDs,
+	// e.g. "rack1/h3" matches entry "rack1").
+	MatchLPM
+)
+
+// Action is the code executed on a table hit. It receives the action
+// parameters installed with the entry.
+type Action func(params []int64)
+
+// entry is one installed table row.
+type entry struct {
+	key    string
+	action string
+	params []int64
+}
+
+// Table is a match-action table: the control plane installs entries mapping
+// keys to named actions; the dataplane applies the table to a key and
+// executes the bound action.
+type Table struct {
+	name  string
+	match MatchKind
+
+	mu      sync.Mutex
+	actions map[string]Action
+	entries map[string]entry
+	// defaultAction runs on a miss when set.
+	defaultAction string
+	defaultParams []int64
+	hits, misses  uint64
+}
+
+// NewTable creates a table with the given match kind.
+func NewTable(name string, match MatchKind) *Table {
+	return &Table{
+		name:    name,
+		match:   match,
+		actions: make(map[string]Action),
+		entries: make(map[string]entry),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// RegisterAction makes an action available for entries to bind.
+func (t *Table) RegisterAction(name string, fn Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.actions[name] = fn
+}
+
+// Insert installs an entry. The action must have been registered.
+func (t *Table) Insert(key, action string, params ...int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.actions[action]; !ok {
+		return fmt.Errorf("dataplane: table %s: unknown action %q", t.name, action)
+	}
+	t.entries[key] = entry{key: key, action: action, params: params}
+	return nil
+}
+
+// Delete removes an entry; deleting a missing key is a no-op.
+func (t *Table) Delete(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, key)
+}
+
+// SetDefault sets the action executed on a miss.
+func (t *Table) SetDefault(action string, params ...int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.actions[action]; !ok {
+		return fmt.Errorf("dataplane: table %s: unknown action %q", t.name, action)
+	}
+	t.defaultAction = action
+	t.defaultParams = params
+	return nil
+}
+
+// Apply looks up key and executes the matched (or default) action. It
+// reports whether any action ran.
+func (t *Table) Apply(key string) bool {
+	t.mu.Lock()
+	e, ok := t.lookupLocked(key)
+	var fn Action
+	var params []int64
+	if ok {
+		t.hits++
+		fn = t.actions[e.action]
+		params = e.params
+	} else if t.defaultAction != "" {
+		t.misses++
+		fn = t.actions[t.defaultAction]
+		params = t.defaultParams
+		ok = true
+	} else {
+		t.misses++
+	}
+	t.mu.Unlock()
+	if fn != nil {
+		fn(params)
+	}
+	return ok
+}
+
+// Lookup returns the action name and params matched for key.
+func (t *Table) Lookup(key string) (action string, params []int64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.lookupLocked(key)
+	if !ok {
+		if t.defaultAction == "" {
+			return "", nil, false
+		}
+		return t.defaultAction, t.defaultParams, true
+	}
+	return e.action, e.params, true
+}
+
+func (t *Table) lookupLocked(key string) (entry, bool) {
+	switch t.match {
+	case MatchExact:
+		e, ok := t.entries[key]
+		return e, ok
+	case MatchLPM:
+		// Longest matching '/'-prefix wins; full key counts as a prefix.
+		best, found := entry{}, false
+		for k, e := range t.entries {
+			if k == key || (len(key) > len(k) && key[:len(k)] == k && key[len(k)] == '/') {
+				if !found || len(k) > len(best.key) {
+					best, found = e, true
+				}
+			}
+		}
+		return best, found
+	}
+	return entry{}, false
+}
+
+// Stats returns hit and miss counters.
+func (t *Table) Stats() (hits, misses uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// Keys returns installed keys in sorted order (for tests and dumps).
+func (t *Table) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package dataplane
+
+import "testing"
+
+func TestTableExactMatch(t *testing.T) {
+	tb := NewTable("fwd", MatchExact)
+	var gotPort int64 = -1
+	tb.RegisterAction("forward", func(params []int64) { gotPort = params[0] })
+	if err := tb.Insert("h2", "forward", 3); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Apply("h2") {
+		t.Fatal("miss on installed key")
+	}
+	if gotPort != 3 {
+		t.Fatalf("action param %d", gotPort)
+	}
+	if tb.Apply("h9") {
+		t.Fatal("hit on missing key with no default")
+	}
+	hits, misses := tb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestTableDefaultAction(t *testing.T) {
+	tb := NewTable("fwd", MatchExact)
+	dropped := false
+	tb.RegisterAction("drop", func([]int64) { dropped = true })
+	if err := tb.SetDefault("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Apply("anything") {
+		t.Fatal("default action did not run")
+	}
+	if !dropped {
+		t.Fatal("default action body not executed")
+	}
+}
+
+func TestTableUnknownActionRejected(t *testing.T) {
+	tb := NewTable("fwd", MatchExact)
+	if err := tb.Insert("k", "nope"); err == nil {
+		t.Error("insert with unknown action accepted")
+	}
+	if err := tb.SetDefault("nope"); err == nil {
+		t.Error("default with unknown action accepted")
+	}
+}
+
+func TestTableDeleteAndKeys(t *testing.T) {
+	tb := NewTable("fwd", MatchExact)
+	tb.RegisterAction("a", func([]int64) {})
+	_ = tb.Insert("k2", "a")
+	_ = tb.Insert("k1", "a")
+	keys := tb.Keys()
+	if len(keys) != 2 || keys[0] != "k1" || keys[1] != "k2" {
+		t.Fatalf("keys %v", keys)
+	}
+	tb.Delete("k1")
+	tb.Delete("k1") // idempotent
+	if len(tb.Keys()) != 1 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestTableLPM(t *testing.T) {
+	tb := NewTable("routes", MatchLPM)
+	tb.RegisterAction("via", func([]int64) {})
+	_ = tb.Insert("rack1", "via", 1)
+	_ = tb.Insert("rack1/row2", "via", 2)
+	action, params, ok := tb.Lookup("rack1/row2/h3")
+	if !ok || action != "via" || params[0] != 2 {
+		t.Fatalf("LPM picked %s %v %v, want longest prefix", action, params, ok)
+	}
+	_, params, ok = tb.Lookup("rack1/row9")
+	if !ok || params[0] != 1 {
+		t.Fatalf("LPM fallback wrong: %v %v", params, ok)
+	}
+	if _, _, ok := tb.Lookup("rack9"); ok {
+		t.Fatal("LPM matched unrelated key")
+	}
+	// Exact key also matches.
+	if _, params, ok := tb.Lookup("rack1"); !ok || params[0] != 1 {
+		t.Fatal("LPM exact-equal failed")
+	}
+	// Prefix must end on a '/' boundary.
+	if _, _, ok := tb.Lookup("rack12"); ok {
+		t.Fatal("LPM matched mid-segment prefix")
+	}
+}
+
+func TestTableLookupDefault(t *testing.T) {
+	tb := NewTable("t", MatchExact)
+	tb.RegisterAction("d", func([]int64) {})
+	if _, _, ok := tb.Lookup("x"); ok {
+		t.Fatal("lookup hit with no entries and no default")
+	}
+	_ = tb.SetDefault("d", 7)
+	action, params, ok := tb.Lookup("x")
+	if !ok || action != "d" || params[0] != 7 {
+		t.Fatalf("default lookup %s %v %v", action, params, ok)
+	}
+}

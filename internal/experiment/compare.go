@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/core"
+	"intsched/internal/edge"
+	"intsched/internal/stats"
+	"intsched/internal/workload"
+)
+
+// ClassStats summarizes the tasks of one size class within a run.
+type ClassStats struct {
+	Count          int
+	MeanCompletion time.Duration
+	MeanTransfer   time.Duration
+}
+
+// SummarizeByClass groups a run's tasks by Table I class.
+func SummarizeByClass(r *RunResult) map[workload.Class]ClassStats {
+	comp := make(map[workload.Class][]time.Duration)
+	xfer := make(map[workload.Class][]time.Duration)
+	for _, res := range r.Results {
+		comp[res.Class] = append(comp[res.Class], res.CompletionTime())
+		xfer[res.Class] = append(xfer[res.Class], res.TransferTime())
+	}
+	out := make(map[workload.Class]ClassStats)
+	for _, c := range workload.Classes() {
+		out[c] = ClassStats{
+			Count:          len(comp[c]),
+			MeanCompletion: stats.MeanDuration(comp[c]),
+			MeanTransfer:   stats.MeanDuration(xfer[c]),
+		}
+	}
+	return out
+}
+
+// Comparison holds the same scenario run under several scheduling metrics
+// with identical workload and background traffic (same seed).
+type Comparison struct {
+	Scenario Scenario
+	Runs     map[core.Metric]*RunResult
+}
+
+// Compare runs the scenario once per metric, replaying the same inputs.
+func Compare(sc Scenario, metrics []core.Metric) (*Comparison, error) {
+	c := &Comparison{Scenario: sc, Runs: make(map[core.Metric]*RunResult, len(metrics))}
+	for _, m := range metrics {
+		run := sc
+		run.Metric = m
+		if err := run.Validate(); err != nil {
+			return nil, err
+		}
+		res, err := Run(run)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: metric %s: %w", m, err)
+		}
+		c.Runs[m] = res
+	}
+	return c, nil
+}
+
+// GainByClass computes, per class, the relative improvement of metric over
+// baseline on class-mean completion time (or transfer time when transfer is
+// true) — the paper's per-class "performance gain" bars.
+func (c *Comparison) GainByClass(metric, baseline core.Metric, transfer bool) map[workload.Class]float64 {
+	m := SummarizeByClass(c.Runs[metric])
+	b := SummarizeByClass(c.Runs[baseline])
+	out := make(map[workload.Class]float64)
+	for _, cls := range workload.Classes() {
+		var mv, bv time.Duration
+		if transfer {
+			mv, bv = m[cls].MeanTransfer, b[cls].MeanTransfer
+		} else {
+			mv, bv = m[cls].MeanCompletion, b[cls].MeanCompletion
+		}
+		out[cls] = stats.GainDuration(bv, mv)
+	}
+	return out
+}
+
+// OverallGain computes the mean-over-all-tasks improvement of metric over
+// baseline.
+func (c *Comparison) OverallGain(metric, baseline core.Metric, transfer bool) float64 {
+	mr, br := c.Runs[metric], c.Runs[baseline]
+	if transfer {
+		return stats.GainDuration(br.MeanTransfer(), mr.MeanTransfer())
+	}
+	return stats.GainDuration(br.MeanCompletion(), mr.MeanCompletion())
+}
+
+// PerTaskGains matches tasks by TaskID across two runs (the workload replay
+// guarantees identical task sets) and returns each task's completion-time
+// (or transfer-time) gain of metric over baseline — the samples behind the
+// paper's Fig 8 ECDF.
+func (c *Comparison) PerTaskGains(metric, baseline core.Metric, transfer bool) []float64 {
+	mr, br := c.Runs[metric], c.Runs[baseline]
+	base := make(map[uint64]edge.TaskResult, len(br.Results))
+	for _, r := range br.Results {
+		base[r.TaskID] = r
+	}
+	var out []float64
+	for _, r := range mr.Results {
+		b, ok := base[r.TaskID]
+		if !ok {
+			continue
+		}
+		if transfer {
+			out = append(out, stats.GainDuration(b.TransferTime(), r.TransferTime()))
+		} else {
+			out = append(out, stats.GainDuration(b.CompletionTime(), r.CompletionTime()))
+		}
+	}
+	return out
+}
+
+// ClassTable renders the per-class comparison across metrics as a text
+// table (one row per class, one column pair per metric).
+func (c *Comparison) ClassTable(metrics []core.Metric, transfer bool) string {
+	header := []string{"class"}
+	for _, m := range metrics {
+		header = append(header, m.String())
+	}
+	for _, m := range metrics[1:] {
+		header = append(header, fmt.Sprintf("gain(%s)", m))
+	}
+	// metrics[0] is the network-aware strategy; the remaining metrics are
+	// baselines gains are computed against.
+	t := stats.NewTable(header...)
+	sums := make(map[core.Metric]map[workload.Class]ClassStats)
+	for _, m := range metrics {
+		sums[m] = SummarizeByClass(c.Runs[m])
+	}
+	for _, cls := range workload.Classes() {
+		row := []any{cls.String()}
+		for _, m := range metrics {
+			if transfer {
+				row = append(row, sums[m][cls].MeanTransfer)
+			} else {
+				row = append(row, sums[m][cls].MeanCompletion)
+			}
+		}
+		for _, m := range metrics[1:] {
+			g := c.GainByClass(metrics[0], m, transfer)[cls]
+			row = append(row, fmt.Sprintf("%.1f%%", g*100))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/core"
+)
+
+func TestFig3ConfigDefaults(t *testing.T) {
+	cfg := Fig3Config{}.withDefaults()
+	if len(cfg.Utilizations) != 11 {
+		t.Fatalf("default sweep %v", cfg.Utilizations)
+	}
+	if cfg.Utilizations[0] != 0 || cfg.Utilizations[10] != 1.0 {
+		t.Fatalf("sweep endpoints %v", cfg.Utilizations)
+	}
+	if cfg.Duration <= 0 || cfg.ProbeInterval <= 0 {
+		t.Fatal("defaults missing")
+	}
+}
+
+func TestCalibrationFromFig3(t *testing.T) {
+	pts := []Fig3Point{
+		{Utilization: 0, MeanMaxQueue: 0},
+		{Utilization: 0.5, MeanMaxQueue: 3.4},
+		{Utilization: 1.0, MeanMaxQueue: 41},
+	}
+	cal, err := CalibrationFromFig3(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Utilization(0) != 0 {
+		t.Fatal("zero queue should map to zero utilization")
+	}
+	if got := cal.Utilization(41); got != 1.0 {
+		t.Fatalf("saturated queue maps to %v", got)
+	}
+	if u3, u20 := cal.Utilization(3), cal.Utilization(20); u3 >= u20 {
+		t.Fatalf("non-monotone: %v %v", u3, u20)
+	}
+}
+
+func TestKFromFig3(t *testing.T) {
+	pts := []Fig3Point{
+		{Utilization: 0, MeanMaxQueue: 0, MeanRTT: 40 * time.Millisecond},
+		{Utilization: 0.8, MeanMaxQueue: 10, MeanRTT: 60 * time.Millisecond},
+		{Utilization: 1.0, MeanMaxQueue: 40, MeanRTT: 120 * time.Millisecond},
+	}
+	k, err := KFromFig3(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extra one-way delay: 10ms over 10 pkts and 40ms over 40 pkts, i.e.
+	// exactly 1 ms per queued packet.
+	if k < 900*time.Microsecond || k > 1100*time.Microsecond {
+		t.Fatalf("k=%v, want ≈1ms", k)
+	}
+	if k2, err := KFromFig3(nil); err != nil || k2 != 0 {
+		t.Fatalf("empty fit: %v %v", k2, err)
+	}
+}
+
+func TestFig9SweepSmall(t *testing.T) {
+	pts, err := Fig9(Fig9Config{
+		Seed:      2,
+		TaskCount: 4,
+		Intervals: []time.Duration{100 * time.Millisecond, 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Traffic1MeanTransfer <= 0 || p.Traffic2MeanTransfer <= 0 {
+			t.Fatalf("empty transfer times %+v", p)
+		}
+	}
+}
+
+func TestFig9ConfigDefaults(t *testing.T) {
+	cfg := Fig9Config{}.withDefaults()
+	if len(cfg.Intervals) != 5 {
+		t.Fatalf("default intervals %v", cfg.Intervals)
+	}
+	if cfg.Intervals[0] != 100*time.Millisecond || cfg.Intervals[4] != 30*time.Second {
+		t.Fatalf("interval endpoints %v", cfg.Intervals)
+	}
+	if cfg.TaskCount != 200 {
+		t.Fatalf("default task count %d", cfg.TaskCount)
+	}
+}
+
+func TestOverheadTelemetryBytesGrowsLinearly(t *testing.T) {
+	b1, err := OverheadTelemetryBytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b5, err := OverheadTelemetryBytes(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b5 <= b1 {
+		t.Fatalf("bytes %d vs %d", b1, b5)
+	}
+	perHop := (b5 - b1) / 4
+	if perHop < 20 || perHop > 80 {
+		t.Fatalf("per-hop bytes %d implausible", perHop)
+	}
+}
+
+func TestFig8CurveFromScenario(t *testing.T) {
+	cmp := smallComparison(t)
+	curve := BuildFig8Curve("x", cmp, core.MetricDelay)
+	// ECDF fractions reach exactly 1.
+	last := curve.ECDF[len(curve.ECDF)-1]
+	if last.Fraction != 1 {
+		t.Fatalf("ECDF tail %v", last)
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+
+	"intsched/internal/core"
+	"intsched/internal/workload"
+)
+
+func TestPerPacketINTModeCompletes(t *testing.T) {
+	res, err := Run(Scenario{
+		Seed:         4,
+		Workload:     workload.Serverless,
+		Metric:       core.MetricDelay,
+		TaskCount:    8,
+		Background:   BackgroundRandom,
+		PerPacketINT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("%d incomplete tasks", res.Incomplete)
+	}
+	if res.INTOverheadBytes == 0 {
+		t.Fatal("per-packet mode accounted no telemetry overhead")
+	}
+	if res.ProbesSent != 0 {
+		t.Fatal("probes ran in per-packet mode")
+	}
+	// Telemetry still reached the collector (as relayed/extracted stacks).
+	if res.ProbesReceived == 0 {
+		t.Fatal("collector ingested no embedded telemetry")
+	}
+}
+
+func TestStagedModeHasZeroPacketOverhead(t *testing.T) {
+	res, err := Run(Scenario{
+		Seed:      4,
+		Workload:  workload.Serverless,
+		Metric:    core.MetricDelay,
+		TaskCount: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.INTOverheadBytes != 0 {
+		t.Fatalf("register staging added %d bytes to production packets", res.INTOverheadBytes)
+	}
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"intsched/internal/core"
+	"intsched/internal/stats"
+)
+
+func TestWriteResultsCSV(t *testing.T) {
+	cmp := smallComparison(t)
+	run := cmp.Runs[core.MetricDelay]
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(run.Results)+1 {
+		t.Fatalf("rows %d, want %d", len(records), len(run.Results)+1)
+	}
+	if records[0][0] != "task_id" {
+		t.Fatalf("header %v", records[0])
+	}
+	for _, row := range records[1:] {
+		if len(row) != len(records[0]) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}
+
+func TestWriteSummaryJSON(t *testing.T) {
+	cmp := smallComparison(t)
+	var buf bytes.Buffer
+	if err := WriteSummaryJSON(&buf, cmp.Runs[core.MetricDelay]); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metric != "delay" || s.Workload != "serverless" {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MeanCompletion <= 0 {
+		t.Fatal("mean completion not positive")
+	}
+	total := 0
+	for _, c := range s.Classes {
+		total += c.Count
+	}
+	if total != len(cmp.Runs[core.MetricDelay].Results) {
+		t.Fatalf("class counts %d", total)
+	}
+}
+
+func TestWriteComparisonJSON(t *testing.T) {
+	cmp := smallComparison(t)
+	var buf bytes.Buffer
+	if err := WriteComparisonJSON(&buf, cmp, core.MetricNearest); err != nil {
+		t.Fatal(err)
+	}
+	var out ComparisonSummary
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 2 {
+		t.Fatalf("runs %v", out.Runs)
+	}
+	g, ok := out.Gains["delay"]
+	if !ok {
+		t.Fatalf("gains %v", out.Gains)
+	}
+	if _, ok := g["overall_completion"]; !ok {
+		t.Fatal("missing overall gain")
+	}
+	if _, ok := out.Gains["nearest"]; ok {
+		t.Fatal("baseline has gains vs itself")
+	}
+}
+
+func TestWriteECDFCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := stats.ECDF([]float64{0.1, 0.2, 0.2, 0.5})
+	if err := WriteECDFCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(pts)+1 {
+		t.Fatalf("lines %d", len(lines))
+	}
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []Fig3Point{{Utilization: 0.5, MeanMaxQueue: 3.2, PeakQueue: 9, MeanRTT: 41e6, Drops: 2}}
+	if err := WriteFig3CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.50") || !strings.Contains(out, "3.200") {
+		t.Fatalf("csv %q", out)
+	}
+}

@@ -1,0 +1,425 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/dataplane"
+	"intsched/internal/edge"
+	"intsched/internal/netsim"
+	"intsched/internal/probe"
+	"intsched/internal/simtime"
+	"intsched/internal/traffic"
+	"intsched/internal/transport"
+	"intsched/internal/workload"
+)
+
+// BackgroundKind selects the congestion pattern injected during a scenario.
+type BackgroundKind uint8
+
+const (
+	// BackgroundNone runs without congestion.
+	BackgroundNone BackgroundKind = iota
+	// BackgroundRandom is the main experiments' pattern: one or two iperf
+	// flows between random nodes, 30 s or 60 s each.
+	BackgroundRandom
+	// BackgroundTraffic1 is Fig 9's infrequently changing pattern.
+	BackgroundTraffic1
+	// BackgroundTraffic2 is Fig 9's frequently changing pattern.
+	BackgroundTraffic2
+)
+
+func (b BackgroundKind) String() string {
+	switch b {
+	case BackgroundNone:
+		return "none"
+	case BackgroundRandom:
+		return "random"
+	case BackgroundTraffic1:
+		return "traffic1"
+	case BackgroundTraffic2:
+		return "traffic2"
+	}
+	return "unknown"
+}
+
+// Scenario fully describes one experiment run. The zero value is not
+// runnable; use the field comments' defaults.
+type Scenario struct {
+	// Seed drives every random stream (workload, traffic, random ranking).
+	Seed int64
+	// Workload is serverless (1 task/job) or distributed (3 tasks/job).
+	Workload workload.Kind
+	// Metric is the scheduling strategy under test.
+	Metric core.Metric
+	// TaskCount is the number of tasks (paper: 200). Default 200.
+	TaskCount int
+	// Classes restricts task classes (nil = all four).
+	Classes []workload.Class
+	// MeanInterarrival is the mean job inter-arrival time (default 5 s).
+	MeanInterarrival time.Duration
+	// ProbeInterval is the INT probing period (default 100 ms).
+	ProbeInterval time.Duration
+	// PerPacketINT switches telemetry collection to classic per-packet
+	// INT embedding (the approach the paper argues against): switches
+	// append records to every data packet, destination hosts extract the
+	// stacks and export them to the scheduler at ProbeInterval cadence,
+	// and no probe packets run. Production packets grow on the wire and
+	// only paths carrying task traffic are observed.
+	PerPacketINT bool
+	// SchedulerOnlyProbes restricts probing to the paper's literal setup
+	// (every edge server probes the scheduler), leaving links off those
+	// paths unobserved. The default (false) uses the coverage planner —
+	// the paper's probe-route-optimization future work — so every link is
+	// visited by some probe, which the paper assumes.
+	SchedulerOnlyProbes bool
+	// Background selects the congestion pattern (the zero value runs
+	// without congestion; the paper's main experiments use
+	// BackgroundRandom).
+	Background BackgroundKind
+	// Traffic tunes background flows.
+	Traffic traffic.Config
+	// Links sets the uniform link parameters (paper defaults when zero).
+	Links LinkParams
+	// Topo overrides the network topology (the paper's Fig 4 when nil).
+	// When set, its link parameters take precedence over Links.
+	Topo *TopoSpec
+	// K is the queue→latency conversion factor (core.DefaultK when zero).
+	K time.Duration
+	// Slots bounds concurrent task executions per server (0 = unlimited).
+	Slots int
+	// ComputeAware enables server load reporting and must be set when
+	// Metric is core.MetricComputeAware.
+	ComputeAware bool
+	// Hysteresis, when positive, wraps the network-aware rankers so the
+	// scheduler only switches a device's server when the new best
+	// candidate improves on the previous choice by more than this
+	// relative margin — the anti-jitter extension motivated by Fig 8.
+	Hysteresis float64
+	// ClockSkew applies the given skew to odd-numbered switches' clocks
+	// (robustness ablation; zero = perfectly synced NTP).
+	ClockSkew time.Duration
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.TaskCount <= 0 {
+		s.TaskCount = 200
+	}
+	if s.MeanInterarrival <= 0 {
+		s.MeanInterarrival = workload.DefaultInterarrival
+	}
+	if s.ProbeInterval <= 0 {
+		s.ProbeInterval = probe.DefaultInterval
+	}
+	s.Links = s.Links.withDefaults()
+	if s.K <= 0 {
+		s.K = core.DefaultK
+	}
+	return s
+}
+
+// warmup returns how long to run probing before the first job so the
+// collector has a complete network view (at least two probe rounds).
+func (s Scenario) warmup() time.Duration {
+	w := 2 * s.ProbeInterval
+	if w < 2*time.Second {
+		w = 2 * time.Second
+	}
+	return w
+}
+
+// RunResult is the outcome of one scenario run.
+type RunResult struct {
+	Scenario Scenario
+	// Results holds one entry per completed task, ordered by TaskID.
+	Results []edge.TaskResult
+	// Incomplete counts tasks that had not finished by the horizon.
+	Incomplete int
+	// VirtualDuration is the virtual time consumed.
+	VirtualDuration time.Duration
+	// ProbesSent / ProbesReceived measure telemetry delivery.
+	ProbesSent     uint64
+	ProbesReceived uint64
+	// PacketsDropped counts network-wide drops (congestion losses).
+	PacketsDropped uint64
+	// INTOverheadBytes counts telemetry bytes added to production packets
+	// (zero with register staging; the per-packet ablation pays this).
+	INTOverheadBytes uint64
+	// EventsProcessed counts simulator events (performance diagnostics).
+	EventsProcessed uint64
+}
+
+// MeanCompletion returns the mean task completion time across all tasks.
+func (r *RunResult) MeanCompletion() time.Duration {
+	ds := make([]time.Duration, 0, len(r.Results))
+	for _, res := range r.Results {
+		ds = append(ds, res.CompletionTime())
+	}
+	return meanDur(ds)
+}
+
+// MeanTransfer returns the mean data transfer time across all tasks.
+func (r *RunResult) MeanTransfer() time.Duration {
+	ds := make([]time.Duration, 0, len(r.Results))
+	for _, res := range r.Results {
+		ds = append(ds, res.TransferTime())
+	}
+	return meanDur(ds)
+}
+
+func meanDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Run executes one scenario to completion and returns its results.
+func Run(sc Scenario) (*RunResult, error) {
+	sc = sc.withDefaults()
+	engine := simtime.NewEngine()
+	rng := simtime.NewRand(sc.Seed)
+
+	var topo *Topology
+	var err error
+	if sc.Topo != nil {
+		topo, err = sc.Topo.Build(engine)
+	} else {
+		topo, err = BuildFig4(engine, sc.Links)
+	}
+	if err != nil {
+		return nil, err
+	}
+	nw := topo.Net
+
+	// Dataplane: INT register staging on every switch (or classic
+	// per-packet embedding in the ablation mode).
+	intCfg := dataplane.INTConfig{PerPacket: sc.PerPacketINT}
+	programs := dataplane.AttachINT(nw, intCfg)
+	if sc.ClockSkew != 0 {
+		i := 0
+		for _, id := range nw.Switches() {
+			if i%2 == 1 {
+				sw := nw.Node(id)
+				cfg := intCfg
+				cfg.ClockSkew = sc.ClockSkew
+				prog := dataplane.NewINTProgram(string(id), len(sw.Ports), cfg)
+				sw.Processor = dataplane.NewPipeline(prog)
+				programs[id] = prog
+			}
+			i++
+		}
+	}
+
+	// Transport stacks on every host.
+	domain := transport.NewDomain(nw).InstallAll()
+
+	// Collector + scheduler service on the scheduler host.
+	linkRate := sc.Links.RateBps
+	if sc.Topo != nil {
+		linkRate = sc.Topo.params().RateBps
+	}
+	coll := collector.New(topo.Scheduler, engine.Now, collector.Config{
+		QueueWindow:        2 * sc.ProbeInterval,
+		DefaultLinkRateBps: linkRate,
+	})
+	coll.Bind(domain.Stack(topo.Scheduler))
+
+	// Edge nodes (device + server roles) on every host. The scheduler
+	// host gets its edge node first so the service can chain its control
+	// handling in front of it.
+	nodes := make(map[netsim.NodeID]*edge.Node, len(topo.Hosts))
+	for _, h := range topo.Hosts {
+		n := edge.NewNode(domain.Stack(h), topo.Scheduler)
+		n.Slots = sc.Slots
+		n.ReportLoad = sc.ComputeAware
+		nodes[h] = n
+	}
+
+	service := core.NewService(domain.Stack(topo.Scheduler), coll, core.ServiceConfig{})
+	wrap := func(r core.Ranker) core.Ranker {
+		if sc.Hysteresis > 0 {
+			return core.NewHysteresisRanker(r, sc.Hysteresis)
+		}
+		return r
+	}
+	service.Register(wrap(&core.DelayRanker{K: sc.K}))
+	service.Register(wrap(&core.BandwidthRanker{}))
+	service.Register(&core.TransferTimeRanker{
+		Delay:     &core.DelayRanker{K: sc.K},
+		Bandwidth: &core.BandwidthRanker{},
+	})
+	nearest, err := core.NewNearestRanker(nw, topo.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	service.Register(nearest)
+	service.Register(core.NewRandomRanker(rng))
+	service.Register(&core.ComputeAwareRanker{
+		Network: &core.DelayRanker{K: sc.K},
+		LoadFn:  service.Load,
+	})
+
+	// Probing fleet. By default, probe routes are planned for full link
+	// coverage and non-scheduler sinks relay INT reports to the
+	// collector; SchedulerOnlyProbes reproduces the paper's literal
+	// server→scheduler probing instead.
+	var fleet *probe.Fleet
+	if sc.PerPacketINT {
+		// Classic INT: no probes; destination hosts are INT sinks that
+		// export embedded stacks to the scheduler, rate-limited to the
+		// probing cadence per (source, sink) pair.
+		for _, h := range topo.Hosts {
+			stack := domain.Stack(h)
+			sink := h
+			lastExport := make(map[netsim.NodeID]time.Duration)
+			stack.INTSink = func(pkt *netsim.Packet) {
+				if now := engine.Now(); now-lastExport[pkt.Src] >= sc.ProbeInterval {
+					lastExport[pkt.Src] = now
+					if sink == topo.Scheduler {
+						coll.HandleProbe(pkt.Probe)
+					} else {
+						stack.SendControl(topo.Scheduler, 64+36*len(pkt.Probe.Stack.Records), pkt.Probe)
+					}
+				}
+			}
+		}
+	} else if sc.SchedulerOnlyProbes {
+		fleet = probe.NewFleet(nw, topo.Hosts, topo.Scheduler, sc.ProbeInterval)
+	} else {
+		pairs, _, err := probe.PlanCoverage(nw.PathBetween, topo.Hosts, topo.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range topo.Hosts {
+			if h != topo.Scheduler {
+				probe.InstallRelay(domain.Stack(h), topo.Scheduler)
+			}
+		}
+		fleet = probe.NewPlannedFleet(nw, pairs, sc.ProbeInterval)
+	}
+
+	// Background traffic.
+	var bg *traffic.Background
+	switch sc.Background {
+	case BackgroundRandom:
+		bg = traffic.StartRandom(domain, topo.Hosts, rng, sc.Traffic)
+	case BackgroundTraffic1:
+		cfg := traffic.Traffic1()
+		cfg.Traffic = sc.Traffic
+		bg = traffic.StartPattern(domain, topo.Hosts, rng, cfg)
+	case BackgroundTraffic2:
+		cfg := traffic.Traffic2()
+		cfg.Traffic = sc.Traffic
+		bg = traffic.StartPattern(domain, topo.Hosts, rng, cfg)
+	}
+
+	// Workload.
+	jobs, err := workload.Generate(workload.GenConfig{
+		Kind:             sc.Workload,
+		TaskCount:        sc.TaskCount,
+		Devices:          topo.Hosts,
+		MeanInterarrival: sc.MeanInterarrival,
+		Classes:          sc.Classes,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	totalTasks := workload.TotalTasks(jobs)
+
+	// Result collection across all devices.
+	out := &RunResult{Scenario: sc}
+	done := 0
+	for _, n := range nodes {
+		n.OnResult = func(res edge.TaskResult) {
+			out.Results = append(out.Results, res)
+			done++
+			if done == totalTasks {
+				engine.Stop()
+			}
+		}
+	}
+
+	// Per-packet INT has no probes: seed initial visibility with small
+	// staggered warmup transfers between all host pairs (classic INT can
+	// only observe paths that carry traffic).
+	if sc.PerPacketINT {
+		i := 0
+		for _, a := range topo.Hosts {
+			for _, b := range topo.Hosts {
+				if a == b {
+					continue
+				}
+				src, dst := a, b
+				engine.At(time.Duration(i)*30*time.Millisecond, func() {
+					domain.Stack(src).Transfer(dst, 50_000, nil)
+				})
+				i++
+			}
+		}
+	}
+
+	// Schedule job submissions after the warmup.
+	warm := sc.warmup()
+	var lastSubmit time.Duration
+	for _, job := range jobs {
+		j := job
+		at := warm + j.SubmitAt
+		if at > lastSubmit {
+			lastSubmit = at
+		}
+		engine.At(at, func() {
+			nodes[j.Device].SubmitJob(j, sc.Metric, nil)
+		})
+	}
+
+	// Horizon: generous slack beyond the last submission; tasks are at
+	// most ~10 s exec + transfers, so 10 min of slack is ample even under
+	// heavy congestion.
+	horizon := lastSubmit + 10*time.Minute
+	engine.Run(horizon)
+
+	if bg != nil {
+		bg.Stop()
+	}
+	if fleet != nil {
+		fleet.Stop()
+		out.ProbesSent = fleet.TotalSent()
+	}
+
+	out.Incomplete = totalTasks - done
+	out.VirtualDuration = engine.Now()
+	out.ProbesReceived = coll.Stats().ProbesReceived
+	out.PacketsDropped = nw.Dropped
+	out.EventsProcessed = engine.Processed
+	for _, prog := range programs {
+		out.INTOverheadBytes += prog.OverheadBytes
+	}
+
+	sortResults(out.Results)
+	return out, nil
+}
+
+func sortResults(rs []edge.TaskResult) {
+	// Insertion sort is fine at experiment sizes and avoids pulling sort
+	// helpers in for a struct slice; stable on TaskID.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].TaskID < rs[j-1].TaskID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Validate sanity-checks a scenario before running.
+func (s Scenario) Validate() error {
+	if s.Metric == core.MetricComputeAware && !s.ComputeAware {
+		return fmt.Errorf("experiment: compute-aware metric requires ComputeAware load reporting")
+	}
+	return nil
+}

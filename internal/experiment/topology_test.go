@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+func TestBuildFig4Structure(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildFig4(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := topo.Net
+	if got := len(nw.Switches()); got != 12 {
+		t.Fatalf("switches %d, want 12", got)
+	}
+	if got := len(nw.Hosts()); got != 8 {
+		t.Fatalf("hosts %d, want 8", got)
+	}
+	if topo.Scheduler != "n6" {
+		t.Fatalf("scheduler %s, want n6 (the paper's Node 6)", topo.Scheduler)
+	}
+	// 12 ring links + 2 chords + 8 host uplinks.
+	if got := len(nw.Links()); got != 22 {
+		t.Fatalf("links %d, want 22", got)
+	}
+}
+
+func TestBuildFig4NearestPairs(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildFig4(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: every node has a 3-hop nearest neighbor; n7 and n8 are
+	// each other's nearest nodes.
+	pairs := [][2]netsim.NodeID{{"n1", "n2"}, {"n3", "n4"}, {"n5", "n6"}, {"n7", "n8"}}
+	for _, p := range pairs {
+		hops, err := topo.Net.HopCount(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops != 3 {
+			t.Errorf("hops(%s,%s)=%d, want 3", p[0], p[1], hops)
+		}
+	}
+	// And for every host the minimum distance to any other host is 3.
+	for _, a := range topo.Hosts {
+		best := 1 << 30
+		for _, b := range topo.Hosts {
+			if a == b {
+				continue
+			}
+			h, err := topo.Net.HopCount(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h < best {
+				best = h
+			}
+		}
+		if best != 3 {
+			t.Errorf("host %s nearest distance %d, want 3", a, best)
+		}
+	}
+}
+
+func TestBuildFig4AllPairsReachable(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildFig4(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range topo.Hosts {
+		for _, b := range topo.Hosts {
+			if a == b {
+				continue
+			}
+			if _, err := topo.Net.PathBetween(a, b); err != nil {
+				t.Errorf("no path %s -> %s: %v", a, b, err)
+			}
+		}
+	}
+}
+
+func TestBuildFig4HostUplinksAsymmetric(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildFig4(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host uplinks: host side egresses at NIC rate, switch side at the
+	// switch rate.
+	n1 := topo.Net.Node("n1")
+	link := n1.Ports[0].Link()
+	if link.Config.RateBps != DefaultHostEgressRate {
+		t.Errorf("host egress %d, want %d", link.Config.RateBps, DefaultHostEgressRate)
+	}
+	if link.Config.ReverseRateBps != DefaultLinkRate {
+		t.Errorf("switch egress %d, want %d", link.Config.ReverseRateBps, DefaultLinkRate)
+	}
+}
+
+func TestBuildDumbbell(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildDumbbell(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := topo.Net.HopCount("h1", "h2")
+	if err != nil || hops != 2 {
+		t.Fatalf("hops %d err %v", hops, err)
+	}
+}
+
+func TestBuildLinear(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildLinear(engine, 5, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := topo.Net.HopCount("h1", "h2")
+	if err != nil || hops != 6 {
+		t.Fatalf("hops %d err %v", hops, err)
+	}
+	if _, err := BuildLinear(engine, 0, LinkParams{}); err == nil {
+		t.Fatal("zero switches accepted")
+	}
+}
+
+func TestWarmCollectorLearnsEverything(t *testing.T) {
+	engine := simtime.NewEngine()
+	topo, err := BuildFig4(engine, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := WarmCollector(topo, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := coll.Snapshot()
+	if got := len(learned.Hosts()); got != 8 {
+		t.Fatalf("learned %d hosts, want 8", got)
+	}
+	// The learned path must equal the simulator's routed path for every
+	// host pair — the property the delay estimate depends on.
+	for _, a := range topo.Hosts {
+		for _, b := range topo.Hosts {
+			if a == b {
+				continue
+			}
+			want, err := topo.Net.PathBetween(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := learned.Path(string(a), string(b))
+			if err != nil {
+				t.Errorf("no learned path %s->%s: %v", a, b, err)
+				continue
+			}
+			if len(got) != len(want) {
+				t.Errorf("path %s->%s learned %v, routed %v", a, b, got, want)
+				continue
+			}
+			for i := range want {
+				if got[i] != string(want[i]) {
+					t.Errorf("path %s->%s learned %v, routed %v", a, b, got, want)
+					break
+				}
+			}
+		}
+	}
+	// Link delays converge to the configured 10 ms (plus sub-ms
+	// serialization).
+	d, ok := coll.LinkDelay("s01", "s02")
+	if !ok {
+		t.Fatal("no delay for s01-s02")
+	}
+	if d < 10*time.Millisecond || d > 12*time.Millisecond {
+		t.Errorf("learned s01-s02 delay %v, want ≈10.6ms", d)
+	}
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/dataplane"
+	"intsched/internal/probe"
+	"intsched/internal/transport"
+)
+
+// WarmCollector attaches INT, transport stacks, a collector on the
+// topology's scheduler host, and a probing fleet, then runs the simulation
+// for the given duration so the collector learns the full network. It
+// returns the warmed collector (used by benchmarks and tests that need a
+// realistic learned topology without a whole scenario).
+func WarmCollector(topo *Topology, dur time.Duration) (*collector.Collector, error) {
+	dataplane.AttachINT(topo.Net, dataplane.INTConfig{})
+	domain := transport.NewDomain(topo.Net).InstallAll()
+	coll := collector.New(topo.Scheduler, topo.Net.Engine().Now, collector.Config{
+		QueueWindow: time.Second,
+	})
+	coll.Bind(domain.Stack(topo.Scheduler))
+	pairs, _, err := probe.PlanCoverage(topo.Net.PathBetween, topo.Hosts, topo.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range topo.Hosts {
+		if h != topo.Scheduler {
+			probe.InstallRelay(domain.Stack(h), topo.Scheduler)
+		}
+	}
+	fleet := probe.NewPlannedFleet(topo.Net, pairs, probe.DefaultInterval)
+	topo.Net.Engine().Run(topo.Net.Engine().Now() + dur)
+	fleet.Stop()
+	return coll, nil
+}

@@ -1,0 +1,268 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/netsim"
+	"intsched/internal/telemetry"
+	"intsched/internal/wire"
+)
+
+// CollectorDaemon is the live scheduler: it ingests INT probes over UDP,
+// maintains the learned topology in a collector.Collector, and serves
+// ranking queries over a TCP API.
+type CollectorDaemon struct {
+	id   string
+	base time.Time
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	coll     *collector.Collector
+	delay    core.Ranker
+	bw       core.Ranker
+	xfer     *core.TransferTimeRanker
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	closeOne sync.Once
+
+	mu sync.Mutex
+	// ProbesReceived counts decoded probe datagrams.
+	ProbesReceived uint64
+}
+
+// DaemonConfig tunes the collector daemon.
+type DaemonConfig struct {
+	// UDPAddr and TCPAddr are the bind addresses ("127.0.0.1:0" for
+	// ephemeral ports).
+	UDPAddr, TCPAddr string
+	// K is the queue→latency conversion factor (core.DefaultK when zero).
+	K time.Duration
+	// LinkRateBps is the assumed link capacity for bandwidth estimates.
+	LinkRateBps int64
+	// QueueWindow bounds queue-report freshness (collector default when
+	// zero).
+	QueueWindow time.Duration
+	// Hysteresis, when positive, suppresses candidate switching on
+	// estimate changes smaller than this relative margin.
+	Hysteresis float64
+}
+
+// NewCollectorDaemon starts the daemon for scheduler node id.
+func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
+	if cfg.UDPAddr == "" {
+		cfg.UDPAddr = "127.0.0.1:0"
+	}
+	if cfg.TCPAddr == "" {
+		cfg.TCPAddr = "127.0.0.1:0"
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+	if err != nil {
+		return nil, err
+	}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	tcp, err := net.Listen("tcp", cfg.TCPAddr)
+	if err != nil {
+		udp.Close()
+		return nil, err
+	}
+	delayRanker := &core.DelayRanker{K: cfg.K}
+	bwRanker := &core.BandwidthRanker{}
+	d := &CollectorDaemon{
+		id:     id,
+		base:   time.Now(),
+		udp:    udp,
+		tcp:    tcp,
+		closed: make(chan struct{}),
+		delay:  core.Ranker(delayRanker),
+		bw:     core.Ranker(bwRanker),
+		xfer:   &core.TransferTimeRanker{Delay: delayRanker, Bandwidth: bwRanker},
+	}
+	if cfg.Hysteresis > 0 {
+		d.delay = core.NewHysteresisRanker(delayRanker, cfg.Hysteresis)
+		d.bw = core.NewHysteresisRanker(bwRanker, cfg.Hysteresis)
+	}
+	d.coll = collector.New(netsim.NodeID(id), d.clock, collector.Config{
+		QueueWindow:        cfg.QueueWindow,
+		DefaultLinkRateBps: cfg.LinkRateBps,
+	})
+	d.wg.Add(2)
+	go d.probeLoop()
+	go d.queryLoop()
+	return d, nil
+}
+
+// clock returns daemon-relative time, the collector's timebase.
+func (d *CollectorDaemon) clock() time.Duration { return time.Since(d.base) }
+
+// ID returns the scheduler node name.
+func (d *CollectorDaemon) ID() string { return d.id }
+
+// UDPAddr returns the probe ingestion address.
+func (d *CollectorDaemon) UDPAddr() string { return d.udp.LocalAddr().String() }
+
+// QueryAddr returns the TCP query API address.
+func (d *CollectorDaemon) QueryAddr() string { return d.tcp.Addr().String() }
+
+// Collector exposes the underlying collector (tests, coverage reports).
+func (d *CollectorDaemon) Collector() *collector.Collector { return d.coll }
+
+// Close shuts the daemon down.
+func (d *CollectorDaemon) Close() {
+	d.closeOne.Do(func() {
+		close(d.closed)
+		d.udp.Close()
+		d.tcp.Close()
+	})
+	d.wg.Wait()
+}
+
+func (d *CollectorDaemon) probeLoop() {
+	defer d.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := d.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		dg, err := wire.UnmarshalDatagram(buf[:n])
+		if err != nil || dg.Kind != wire.KindProbe {
+			continue
+		}
+		payload, err := telemetry.UnmarshalProbe(dg.Payload)
+		if err != nil {
+			continue
+		}
+		d.ingest(payload)
+	}
+}
+
+// ingest converts the probe's absolute (UnixNano) timestamps into the
+// daemon's relative timebase and hands it to the collector.
+func (d *CollectorDaemon) ingest(p *telemetry.ProbePayload) {
+	baseNs := d.base.UnixNano()
+	for i := range p.Stack.Records {
+		r := &p.Stack.Records[i]
+		if r.EgressTS > 0 {
+			r.EgressTS -= time.Duration(baseNs)
+			if r.EgressTS < 0 {
+				r.EgressTS = 0
+			}
+		}
+	}
+	if p.SentAt > 0 {
+		p.SentAt -= time.Duration(baseNs)
+	}
+	d.mu.Lock()
+	d.ProbesReceived++
+	d.mu.Unlock()
+	d.coll.HandleProbe(p)
+}
+
+func (d *CollectorDaemon) queryLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.tcp.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer conn.Close()
+			d.serve(conn)
+		}()
+	}
+}
+
+// serve handles one query connection (one request per connection).
+func (d *CollectorDaemon) serve(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var req wire.QueryRequest
+	if err := wire.ReadFrame(conn, &req); err != nil {
+		return
+	}
+	resp := d.Answer(&req)
+	_ = wire.WriteFrame(conn, resp)
+}
+
+// Answer computes the response for a query (exported for tests and for the
+// cmd/intsched daemon's local diagnostics).
+func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
+	metric, ok := core.ParseMetric(req.Metric)
+	if !ok {
+		return &wire.QueryResponse{Metric: req.Metric, Error: fmt.Sprintf("unknown metric %q", req.Metric)}
+	}
+	var ranker core.Ranker
+	switch metric {
+	case core.MetricDelay:
+		ranker = d.delay
+	case core.MetricBandwidth:
+		ranker = d.bw
+	case core.MetricTransferTime:
+		ranker = d.xfer
+	default:
+		return &wire.QueryResponse{Metric: req.Metric, Error: fmt.Sprintf("metric %q not served live", req.Metric)}
+	}
+	topo := d.coll.Snapshot()
+	var cands []netsim.NodeID
+	for _, h := range topo.Hosts() {
+		if h != req.From {
+			cands = append(cands, netsim.NodeID(h))
+		}
+	}
+	var ranked []core.Candidate
+	if sa, ok := ranker.(core.SizeAwareRanker); ok && req.DataBytes > 0 {
+		ranked = sa.RankSize(topo, netsim.NodeID(req.From), cands, req.DataBytes)
+	} else {
+		ranked = ranker.Rank(topo, netsim.NodeID(req.From), cands)
+	}
+	if req.Count > 0 && req.Count < len(ranked) {
+		ranked = ranked[:req.Count]
+	}
+	resp := &wire.QueryResponse{Metric: req.Metric}
+	for _, c := range ranked {
+		resp.Candidates = append(resp.Candidates, wire.CandidateInfo{
+			Node:         string(c.Node),
+			DelayNs:      int64(c.Delay),
+			BandwidthBps: c.BandwidthBps,
+			Hops:         c.Hops,
+			Reachable:    c.Reachable,
+		})
+	}
+	return resp
+}
+
+// Query is the device-side client: it dials the daemon's TCP API, sends one
+// request, and returns the response.
+func Query(addr string, req *wire.QueryRequest, timeout time.Duration) (*wire.QueryResponse, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	var resp wire.QueryResponse
+	if err := wire.ReadFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,361 @@
+// Package live is the real-socket deployment of the INT scheduling system:
+// userspace soft switches forward UDP overlay datagrams between rate-limited
+// egress queues and stamp INT telemetry into probe packets exactly like the
+// simulated dataplane; probe agents emit probes from edge servers; the
+// collector daemon ingests probes, maintains the learned topology, and
+// serves ranking queries over TCP.
+//
+// This is the "wire the INT collector manually" path: the same telemetry
+// model as the simulator, but over real packets, goroutines, and sockets —
+// runnable on loopback (see examples/livedemo) or across machines.
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"intsched/internal/dataplane"
+	"intsched/internal/telemetry"
+	"intsched/internal/wire"
+)
+
+// Defaults for soft-switch construction.
+const (
+	// DefaultRateBps mirrors the paper's effective BMv2 forwarding rate.
+	DefaultRateBps int64 = 20_000_000
+	// DefaultQueueCap matches the simulator's per-port queue depth.
+	DefaultQueueCap = 64
+	// maxDatagram bounds received overlay datagrams.
+	maxDatagram = 9000
+)
+
+// frame is one queued overlay packet with its ingress bookkeeping.
+type frame struct {
+	d         *wire.Datagram
+	size      int
+	ingressAt time.Time
+	linkLat   time.Duration
+	hasLat    bool
+	inPort    int
+}
+
+// swPort is one egress port: a bounded queue drained at the port rate.
+type swPort struct {
+	index    int
+	neighbor string
+	addr     *net.UDPAddr
+	ch       chan frame
+
+	// Stats (atomic not needed: single writer per counter).
+	mu        sync.Mutex
+	txPackets uint64
+	drops     uint64
+}
+
+// SoftSwitch is a userspace P4-style switch over UDP.
+type SoftSwitch struct {
+	id   string
+	conn *net.UDPConn
+
+	rateBps  int64
+	queueCap int
+
+	mu       sync.Mutex
+	ports    []*swPort
+	routes   map[string]int // dst node -> egress port
+	addrPort map[string]int // remote UDP addr -> ingress port index
+
+	regs     *dataplane.RegisterFile
+	maxQueue *dataplane.RegisterArray
+	pktCount *dataplane.RegisterArray
+
+	rxWg    sync.WaitGroup // receive loop
+	drainWg sync.WaitGroup // per-port drain goroutines
+	closed  chan struct{}
+	started bool
+
+	// Drops counts datagrams discarded (no route, TTL, queue full,
+	// decode errors).
+	Drops uint64
+	// Forwarded counts datagrams enqueued for egress.
+	Forwarded uint64
+}
+
+// NewSoftSwitch binds a UDP socket on addr (use "127.0.0.1:0" for an
+// ephemeral port). rateBps and queueCap of zero take the defaults.
+func NewSoftSwitch(id, addr string, rateBps int64, queueCap int) (*SoftSwitch, error) {
+	if rateBps <= 0 {
+		rateBps = DefaultRateBps
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: switch %s: %w", id, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: switch %s: %w", id, err)
+	}
+	regs := dataplane.NewRegisterFile()
+	return &SoftSwitch{
+		id:       id,
+		conn:     conn,
+		rateBps:  rateBps,
+		queueCap: queueCap,
+		routes:   make(map[string]int),
+		addrPort: make(map[string]int),
+		regs:     regs,
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// ID returns the switch identifier.
+func (s *SoftSwitch) ID() string { return s.id }
+
+// Addr returns the switch's bound UDP address.
+func (s *SoftSwitch) Addr() string { return s.conn.LocalAddr().String() }
+
+// AddPort attaches an egress port toward neighbor at the given UDP address
+// and returns its index. Ports must be added before Start.
+func (s *SoftSwitch) AddPort(neighbor, addr string) (int, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return -1, fmt.Errorf("live: switch %s port to %s: %w", s.id, neighbor, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return -1, fmt.Errorf("live: switch %s: AddPort after Start", s.id)
+	}
+	p := &swPort{
+		index:    len(s.ports),
+		neighbor: neighbor,
+		addr:     udpAddr,
+		ch:       make(chan frame, s.queueCap),
+	}
+	s.ports = append(s.ports, p)
+	s.addrPort[udpAddr.String()] = p.index
+	return p.index, nil
+}
+
+// SetRoute installs dst -> port forwarding.
+func (s *SoftSwitch) SetRoute(dst string, port int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if port < 0 || port >= len(s.ports) {
+		return fmt.Errorf("live: switch %s: route %s via invalid port %d", s.id, dst, port)
+	}
+	s.routes[dst] = port
+	return nil
+}
+
+// Start launches the receive loop and per-port drain goroutines.
+func (s *SoftSwitch) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	nports := len(s.ports)
+	s.maxQueue = s.regs.Declare("max_queue", maxInt(nports, 1))
+	s.pktCount = s.regs.Declare("pkt_count", maxInt(nports, 1))
+	ports := s.ports
+	s.mu.Unlock()
+
+	for _, p := range ports {
+		s.drainWg.Add(1)
+		go s.drain(p)
+	}
+	s.rxWg.Add(1)
+	go s.receiveLoop()
+}
+
+// Close shuts the switch down and waits for its goroutines. The receive
+// loop must fully exit before the port channels close (it enqueues into
+// them).
+func (s *SoftSwitch) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	close(s.closed)
+	s.conn.Close()
+	s.rxWg.Wait()
+	s.mu.Lock()
+	for _, p := range s.ports {
+		close(p.ch)
+	}
+	s.mu.Unlock()
+	s.drainWg.Wait()
+}
+
+// Registers exposes the switch's register file (tests, control plane).
+func (s *SoftSwitch) Registers() *dataplane.RegisterFile { return s.regs }
+
+func (s *SoftSwitch) receiveLoop() {
+	defer s.rxWg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		d, err := wire.UnmarshalDatagram(buf[:n])
+		if err != nil {
+			s.Drops++
+			continue
+		}
+		inPort := -1
+		if from != nil {
+			s.mu.Lock()
+			if idx, ok := s.addrPort[from.String()]; ok {
+				inPort = idx
+			}
+			s.mu.Unlock()
+		}
+		s.handle(d, n, inPort)
+	}
+}
+
+// handle implements the forwarding + INT ingress pipeline.
+func (s *SoftSwitch) handle(d *wire.Datagram, size, inPort int) {
+	if d.TTL == 0 {
+		s.Drops++
+		return
+	}
+	d.TTL--
+
+	s.mu.Lock()
+	portIdx, ok := s.routes[d.Dst]
+	var port *swPort
+	if ok {
+		port = s.ports[portIdx]
+	}
+	s.mu.Unlock()
+	if port == nil {
+		s.Drops++
+		return
+	}
+
+	f := frame{d: d, size: size, ingressAt: time.Now(), inPort: inPort}
+	qlen := len(port.ch)
+	if d.Kind == wire.KindProbe {
+		// Extract the previous hop's egress stamp before enqueueing so
+		// the measurement excludes our queueing delay.
+		if d.EgressTS > 0 {
+			lat := time.Duration(time.Now().UnixNano() - d.EgressTS)
+			if lat < 0 {
+				lat = 0
+			}
+			f.linkLat, f.hasLat = lat, true
+			d.EgressTS = 0
+		}
+	} else {
+		// Production traffic updates the congestion registers.
+		s.maxQueue.Max(port.index, int64(qlen))
+		s.pktCount.Add(port.index, 1)
+	}
+
+	select {
+	case port.ch <- f:
+		s.Forwarded++
+	default:
+		port.mu.Lock()
+		port.drops++
+		port.mu.Unlock()
+		s.Drops++
+	}
+}
+
+// drain transmits queued frames at the port rate, running INT egress
+// processing on probes.
+func (s *SoftSwitch) drain(p *swPort) {
+	defer s.drainWg.Done()
+	for f := range p.ch {
+		if f.d.Kind == wire.KindProbe {
+			s.stampProbe(p, &f)
+			// Re-measure size after the INT record grew the payload.
+			f.size = 22 + len(f.d.Src) + len(f.d.Dst) + len(f.d.Payload)
+		}
+		txTime := time.Duration(float64(f.size*8) / float64(s.rateBps) * float64(time.Second))
+		if txTime > 0 {
+			timer := time.NewTimer(txTime)
+			select {
+			case <-timer.C:
+			case <-s.closed:
+				timer.Stop()
+				return
+			}
+		}
+		out, err := f.d.Marshal()
+		if err != nil {
+			s.Drops++
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(out, p.addr); err != nil {
+			return // socket closed
+		}
+		p.mu.Lock()
+		p.txPackets++
+		p.mu.Unlock()
+	}
+}
+
+// stampProbe flushes the registers into the probe's INT stack and writes
+// the egress timestamp — the live twin of the simulator's INT egress stage.
+func (s *SoftSwitch) stampProbe(p *swPort, f *frame) {
+	payload, err := telemetry.UnmarshalProbe(f.d.Payload)
+	if err != nil {
+		return // malformed probe: forward untouched
+	}
+	now := time.Now()
+	inPort := f.inPort
+	if inPort < 0 {
+		inPort = 0 // unknown sender: the wire codec requires a valid port
+	}
+	rec := telemetry.Record{
+		Device:      s.id,
+		IngressPort: inPort,
+		EgressPort:  p.index,
+		HopLatency:  now.Sub(f.ingressAt),
+		EgressTS:    time.Duration(now.UnixNano()),
+	}
+	if f.hasLat {
+		rec.LinkLatency = f.linkLat
+	}
+	n := s.maxQueue.Size()
+	rec.Queues = make([]telemetry.PortQueue, 0, n)
+	for port := 0; port < n; port++ {
+		mq := s.maxQueue.Swap(port, 0)
+		cnt := s.pktCount.Swap(port, 0)
+		rec.Queues = append(rec.Queues, telemetry.PortQueue{Port: port, MaxQueue: int(mq), Packets: uint32(cnt)})
+	}
+	payload.Stack.Append(rec)
+	if encoded, err := telemetry.MarshalProbe(payload); err == nil {
+		f.d.Payload = encoded
+		f.d.EgressTS = now.UnixNano()
+	}
+}
+
+// PortStats returns (txPackets, drops) for a port.
+func (s *SoftSwitch) PortStats(port int) (tx, drops uint64) {
+	s.mu.Lock()
+	p := s.ports[port]
+	s.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txPackets, p.drops
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

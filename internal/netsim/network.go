@@ -1,0 +1,570 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"intsched/internal/simtime"
+)
+
+// NodeKind distinguishes hosts from switches.
+type NodeKind uint8
+
+const (
+	// Host nodes originate and sink traffic. They have exactly one port.
+	Host NodeKind = iota
+	// Switch nodes forward traffic between ports and run the dataplane
+	// processing pipeline.
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// ProcessorContext is handed to dataplane hooks with everything a P4-style
+// program can see about the packet's position in the device.
+type ProcessorContext struct {
+	// Device is the switch executing the pipeline.
+	Device *Node
+	// InPort is the port the packet arrived on (-1 if locally generated).
+	InPort int
+	// OutPort is the egress port selected by forwarding.
+	OutPort int
+	// QueueLen is the occupancy of the egress queue (packets), measured
+	// before this packet is enqueued (ingress) or after it is dequeued
+	// for transmission (egress) — mirroring BMv2's enq_qdepth/deq_qdepth.
+	QueueLen int
+	// Now is the current virtual time.
+	Now time.Duration
+}
+
+// Processor is the P4-style packet-processing pipeline attached to a switch.
+// Ingress runs on arrival, after the forwarding decision but before the
+// packet is enqueued. Egress runs when the packet reaches the head of the
+// egress queue and starts transmission.
+type Processor interface {
+	Ingress(ctx *ProcessorContext, pkt *Packet)
+	Egress(ctx *ProcessorContext, pkt *Packet)
+}
+
+// Handler receives packets delivered to a host.
+type Handler func(pkt *Packet)
+
+// Node is a host or switch.
+type Node struct {
+	ID    NodeID
+	Kind  NodeKind
+	Ports []*Port
+
+	// Processor is the dataplane pipeline (switches only; may be nil).
+	Processor Processor
+	// Handler is the local delivery callback (hosts only).
+	Handler Handler
+
+	net *Network
+	// routes maps destination host -> egress port index.
+	routes map[NodeID]int
+}
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// PortTo returns the port whose link leads directly to neighbor, or -1.
+func (n *Node) PortTo(neighbor NodeID) int {
+	for i, p := range n.Ports {
+		if p.peer != nil && p.peer.node.ID == neighbor {
+			return i
+		}
+	}
+	return -1
+}
+
+// Neighbors returns the IDs of directly connected nodes in port order.
+func (n *Node) Neighbors() []NodeID {
+	out := make([]NodeID, 0, len(n.Ports))
+	for _, p := range n.Ports {
+		if p.peer != nil {
+			out = append(out, p.peer.node.ID)
+		}
+	}
+	return out
+}
+
+// Port is one side of a link. It owns the egress queue and transmitter for
+// its direction of the link.
+type Port struct {
+	node  *Node
+	index int
+	link  *Link
+	peer  *Port
+
+	queue   []*Packet
+	busy    bool
+	rateBps int64
+
+	// Stats
+	TxPackets uint64
+	TxBytes   uint64
+	RxPackets uint64
+	Drops     uint64
+	// MaxQueueEver tracks the largest occupancy seen over the port's
+	// lifetime (diagnostics; the dataplane keeps its own windowed max).
+	MaxQueueEver int
+}
+
+// Node returns the owning node.
+func (p *Port) Node() *Node { return p.node }
+
+// Index returns the port's index on its node.
+func (p *Port) Index() int { return p.index }
+
+// Link returns the attached link.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// QueueLen returns the current egress-queue occupancy in packets, counting
+// the packet being transmitted.
+func (p *Port) QueueLen() int {
+	n := len(p.queue)
+	if p.busy {
+		n++
+	}
+	return n
+}
+
+// LinkConfig describes one link's characteristics.
+type LinkConfig struct {
+	// RateBps is the transmission rate of the A→B direction (the first
+	// Connect argument's egress) in bits per second.
+	RateBps int64
+	// ReverseRateBps is the B→A rate; zero means symmetric (RateBps).
+	// Asymmetric rates model the paper's testbed, where host NICs are fast
+	// but BMv2 switch forwarding caps at ~20 Mbps — the bottleneck (and
+	// therefore the queueing) lives at switch egress ports.
+	ReverseRateBps int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueCap is the egress queue capacity in packets (per direction).
+	// Zero means DefaultQueueCap.
+	QueueCap int
+}
+
+// DefaultQueueCap is the per-port egress queue capacity used when a link
+// does not specify one. BMv2's default queue depth is 64 packets; we use
+// the same so Fig-3 queue magnitudes are comparable.
+const DefaultQueueCap = 64
+
+// Link is a full-duplex connection between two ports.
+type Link struct {
+	A, B   *Port
+	Config LinkConfig
+}
+
+// Ends returns the node IDs at the two ends.
+func (l *Link) Ends() (NodeID, NodeID) { return l.A.node.ID, l.B.node.ID }
+
+// DropReason classifies packet drops for stats and tests.
+type DropReason uint8
+
+const (
+	// DropQueueFull means the egress queue had no room.
+	DropQueueFull DropReason = iota
+	// DropTTL means the hop limit reached zero.
+	DropTTL
+	// DropNoRoute means the switch had no route to the destination.
+	DropNoRoute
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue-full"
+	case DropTTL:
+		return "ttl"
+	case DropNoRoute:
+		return "no-route"
+	case DropInjected:
+		return "injected"
+	}
+	return "unknown"
+}
+
+// Network owns the topology and drives packet motion on a simtime engine.
+type Network struct {
+	engine *simtime.Engine
+
+	nodes map[NodeID]*Node
+	order []NodeID // insertion order, for deterministic iteration
+	links []*Link
+
+	nextPacketID uint64
+
+	tracer Tracer
+	fault  FaultFn
+
+	// OnDrop, when set, is invoked for every dropped packet.
+	OnDrop func(pkt *Packet, at *Node, reason DropReason)
+
+	// Stats
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New creates an empty network on the given engine.
+func New(engine *simtime.Engine) *Network {
+	return &Network{engine: engine, nodes: make(map[NodeID]*Node)}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *simtime.Engine { return n.engine }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.engine.Now() }
+
+func (n *Network) addNode(id NodeID, kind NodeKind) *Node {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", id))
+	}
+	node := &Node{ID: id, Kind: kind, net: n, routes: make(map[NodeID]int)}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return node
+}
+
+// AddHost adds a host node.
+func (n *Network) AddHost(id NodeID) *Node { return n.addNode(id, Host) }
+
+// AddSwitch adds a switch node.
+func (n *Network) AddSwitch(id NodeID) *Node { return n.addNode(id, Switch) }
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all node IDs in insertion order.
+func (n *Network) Nodes() []NodeID {
+	out := make([]NodeID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Hosts returns all host IDs in insertion order.
+func (n *Network) Hosts() []NodeID {
+	var out []NodeID
+	for _, id := range n.order {
+		if n.nodes[id].Kind == Host {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Switches returns all switch IDs in insertion order.
+func (n *Network) Switches() []NodeID {
+	var out []NodeID
+	for _, id := range n.order {
+		if n.nodes[id].Kind == Switch {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Links returns all links.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// Connect joins nodes a and b with a full-duplex link.
+func (n *Network) Connect(a, b NodeID, cfg LinkConfig) (*Link, error) {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return nil, fmt.Errorf("netsim: connect %s-%s: unknown node", a, b)
+	}
+	if a == b {
+		return nil, fmt.Errorf("netsim: connect %s to itself", a)
+	}
+	if na.Kind == Host && len(na.Ports) == 1 {
+		return nil, fmt.Errorf("netsim: host %s already has an uplink", a)
+	}
+	if nb.Kind == Host && len(nb.Ports) == 1 {
+		return nil, fmt.Errorf("netsim: host %s already has an uplink", b)
+	}
+	if cfg.RateBps <= 0 {
+		return nil, fmt.Errorf("netsim: connect %s-%s: rate must be positive", a, b)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("netsim: connect %s-%s: negative delay", a, b)
+	}
+	if cfg.ReverseRateBps < 0 {
+		return nil, fmt.Errorf("netsim: connect %s-%s: negative reverse rate", a, b)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.ReverseRateBps == 0 {
+		cfg.ReverseRateBps = cfg.RateBps
+	}
+	pa := &Port{node: na, index: len(na.Ports), rateBps: cfg.RateBps}
+	pb := &Port{node: nb, index: len(nb.Ports), rateBps: cfg.ReverseRateBps}
+	link := &Link{A: pa, B: pb, Config: cfg}
+	pa.link, pb.link = link, link
+	pa.peer, pb.peer = pb, pa
+	na.Ports = append(na.Ports, pa)
+	nb.Ports = append(nb.Ports, pb)
+	n.links = append(n.links, link)
+	return link, nil
+}
+
+// ComputeRoutes installs shortest-path routes (hop count) from every node to
+// every host using BFS. Ties are broken deterministically by lexicographic
+// neighbor ID so the scheduler-side topology traversal can reproduce the
+// exact same paths from learned telemetry.
+func (n *Network) ComputeRoutes() error {
+	hosts := n.Hosts()
+	for _, src := range n.order {
+		node := n.nodes[src]
+		node.routes = make(map[NodeID]int, len(hosts))
+	}
+	// BFS from each host backwards: compute, for each node, the next hop
+	// toward that host.
+	for _, dst := range hosts {
+		// dist and parent via BFS over the undirected graph rooted at dst.
+		next := map[NodeID]NodeID{} // node -> neighbor one step closer to dst
+		visited := map[NodeID]bool{dst: true}
+		frontier := []NodeID{dst}
+		for len(frontier) > 0 {
+			var nextFrontier []NodeID
+			for _, cur := range frontier {
+				neighbors := n.nodes[cur].Neighbors()
+				sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+				for _, nb := range neighbors {
+					if visited[nb] {
+						continue
+					}
+					// Hosts never forward transit traffic.
+					if n.nodes[nb].Kind == Host && nb != dst {
+						visited[nb] = true
+						next[nb] = cur
+						continue
+					}
+					visited[nb] = true
+					next[nb] = cur
+					nextFrontier = append(nextFrontier, nb)
+				}
+			}
+			frontier = nextFrontier
+		}
+		for id, via := range next {
+			node := n.nodes[id]
+			port := node.PortTo(via)
+			if port < 0 {
+				return fmt.Errorf("netsim: internal: no port from %s to %s", id, via)
+			}
+			node.routes[dst] = port
+		}
+	}
+	return nil
+}
+
+// PathBetween returns the node sequence (including endpoints) a packet from
+// src to dst traverses under the installed routes, or an error if
+// unreachable. Useful for tests and the Nearest baseline.
+func (n *Network) PathBetween(src, dst NodeID) ([]NodeID, error) {
+	if n.nodes[src] == nil || n.nodes[dst] == nil {
+		return nil, fmt.Errorf("netsim: path %s->%s: unknown node", src, dst)
+	}
+	path := []NodeID{src}
+	cur := src
+	for cur != dst {
+		node := n.nodes[cur]
+		port, ok := node.routes[dst]
+		if !ok {
+			return nil, fmt.Errorf("netsim: no route from %s to %s (at %s)", src, dst, cur)
+		}
+		cur = node.Ports[port].peer.node.ID
+		path = append(path, cur)
+		if len(path) > len(n.order)+1 {
+			return nil, fmt.Errorf("netsim: routing loop on path %s->%s", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// HopCount returns the number of links on the routed path between two hosts.
+func (n *Network) HopCount(src, dst NodeID) (int, error) {
+	p, err := n.PathBetween(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}
+
+// NewPacket allocates a packet with a fresh ID and defaults.
+func (n *Network) NewPacket(kind PacketKind, src, dst NodeID, size int) *Packet {
+	n.nextPacketID++
+	return &Packet{
+		ID:   n.nextPacketID,
+		Kind: kind,
+		Src:  src,
+		Dst:  dst,
+		Size: size,
+		TTL:  DefaultTTL,
+	}
+}
+
+// Send injects a packet into the network at its source host.
+func (n *Network) Send(pkt *Packet) error {
+	src := n.nodes[pkt.Src]
+	if src == nil {
+		return fmt.Errorf("netsim: send: unknown source %s", pkt.Src)
+	}
+	if src.Kind != Host {
+		return fmt.Errorf("netsim: send: source %s is not a host", pkt.Src)
+	}
+	if n.nodes[pkt.Dst] == nil {
+		return fmt.Errorf("netsim: send: unknown destination %s", pkt.Dst)
+	}
+	if pkt.Size <= 0 {
+		return fmt.Errorf("netsim: send: packet size must be positive")
+	}
+	pkt.SentAt = n.engine.Now()
+	pkt.ingressAt = n.engine.Now()
+	n.emit(TraceSend, src.ID, -1, pkt, 0, 0)
+	if pkt.Src == pkt.Dst {
+		// Local delivery without touching the network.
+		n.engine.After(0, func() { n.deliver(src, pkt) })
+		return nil
+	}
+	port, ok := src.routes[pkt.Dst]
+	if !ok {
+		n.drop(pkt, src, DropNoRoute)
+		return nil
+	}
+	n.enqueue(src.Ports[port], pkt)
+	return nil
+}
+
+// enqueue places pkt on port's egress queue, starting transmission if idle.
+func (n *Network) enqueue(port *Port, pkt *Packet) {
+	if len(port.queue) >= port.link.Config.QueueCap {
+		port.Drops++
+		n.drop(pkt, port.node, DropQueueFull)
+		return
+	}
+	port.queue = append(port.queue, pkt)
+	q := port.QueueLen()
+	if q > port.MaxQueueEver {
+		port.MaxQueueEver = q
+	}
+	n.emit(TraceEnqueue, port.node.ID, port.index, pkt, q, 0)
+	if !port.busy {
+		n.transmitNext(port)
+	}
+}
+
+// transmitNext pops the head of the queue and transmits it.
+func (n *Network) transmitNext(port *Port) {
+	if len(port.queue) == 0 {
+		port.busy = false
+		return
+	}
+	pkt := port.queue[0]
+	port.queue = port.queue[1:]
+	port.busy = true
+	n.emit(TraceTxStart, port.node.ID, port.index, pkt, len(port.queue), 0)
+
+	// Egress processing fires as the packet reaches the head of the queue,
+	// matching the paper's "beginning of the egress queue" semantics.
+	if port.node.Kind == Switch && port.node.Processor != nil {
+		ctx := &ProcessorContext{
+			Device:   port.node,
+			InPort:   -1,
+			OutPort:  port.index,
+			QueueLen: len(port.queue),
+			Now:      n.engine.Now(),
+		}
+		port.node.Processor.Egress(ctx, pkt)
+	} else if port.node.Kind == Host && pkt.Kind == KindProbe {
+		// Hosts stamp outgoing probes so the first link's latency is
+		// measurable too.
+		pkt.StampEgress(n.engine.Now())
+	}
+
+	cfg := port.link.Config
+	txTime := time.Duration(float64(pkt.Size*8) / float64(port.rateBps) * float64(time.Second))
+	peer := port.peer
+	n.engine.After(txTime, func() {
+		port.TxPackets++
+		port.TxBytes += uint64(pkt.Size)
+		// Transmitter is free; start the next packet immediately.
+		n.transmitNext(port)
+		// Propagation to the far end.
+		n.engine.After(cfg.Delay, func() {
+			n.arrive(peer, pkt)
+		})
+	})
+}
+
+// arrive handles a packet reaching the near end of a link.
+func (n *Network) arrive(port *Port, pkt *Packet) {
+	port.RxPackets++
+	node := port.node
+	pkt.ingressAt = n.engine.Now()
+	n.emit(TraceArrive, node.ID, port.index, pkt, 0, 0)
+	if n.fault != nil && n.fault(pkt, node) {
+		n.drop(pkt, node, DropInjected)
+		return
+	}
+	if node.Kind == Host {
+		n.deliver(node, pkt)
+		return
+	}
+	// Switch: TTL, route, ingress processing, enqueue.
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		n.drop(pkt, node, DropTTL)
+		return
+	}
+	outPort, ok := node.routes[pkt.Dst]
+	if !ok {
+		n.drop(pkt, node, DropNoRoute)
+		return
+	}
+	pkt.hops++
+	if node.Processor != nil {
+		ctx := &ProcessorContext{
+			Device:   node,
+			InPort:   port.index,
+			OutPort:  outPort,
+			QueueLen: node.Ports[outPort].QueueLen(),
+			Now:      n.engine.Now(),
+		}
+		node.Processor.Ingress(ctx, pkt)
+	}
+	n.enqueue(node.Ports[outPort], pkt)
+}
+
+func (n *Network) deliver(node *Node, pkt *Packet) {
+	n.Delivered++
+	n.emit(TraceDeliver, node.ID, -1, pkt, 0, 0)
+	if node.Handler != nil {
+		node.Handler(pkt)
+	}
+}
+
+func (n *Network) drop(pkt *Packet, at *Node, reason DropReason) {
+	n.Dropped++
+	n.emit(TraceDrop, at.ID, -1, pkt, 0, reason)
+	if n.OnDrop != nil {
+		n.OnDrop(pkt, at, reason)
+	}
+}

@@ -1,0 +1,351 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/simtime"
+)
+
+// buildLine returns h1 - s1 - h2 with the given link config.
+func buildLine(t *testing.T, cfg LinkConfig) (*Network, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	if _, err := n.Connect("h1", "s1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("s1", "h2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return n, e
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	// 1500B at 12 Mbps = 1 ms serialization; 10 ms propagation per link.
+	cfg := LinkConfig{RateBps: 12_000_000, Delay: 10 * time.Millisecond}
+	n, e := buildLine(t, cfg)
+	var deliveredAt time.Duration
+	n.Node("h2").Handler = func(p *Packet) { deliveredAt = e.Now() }
+	pkt := n.NewPacket(KindData, "h1", "h2", 1500)
+	if err := n.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	// h1 tx (1ms) + prop (10ms) + s1 tx (1ms) + prop (10ms) = 22ms.
+	want := 22 * time.Millisecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if n.Delivered != 1 {
+		t.Fatalf("Delivered=%d", n.Delivered)
+	}
+}
+
+func TestAsymmetricRates(t *testing.T) {
+	// h1 egresses at 120 Mbps (0.1 ms/pkt), s1 egresses at 12 Mbps (1 ms).
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	if _, err := n.Connect("h1", "s1", LinkConfig{RateBps: 120_000_000, ReverseRateBps: 12_000_000, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("s1", "h2", LinkConfig{RateBps: 12_000_000, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	n.Node("h2").Handler = func(p *Packet) { at = e.Now() }
+	_ = n.Send(n.NewPacket(KindData, "h1", "h2", 1500))
+	e.RunUntilIdle()
+	// 0.1ms + 1ms + 1ms + 1ms = 3.1ms.
+	want := 3100 * time.Microsecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestQueueBuildsAtSlowEgress(t *testing.T) {
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	// Fast ingress, slow egress.
+	_, _ = n.Connect("h1", "s1", LinkConfig{RateBps: 1_000_000_000, Delay: time.Millisecond})
+	_, _ = n.Connect("s1", "h2", LinkConfig{RateBps: 12_000_000, Delay: time.Millisecond, QueueCap: 100})
+	_ = n.ComputeRoutes()
+	for i := 0; i < 10; i++ {
+		_ = n.Send(n.NewPacket(KindData, "h1", "h2", 1500))
+	}
+	e.RunUntilIdle()
+	port := n.Node("s1").Ports[n.Node("s1").PortTo("h2")]
+	if port.MaxQueueEver < 8 {
+		t.Fatalf("slow egress queue max %d, want ≥8", port.MaxQueueEver)
+	}
+	if n.Delivered != 10 {
+		t.Fatalf("delivered %d", n.Delivered)
+	}
+}
+
+func TestDropTailWhenQueueFull(t *testing.T) {
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	_, _ = n.Connect("h1", "s1", LinkConfig{RateBps: 1_000_000_000, Delay: time.Microsecond})
+	_, _ = n.Connect("s1", "h2", LinkConfig{RateBps: 1_000_000, Delay: time.Microsecond, QueueCap: 4})
+	_ = n.ComputeRoutes()
+	var drops []DropReason
+	n.OnDrop = func(p *Packet, at *Node, r DropReason) { drops = append(drops, r) }
+	for i := 0; i < 20; i++ {
+		_ = n.Send(n.NewPacket(KindData, "h1", "h2", 1500))
+	}
+	e.RunUntilIdle()
+	if len(drops) == 0 {
+		t.Fatal("no drops with a 4-packet queue and 20-packet burst")
+	}
+	for _, r := range drops {
+		if r != DropQueueFull {
+			t.Fatalf("unexpected drop reason %v", r)
+		}
+	}
+	if n.Delivered+n.Dropped != 20 {
+		t.Fatalf("delivered %d + dropped %d != 20", n.Delivered, n.Dropped)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	n, e := buildLine(t, cfg)
+	got := false
+	n.Node("h1").Handler = func(p *Packet) { got = true }
+	_ = n.Send(n.NewPacket(KindControl, "h1", "h1", 100))
+	e.RunUntilIdle()
+	if !got {
+		t.Fatal("self-addressed packet not delivered")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("local delivery consumed time: %v", e.Now())
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	n, _ := buildLine(t, cfg)
+	if err := n.Send(n.NewPacket(KindData, "nope", "h2", 100)); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := n.Send(n.NewPacket(KindData, "h1", "nope", 100)); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if err := n.Send(n.NewPacket(KindData, "s1", "h2", 100)); err == nil {
+		t.Error("switch as source accepted")
+	}
+	p := n.NewPacket(KindData, "h1", "h2", 0)
+	if err := n.Send(p); err == nil {
+		t.Error("zero-size packet accepted")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	if _, err := n.Connect("h1", "h1", LinkConfig{RateBps: 1}); err == nil {
+		t.Error("self-link accepted")
+	}
+	if _, err := n.Connect("h1", "s1", LinkConfig{RateBps: 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := n.Connect("h1", "s1", LinkConfig{RateBps: 1, Delay: -time.Second}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := n.Connect("h1", "s1", LinkConfig{RateBps: 1}); err != nil {
+		t.Fatalf("valid connect failed: %v", err)
+	}
+	if _, err := n.Connect("h1", "s1", LinkConfig{RateBps: 1}); err == nil {
+		t.Error("second host uplink accepted")
+	}
+	if _, err := n.Connect("x", "s1", LinkConfig{RateBps: 1}); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	n.AddSwitch("h1")
+}
+
+func TestRoutingShortestPathDeterministic(t *testing.T) {
+	// Diamond: h1-s1, s1-s2, s1-s3, s2-s4, s3-s4, s4-h2. Two equal paths;
+	// lexicographic tie-break must pick s2 over s3.
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	for _, s := range []NodeID{"s1", "s2", "s3", "s4"} {
+		n.AddSwitch(s)
+	}
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	for _, pair := range [][2]NodeID{{"h1", "s1"}, {"s1", "s2"}, {"s1", "s3"}, {"s2", "s4"}, {"s3", "s4"}, {"s4", "h2"}} {
+		if _, err := n.Connect(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	path, err := n.PathBetween("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{"h1", "s1", "s2", "s4", "h2"}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	if hops, _ := n.HopCount("h1", "h2"); hops != 4 {
+		t.Fatalf("hops=%d, want 4", hops)
+	}
+}
+
+func TestHostsDoNotForwardTransit(t *testing.T) {
+	// h1 - s1 - hMid - s2 - h2: the only "path" runs through host hMid,
+	// which must not forward, so h1 cannot reach h2.
+	e := simtime.NewEngine()
+	n := New(e)
+	n.AddHost("h1")
+	n.AddHost("hMid")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	n.AddSwitch("s2")
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	// hMid would need two ports; hosts are single-homed, so connect via
+	// two switches that only meet at hMid is impossible by construction.
+	// Instead verify PathBetween fails for a disconnected pair.
+	_, _ = n.Connect("h1", "s1", cfg)
+	_, _ = n.Connect("hMid", "s2", cfg)
+	_, _ = n.Connect("h2", "s2", cfg)
+	_ = n.ComputeRoutes()
+	if _, err := n.PathBetween("h1", "h2"); err == nil {
+		t.Fatal("found path across disconnected components")
+	}
+	// h2 and hMid share s2.
+	if hops, err := n.HopCount("h2", "hMid"); err != nil || hops != 2 {
+		t.Fatalf("hops=%d err=%v, want 2", hops, err)
+	}
+}
+
+func TestTTLDrop(t *testing.T) {
+	cfg := LinkConfig{RateBps: 1_000_000_000, Delay: time.Microsecond}
+	n, e := buildLine(t, cfg)
+	var reason DropReason
+	dropped := false
+	n.OnDrop = func(p *Packet, at *Node, r DropReason) { dropped, reason = true, r }
+	pkt := n.NewPacket(KindData, "h1", "h2", 100)
+	pkt.TTL = 1
+	_ = n.Send(pkt)
+	e.RunUntilIdle()
+	if !dropped || reason != DropTTL {
+		t.Fatalf("dropped=%v reason=%v, want TTL drop", dropped, reason)
+	}
+}
+
+func TestEgressStampRoundTrip(t *testing.T) {
+	p := &Packet{}
+	if _, ok := p.TakeEgressStamp(); ok {
+		t.Fatal("stamp present on fresh packet")
+	}
+	p.StampEgress(5 * time.Second)
+	ts, ok := p.TakeEgressStamp()
+	if !ok || ts != 5*time.Second {
+		t.Fatalf("got %v,%v", ts, ok)
+	}
+	if _, ok := p.TakeEgressStamp(); ok {
+		t.Fatal("stamp not cleared after take")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	n, _ := buildLine(t, cfg)
+	s1 := n.Node("s1")
+	if s1.PortTo("h1") < 0 || s1.PortTo("h2") < 0 {
+		t.Fatal("PortTo failed for neighbors")
+	}
+	if s1.PortTo("nope") != -1 {
+		t.Fatal("PortTo found nonexistent neighbor")
+	}
+	nb := s1.Neighbors()
+	if len(nb) != 2 {
+		t.Fatalf("neighbors %v", nb)
+	}
+	if len(n.Hosts()) != 2 || len(n.Switches()) != 1 || len(n.Nodes()) != 3 {
+		t.Fatal("node listing wrong")
+	}
+	if len(n.Links()) != 2 {
+		t.Fatal("links listing wrong")
+	}
+	if got := n.Node("h1").Kind.String(); got != "host" {
+		t.Fatalf("kind string %q", got)
+	}
+}
+
+func TestPacketKindStrings(t *testing.T) {
+	kinds := []PacketKind{KindData, KindAck, KindProbe, KindPingReq, KindPingResp, KindControl, KindDatagram}
+	want := []string{"data", "ack", "probe", "ping-req", "ping-resp", "control", "datagram"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if PacketKind(200).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	cfg := LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond, QueueCap: 64}
+	n, e := buildLine(t, cfg)
+	var got []int64
+	n.Node("h2").Handler = func(p *Packet) { got = append(got, p.Seq) }
+	for i := 0; i < 30; i++ {
+		p := n.NewPacket(KindData, "h1", "h2", 1500)
+		p.Seq = int64(i)
+		_ = n.Send(p)
+	}
+	e.RunUntilIdle()
+	if len(got) != 30 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("reordered: %v", got)
+		}
+	}
+}

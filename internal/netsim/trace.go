@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceEventKind classifies packet lifecycle events emitted to a tracer.
+type TraceEventKind uint8
+
+const (
+	// TraceSend fires when a packet enters the network at its source.
+	TraceSend TraceEventKind = iota
+	// TraceEnqueue fires when a packet joins an egress queue.
+	TraceEnqueue
+	// TraceTxStart fires when a packet begins transmission.
+	TraceTxStart
+	// TraceArrive fires when a packet reaches a node.
+	TraceArrive
+	// TraceDeliver fires when a packet is delivered to a host handler.
+	TraceDeliver
+	// TraceDrop fires when a packet is discarded.
+	TraceDrop
+)
+
+var traceKindNames = [...]string{"send", "enqueue", "tx-start", "arrive", "deliver", "drop"}
+
+func (k TraceEventKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("trace(%d)", uint8(k))
+}
+
+// TraceEvent is one packet lifecycle observation. It copies the packet
+// fields a consumer needs so recorded events stay valid after the packet
+// moves on.
+type TraceEvent struct {
+	Kind TraceEventKind
+	At   time.Duration
+	// Node is where the event happened; Port is the egress port for
+	// enqueue/tx events (-1 otherwise).
+	Node NodeID
+	Port int
+	// Packet identity.
+	PacketID   uint64
+	PacketKind PacketKind
+	Src, Dst   NodeID
+	Size       int
+	FlowID     uint64
+	Seq        int64
+	// QueueLen is the egress queue occupancy at enqueue time.
+	QueueLen int
+	// DropReason is set for TraceDrop events.
+	DropReason DropReason
+}
+
+func (e TraceEvent) String() string {
+	base := fmt.Sprintf("%12v %-8s %-5s pkt#%d %s %s->%s flow=%d seq=%d",
+		e.At, e.Kind, e.Node, e.PacketID, e.PacketKind, e.Src, e.Dst, e.FlowID, e.Seq)
+	switch e.Kind {
+	case TraceEnqueue:
+		return fmt.Sprintf("%s q=%d", base, e.QueueLen)
+	case TraceDrop:
+		return fmt.Sprintf("%s reason=%s", base, e.DropReason)
+	}
+	return base
+}
+
+// Tracer receives packet lifecycle events. Installing a tracer costs one
+// nil-check per event when absent, so simulations without tracing pay
+// almost nothing.
+type Tracer func(ev TraceEvent)
+
+// SetTracer installs (or clears, with nil) the network's tracer.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// emit sends a trace event if a tracer is installed.
+func (n *Network) emit(kind TraceEventKind, node NodeID, port int, pkt *Packet, queueLen int, reason DropReason) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer(TraceEvent{
+		Kind:       kind,
+		At:         n.engine.Now(),
+		Node:       node,
+		Port:       port,
+		PacketID:   pkt.ID,
+		PacketKind: pkt.Kind,
+		Src:        pkt.Src,
+		Dst:        pkt.Dst,
+		Size:       pkt.Size,
+		FlowID:     pkt.FlowID,
+		Seq:        pkt.Seq,
+		QueueLen:   queueLen,
+		DropReason: reason,
+	})
+}
+
+// FaultFn decides whether to forcibly drop a packet arriving at a node —
+// the hook used by loss-injection tests and chaos experiments. Returning
+// true discards the packet (reported as DropInjected).
+type FaultFn func(pkt *Packet, at *Node) bool
+
+// SetFaultInjector installs (or clears) the arrival fault hook.
+func (n *Network) SetFaultInjector(f FaultFn) { n.fault = f }
+
+// DropInjected marks packets discarded by the fault injector.
+const DropInjected DropReason = 250

@@ -1,0 +1,158 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/transport"
+)
+
+// Pair is one planned probe route: Src periodically probes toward Dst.
+// When Dst is not the collector, Dst relays arriving probe payloads to the
+// collector (see InstallRelay).
+type Pair struct {
+	Src, Dst netsim.NodeID
+}
+
+// PathFunc returns the routed node sequence between two hosts (endpoints
+// included). The planner treats it as ground truth; in deployment it can
+// come from the operator's topology database or the collector's learned
+// topology.
+type PathFunc func(src, dst netsim.NodeID) ([]netsim.NodeID, error)
+
+// PlanCoverage implements the paper's probe-route-optimization future work:
+// it selects a small set of probe pairs whose routed paths visit every link
+// reachable by any host pair. Host→collector pairs are always included
+// (they bootstrap host-attachment learning and serve the base telemetry
+// feed); remaining links are covered greedily (classic set cover), always
+// choosing the pair that covers the most still-uncovered links.
+//
+// Links that lie on no host-pair route are unreachable by probing and are
+// reported in the second return value so operators can see the residual
+// blind spots.
+func PlanCoverage(paths PathFunc, hosts []netsim.NodeID, collector netsim.NodeID) ([]Pair, []string, error) {
+	type edge [2]string
+	canonical := func(a, b netsim.NodeID) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{string(a), string(b)}
+	}
+	pathEdges := func(src, dst netsim.NodeID) (map[edge]bool, error) {
+		p, err := paths(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[edge]bool, len(p))
+		for i := 0; i+1 < len(p); i++ {
+			out[canonical(p[i], p[i+1])] = true
+		}
+		return out, nil
+	}
+
+	// Universe: every link on any host-pair path.
+	universe := make(map[edge]bool)
+	type candidate struct {
+		pair  Pair
+		edges map[edge]bool
+	}
+	var candidates []candidate
+	sorted := append([]netsim.NodeID(nil), hosts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, a := range sorted {
+		for _, b := range sorted {
+			if a == b {
+				continue
+			}
+			es, err := pathEdges(a, b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("probe: planning %s->%s: %w", a, b, err)
+			}
+			for e := range es {
+				universe[e] = true
+			}
+			candidates = append(candidates, candidate{Pair{a, b}, es})
+		}
+	}
+
+	covered := make(map[edge]bool)
+	var plan []Pair
+	take := func(c candidate) {
+		plan = append(plan, c.pair)
+		for e := range c.edges {
+			covered[e] = true
+		}
+	}
+	// Mandatory: every host probes the collector.
+	for _, c := range candidates {
+		if c.pair.Dst == collector {
+			take(c)
+		}
+	}
+	// Greedy set cover for the rest.
+	for len(covered) < len(universe) {
+		best, bestGain := -1, 0
+		for i, c := range candidates {
+			gain := 0
+			for e := range c.edges {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // remaining links unreachable by any candidate
+		}
+		take(candidates[best])
+	}
+
+	var blind []string
+	for e := range universe {
+		if !covered[e] {
+			blind = append(blind, e[0]+"-"+e[1])
+		}
+	}
+	sort.Strings(blind)
+	return plan, blind, nil
+}
+
+// NewPlannedFleet starts one prober per planned pair. Pairs whose source is
+// the collector itself are allowed (the scheduler can probe outward to
+// cover its local links; the far host relays the telemetry back).
+func NewPlannedFleet(nw *netsim.Network, pairs []Pair, interval time.Duration) *Fleet {
+	f := &Fleet{}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			continue
+		}
+		f.probers = append(f.probers, NewProber(nw, p.Src, p.Dst, interval))
+	}
+	return f
+}
+
+// InstallRelay makes a host a probe sink: probes addressed to it get their
+// final-hop latency measured (extracting the last device's egress
+// timestamp) and their payload relayed to the collector as a control
+// message of the same wire size — the INT-sink → monitoring-engine export
+// found in real INT deployments.
+func InstallRelay(stack *transport.Stack, collector netsim.NodeID) {
+	stack.ProbeHandler = func(pkt *netsim.Packet) {
+		p := pkt.Probe
+		if p == nil {
+			return
+		}
+		p.Target = string(stack.Host())
+		if n := len(p.Stack.Records); n > 0 {
+			last := &p.Stack.Records[n-1]
+			if lat := stack.Engine().Now() - last.EgressTS; lat > 0 {
+				p.LastHopLatency = lat
+			}
+		}
+		stack.SendControl(collector, pkt.Size, p)
+	}
+}

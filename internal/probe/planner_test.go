@@ -1,0 +1,162 @@
+package probe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"intsched/internal/dataplane"
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+	"intsched/internal/telemetry"
+	"intsched/internal/transport"
+)
+
+// ringNet builds hosts attached to a ring of switches: h_i on s_i, ring of
+// n switches.
+func ringNet(t *testing.T, n int) (*netsim.Network, []netsim.NodeID) {
+	t.Helper()
+	e := simtime.NewEngine()
+	nw := netsim.New(e)
+	cfg := netsim.LinkConfig{RateBps: 10_000_000, Delay: time.Millisecond}
+	var hosts []netsim.NodeID
+	for i := 0; i < n; i++ {
+		sw := netsim.NodeID(fmt.Sprintf("s%02d", i))
+		nw.AddSwitch(sw)
+	}
+	for i := 0; i < n; i++ {
+		a := netsim.NodeID(fmt.Sprintf("s%02d", i))
+		b := netsim.NodeID(fmt.Sprintf("s%02d", (i+1)%n))
+		if _, err := nw.Connect(a, b, cfg); err != nil {
+			t.Fatal(err)
+		}
+		h := netsim.NodeID(fmt.Sprintf("h%02d", i))
+		nw.AddHost(h)
+		if _, err := nw.Connect(h, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return nw, hosts
+}
+
+// planEdges returns the set of links covered by the plan's routed paths.
+func planEdges(t *testing.T, nw *netsim.Network, plan []Pair) map[[2]string]bool {
+	t.Helper()
+	covered := map[[2]string]bool{}
+	for _, p := range plan {
+		path, err := nw.PathBetween(p.Src, p.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			a, b := string(path[i]), string(path[i+1])
+			if a > b {
+				a, b = b, a
+			}
+			covered[[2]string{a, b}] = true
+		}
+	}
+	return covered
+}
+
+func TestPlanCoverageCoversAllReachableLinks(t *testing.T) {
+	nw, hosts := ringNet(t, 8)
+	collector := hosts[0]
+	plan, blind, err := PlanCoverage(nw.PathBetween, hosts, collector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blind) != 0 {
+		t.Fatalf("blind links on a ring: %v", blind)
+	}
+	covered := planEdges(t, nw, plan)
+	for _, l := range nw.Links() {
+		a, b := l.Ends()
+		sa, sb := string(a), string(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		if !covered[[2]string{sa, sb}] {
+			t.Errorf("link %s-%s not covered by plan %v", sa, sb, plan)
+		}
+	}
+}
+
+func TestPlanCoverageIncludesAllCollectorPairs(t *testing.T) {
+	nw, hosts := ringNet(t, 6)
+	collector := hosts[2]
+	plan, _, err := PlanCoverage(nw.PathBetween, hosts, collector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toCollector := map[netsim.NodeID]bool{}
+	for _, p := range plan {
+		if p.Dst == collector {
+			toCollector[p.Src] = true
+		}
+	}
+	for _, h := range hosts {
+		if h == collector {
+			continue
+		}
+		if !toCollector[h] {
+			t.Errorf("host %s has no probe route to the collector", h)
+		}
+	}
+}
+
+func TestPlanCoverageIsSmall(t *testing.T) {
+	nw, hosts := ringNet(t, 8)
+	plan, _, err := PlanCoverage(nw.PathBetween, hosts, hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 mandatory collector pairs + a handful of greedy extras; the full
+	// quadratic candidate set is 56 pairs, so the plan should be much
+	// smaller.
+	if len(plan) > 14 {
+		t.Fatalf("plan has %d pairs, expected a small cover", len(plan))
+	}
+}
+
+func TestPlannedFleetSkipsSelfPairs(t *testing.T) {
+	nw, hosts := ringNet(t, 4)
+	f := NewPlannedFleet(nw, []Pair{{hosts[0], hosts[1]}, {hosts[2], hosts[2]}}, time.Second)
+	if len(f.Probers()) != 1 {
+		t.Fatalf("probers %d, want 1", len(f.Probers()))
+	}
+	f.Stop()
+}
+
+func TestInstallRelayForwardsPayload(t *testing.T) {
+	nw, hosts := ringNet(t, 4)
+	dataplane.AttachINT(nw, dataplane.INTConfig{})
+	domain := transport.NewDomain(nw).InstallAll()
+	collector := hosts[0]
+	sink := hosts[2]
+
+	var relayed any
+	domain.Stack(collector).ControlHandler = func(_ netsim.NodeID, payload any) {
+		relayed = payload
+	}
+	InstallRelay(domain.Stack(sink), collector)
+
+	// A probe from hosts[1] targeted at the sink host.
+	NewProber(nw, hosts[1], sink, 10*time.Millisecond)
+	nw.Engine().Run(200 * time.Millisecond)
+
+	p, ok := relayed.(*telemetry.ProbePayload)
+	if !ok || p == nil {
+		t.Fatalf("relayed payload %T", relayed)
+	}
+	if p.Target != string(sink) || p.Origin != string(hosts[1]) {
+		t.Fatalf("payload origin=%q target=%q", p.Origin, p.Target)
+	}
+	if p.LastHopLatency <= 0 {
+		t.Fatal("relay did not measure the final hop latency")
+	}
+}

@@ -1,0 +1,119 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/dataplane"
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+	"intsched/internal/telemetry"
+)
+
+func buildStar(t *testing.T) (*netsim.Network, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine()
+	n := netsim.New(e)
+	n.AddSwitch("s1")
+	for _, h := range []netsim.NodeID{"n1", "n2", "sched"} {
+		n.AddHost(h)
+		if _, err := n.Connect(h, "s1", netsim.LinkConfig{RateBps: 100_000_000, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	dataplane.AttachINT(n, dataplane.INTConfig{})
+	return n, e
+}
+
+func TestProberEmitsAtInterval(t *testing.T) {
+	n, e := buildStar(t)
+	var got []*telemetry.ProbePayload
+	n.Node("sched").Handler = func(p *netsim.Packet) {
+		if p.Kind == netsim.KindProbe {
+			got = append(got, p.Probe)
+		}
+	}
+	p := NewProber(n, "n1", "sched", 100*time.Millisecond)
+	e.Run(time.Second)
+	p.Stop()
+	if p.Sent != 10 {
+		t.Fatalf("sent %d probes in 1s at 100ms, want 10", p.Sent)
+	}
+	if len(got) < 9 {
+		t.Fatalf("delivered %d probes", len(got))
+	}
+	// Sequence numbers increase; origin is stamped.
+	for i, pp := range got {
+		if pp.Origin != "n1" {
+			t.Fatalf("origin %q", pp.Origin)
+		}
+		if pp.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at index %d", pp.Seq, i)
+		}
+		if len(pp.Stack.Records) != 1 || pp.Stack.Records[0].Device != "s1" {
+			t.Fatalf("INT stack %v", pp.Stack.Path())
+		}
+	}
+}
+
+func TestProberDefaultInterval(t *testing.T) {
+	n, _ := buildStar(t)
+	p := NewProber(n, "n1", "sched", 0)
+	if p.Interval() != DefaultInterval {
+		t.Fatalf("interval %v", p.Interval())
+	}
+	p.SetInterval(0)
+	if p.Interval() != DefaultInterval {
+		t.Fatalf("reset interval %v", p.Interval())
+	}
+}
+
+func TestProberSetInterval(t *testing.T) {
+	n, e := buildStar(t)
+	p := NewProber(n, "n1", "sched", 100*time.Millisecond)
+	e.Run(time.Second) // 10 probes
+	p.SetInterval(time.Second)
+	e.Run(4 * time.Second) // 3 more
+	p.Stop()
+	if p.Sent != 13 {
+		t.Fatalf("sent %d, want 13", p.Sent)
+	}
+}
+
+func TestFleetSkipsCollector(t *testing.T) {
+	n, e := buildStar(t)
+	f := NewFleet(n, []netsim.NodeID{"n1", "n2", "sched"}, "sched", 100*time.Millisecond)
+	if len(f.Probers()) != 2 {
+		t.Fatalf("fleet size %d, want 2 (collector excluded)", len(f.Probers()))
+	}
+	e.Run(time.Second)
+	if f.TotalSent() != 20 {
+		t.Fatalf("total sent %d", f.TotalSent())
+	}
+	f.SetInterval(time.Second)
+	for _, p := range f.Probers() {
+		if p.Interval() != time.Second {
+			t.Fatal("fleet SetInterval not applied")
+		}
+	}
+	f.Stop()
+	before := f.TotalSent()
+	e.Run(5 * time.Second)
+	if f.TotalSent() != before {
+		t.Fatal("fleet kept probing after Stop")
+	}
+}
+
+func TestProbePacketsAreFixedSize(t *testing.T) {
+	n, e := buildStar(t)
+	n.Node("sched").Handler = func(p *netsim.Packet) {
+		if p.Size != telemetry.ProbePacketSize {
+			t.Fatalf("probe size %d, want %d", p.Size, telemetry.ProbePacketSize)
+		}
+	}
+	NewProber(n, "n1", "sched", 100*time.Millisecond)
+	e.Run(500 * time.Millisecond)
+}

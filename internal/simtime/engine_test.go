@@ -1,0 +1,229 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired in order %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock at %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(time.Second, func() {
+		e.After(500*time.Millisecond, func() { at = e.Now() })
+	})
+	e.RunUntilIdle()
+	if at != 1500*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 1.5s", at)
+	}
+}
+
+func TestEngineAfterNegativeClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	e.RunUntilIdle()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %v", e.Now())
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Second, func() {})
+	e.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(500*time.Millisecond, func() {})
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	// Double cancel is a no-op.
+	ev.Cancel()
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	n := e.Run(2 * time.Second)
+	if n != 2 {
+		t.Fatalf("fired %d events, want 2", n)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", e.Pending())
+	}
+	// Run to a horizon past the queue: clock advances to the horizon.
+	e.Run(10 * time.Second)
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock at %v, want 10s", e.Now())
+	}
+}
+
+func TestEngineStopAbortsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(time.Hour)
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEngineStepSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(time.Second, func() { t.Fatal("cancelled fired") })
+	fired := false
+	e.At(2*time.Second, func() { fired = true })
+	ev.Cancel()
+	if !e.Step() {
+		t.Fatal("Step returned false with a live event pending")
+	}
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+	if e.Step() {
+		t.Fatal("Step returned true on empty queue")
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("NextEventTime reported an event on an empty queue")
+	}
+	e.At(3*time.Second, func() {})
+	at, ok := e.NextEventTime()
+	if !ok || at != 3*time.Second {
+		t.Fatalf("NextEventTime = %v, %v", at, ok)
+	}
+}
+
+func TestTickerPeriodicFiring(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	tk := e.NewTicker(time.Second, func() { times = append(times, e.Now()) })
+	e.Run(3500 * time.Millisecond)
+	tk.Stop()
+	e.Run(10 * time.Second)
+	if len(times) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(times), times)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if times[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	tk := e.NewTicker(time.Second, func() { times = append(times, e.Now()) })
+	e.Run(2500 * time.Millisecond) // ticks at 1s, 2s
+	tk.SetPeriod(5 * time.Second)  // next tick 2.5+5 = 7.5s
+	e.Run(8 * time.Second)
+	tk.Stop()
+	if len(times) != 3 {
+		t.Fatalf("got ticks %v", times)
+	}
+	if times[2] != 7500*time.Millisecond {
+		t.Fatalf("rescheduled tick at %v, want 7.5s", times[2])
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(time.Second, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Minute)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", count)
+	}
+}
+
+func TestTickerInvalidPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	e.NewTicker(0, func() {})
+}
+
+func TestProcessedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunUntilIdle()
+	if e.Processed != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed)
+	}
+}

@@ -1,0 +1,80 @@
+package simtime
+
+import "math/rand"
+
+// Rand is a deterministic random source for simulations. It wraps math/rand
+// with helpers used throughout the workload and traffic generators, and it
+// supports deriving independent sub-streams so that adding a consumer does
+// not perturb the draws seen by existing consumers (critical for the paper's
+// "same order across algorithms" fairness requirement).
+type Rand struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this source was created with.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Stream derives an independent sub-stream identified by name. The same
+// (seed, name) pair always yields the same stream.
+func (r *Rand) Stream(name string) *Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return NewRand(r.seed ^ h)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int { return r.rng.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 { return r.rng.Int63n(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.rng.Float64() }
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + (hi-lo)*r.rng.Float64()
+}
+
+// UniformInt returns a uniform int in [lo, hi] inclusive.
+func (r *Rand) UniformInt(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + r.rng.Intn(hi-lo+1)
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.rng.ExpFloat64() * mean
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.rng.Perm(n) }
+
+// Pick returns a uniformly chosen element of xs. It panics on an empty slice.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// PickN returns n distinct uniformly chosen elements of xs (n <= len(xs)).
+func PickN[T any](r *Rand, xs []T, n int) []T {
+	idx := r.Perm(len(xs))[:n]
+	out := make([]T, n)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministicForSeed(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	base := NewRand(1)
+	s1 := base.Stream("alpha")
+	s2 := base.Stream("beta")
+	// Streams must differ from each other.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if s1.Intn(1<<20) == s2.Intn(1<<20) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams alpha/beta collide too often: %d/50", same)
+	}
+	// Same (seed, name) reproduces the same stream.
+	r1 := NewRand(1).Stream("alpha")
+	r2 := NewRand(1).Stream("alpha")
+	for i := 0; i < 50; i++ {
+		if r1.Intn(1<<20) != r2.Intn(1<<20) {
+			t.Fatal("stream not reproducible")
+		}
+	}
+}
+
+func TestStreamDoesNotPerturbParent(t *testing.T) {
+	a := NewRand(5)
+	b := NewRand(5)
+	_ = a.Stream("consumer") // deriving a stream must not draw from parent
+	for i := 0; i < 20; i++ {
+		if a.Intn(100) != b.Intn(100) {
+			t.Fatal("deriving a stream perturbed the parent sequence")
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRand(3)
+	f := func(lo, hi float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		if d := hi - lo; math.IsInf(d, 0) || math.IsInf(-d, 0) {
+			return true // range wider than float64 can represent
+		}
+		v := r.Uniform(lo, hi)
+		mn, mx := lo, hi
+		if mx < mn {
+			mn, mx = mx, mn
+		}
+		return v >= mn && (v < mx || mn == mx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformIntBoundsProperty(t *testing.T) {
+	r := NewRand(4)
+	f := func(a, b int16) bool {
+		lo, hi := int(a), int(b)
+		v := r.UniformInt(lo, hi)
+		mn, mx := lo, hi
+		if mx < mn {
+			mn, mx = mx, mn
+		}
+		return v >= mn && v <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(6)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("exponential mean %v, want ≈5", mean)
+	}
+}
+
+func TestPickAndPickN(t *testing.T) {
+	r := NewRand(7)
+	xs := []string{"a", "b", "c", "d"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Pick never chose some elements: %v", seen)
+	}
+	picked := PickN(r, xs, 2)
+	if len(picked) != 2 || picked[0] == picked[1] {
+		t.Fatalf("PickN returned %v", picked)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(8)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 50)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

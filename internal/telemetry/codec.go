@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary wire format for probe payloads, shared by the simulator's overhead
+// accounting and the live (real-socket) mode. All integers are big-endian.
+//
+//	header:
+//	  magic      uint16  (GeneveMarker)
+//	  version    uint8
+//	  flags      uint8   (bit0: truncated)
+//	  seq        uint64
+//	  sentAt     int64   (ns)
+//	  lastHop    int64   (ns)
+//	  originLen  uint8
+//	  origin     []byte
+//	  targetLen  uint8
+//	  target     []byte
+//	  numRecords uint8
+//	records, each:
+//	  deviceLen   uint8
+//	  device      []byte
+//	  ingressPort uint8
+//	  egressPort  uint8
+//	  linkLatency int64 (ns)
+//	  hopLatency  int64 (ns)
+//	  egressTS    int64 (ns)
+//	  numQueues   uint8
+//	  queues, each: port uint8, maxQueue uint16, packets uint32
+
+const codecVersion = 1
+
+var (
+	// ErrBadMagic is returned when a payload does not start with the
+	// Geneve probe marker.
+	ErrBadMagic = errors.New("telemetry: bad probe magic")
+	// ErrTruncatedPayload is returned when a payload ends mid-field.
+	ErrTruncatedPayload = errors.New("telemetry: truncated payload")
+)
+
+// MarshalProbe encodes a probe payload into its wire format.
+func MarshalProbe(p *ProbePayload) ([]byte, error) {
+	if len(p.Origin) > math.MaxUint8 {
+		return nil, fmt.Errorf("telemetry: origin %q too long", p.Origin)
+	}
+	if len(p.Target) > math.MaxUint8 {
+		return nil, fmt.Errorf("telemetry: target %q too long", p.Target)
+	}
+	if len(p.Stack.Records) > math.MaxUint8 {
+		return nil, fmt.Errorf("telemetry: too many records (%d)", len(p.Stack.Records))
+	}
+	buf := make([]byte, 0, 64+len(p.Stack.Records)*48)
+	buf = binary.BigEndian.AppendUint16(buf, GeneveMarker)
+	buf = append(buf, codecVersion)
+	var flags byte
+	if p.Stack.Truncated {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SentAt))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.LastHopLatency))
+	buf = append(buf, byte(len(p.Origin)))
+	buf = append(buf, p.Origin...)
+	buf = append(buf, byte(len(p.Target)))
+	buf = append(buf, p.Target...)
+	buf = append(buf, byte(len(p.Stack.Records)))
+	for i := range p.Stack.Records {
+		r := &p.Stack.Records[i]
+		if len(r.Device) > math.MaxUint8 {
+			return nil, fmt.Errorf("telemetry: device %q too long", r.Device)
+		}
+		if r.IngressPort < 0 || r.IngressPort > math.MaxUint8 ||
+			r.EgressPort < 0 || r.EgressPort > math.MaxUint8 {
+			return nil, fmt.Errorf("telemetry: port out of range in record for %q", r.Device)
+		}
+		if len(r.Queues) > math.MaxUint8 {
+			return nil, fmt.Errorf("telemetry: too many queue reports for %q", r.Device)
+		}
+		buf = append(buf, byte(len(r.Device)))
+		buf = append(buf, r.Device...)
+		buf = append(buf, byte(r.IngressPort), byte(r.EgressPort))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.LinkLatency))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.HopLatency))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.EgressTS))
+		buf = append(buf, byte(len(r.Queues)))
+		for _, q := range r.Queues {
+			if q.Port < 0 || q.Port > math.MaxUint8 {
+				return nil, fmt.Errorf("telemetry: queue port %d out of range", q.Port)
+			}
+			mq := q.MaxQueue
+			if mq < 0 {
+				mq = 0
+			}
+			if mq > math.MaxUint16 {
+				mq = math.MaxUint16
+			}
+			buf = append(buf, byte(q.Port))
+			buf = binary.BigEndian.AppendUint16(buf, uint16(mq))
+			buf = binary.BigEndian.AppendUint32(buf, q.Packets)
+		}
+	}
+	return buf, nil
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.b) {
+		return ErrTruncatedPayload
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// UnmarshalProbe decodes a probe payload from its wire format.
+func UnmarshalProbe(b []byte) (*ProbePayload, error) {
+	r := &reader{b: b}
+	magic, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if magic != GeneveMarker {
+		return nil, ErrBadMagic
+	}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("telemetry: unsupported codec version %d", ver)
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	p := &ProbePayload{}
+	p.Stack.Truncated = flags&1 != 0
+	if p.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	sentAt, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	p.SentAt = time.Duration(sentAt)
+	lastHop, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	p.LastHopLatency = time.Duration(lastHop)
+	if p.Origin, err = r.str(); err != nil {
+		return nil, err
+	}
+	if p.Target, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	p.Stack.Records = make([]Record, 0, n)
+	for i := 0; i < int(n); i++ {
+		var rec Record
+		if rec.Device, err = r.str(); err != nil {
+			return nil, err
+		}
+		in, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		out, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		rec.IngressPort, rec.EgressPort = int(in), int(out)
+		ll, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		hl, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		rec.LinkLatency = time.Duration(ll)
+		rec.HopLatency = time.Duration(hl)
+		rec.EgressTS = time.Duration(ts)
+		nq, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		rec.Queues = make([]PortQueue, 0, nq)
+		for j := 0; j < int(nq); j++ {
+			port, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			mq, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			pk, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			rec.Queues = append(rec.Queues, PortQueue{Port: int(port), MaxQueue: int(mq), Packets: pk})
+		}
+		p.Stack.Records = append(p.Stack.Records, rec)
+	}
+	return p, nil
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func samplePayload() *ProbePayload {
+	p := &ProbePayload{Origin: "n3", Seq: 42, SentAt: 1234 * time.Millisecond}
+	p.Stack.Append(Record{
+		Device:      "s01",
+		IngressPort: 2,
+		EgressPort:  3,
+		LinkLatency: 10 * time.Millisecond,
+		HopLatency:  600 * time.Microsecond,
+		EgressTS:    2 * time.Second,
+		Queues: []PortQueue{
+			{Port: 0, MaxQueue: 12, Packets: 100},
+			{Port: 1, MaxQueue: 0, Packets: 0},
+		},
+	})
+	p.Stack.Append(Record{Device: "s02", EgressPort: 1, EgressTS: 3 * time.Second})
+	return p
+}
+
+func TestProbeCodecRoundTrip(t *testing.T) {
+	p := samplePayload()
+	b, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v", p, got)
+	}
+}
+
+// normalize maps empty and nil slices to a canonical form for comparison.
+func normalize(p *ProbePayload) *ProbePayload {
+	q := *p
+	if len(q.Stack.Records) == 0 {
+		q.Stack.Records = nil
+	}
+	for i := range q.Stack.Records {
+		if len(q.Stack.Records[i].Queues) == 0 {
+			q.Stack.Records[i].Queues = nil
+		}
+	}
+	return &q
+}
+
+func TestProbeCodecEmptyStack(t *testing.T) {
+	p := &ProbePayload{Origin: "n1", Seq: 1, SentAt: time.Second}
+	b, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "n1" || got.Seq != 1 || len(got.Stack.Records) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestProbeCodecTruncatedFlag(t *testing.T) {
+	p := samplePayload()
+	p.Stack.Truncated = true
+	b, _ := MarshalProbe(p)
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stack.Truncated {
+		t.Fatal("truncated flag lost")
+	}
+}
+
+func TestUnmarshalBadMagic(t *testing.T) {
+	b, _ := MarshalProbe(samplePayload())
+	b[0] = 0xFF
+	if _, err := UnmarshalProbe(b); err != ErrBadMagic {
+		t.Fatalf("err=%v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnmarshalTruncatedInputs(t *testing.T) {
+	b, _ := MarshalProbe(samplePayload())
+	// Every proper prefix must fail cleanly, never panic.
+	for i := 0; i < len(b); i++ {
+		if _, err := UnmarshalProbe(b[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", i)
+		}
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	b, _ := MarshalProbe(samplePayload())
+	b[2] = 99
+	if _, err := UnmarshalProbe(b); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	long := string(bytes.Repeat([]byte("x"), 300))
+	if _, err := MarshalProbe(&ProbePayload{Origin: long}); err == nil {
+		t.Error("overlong origin accepted")
+	}
+	p := &ProbePayload{Origin: "n1"}
+	p.Stack.Records = []Record{{Device: long}}
+	if _, err := MarshalProbe(p); err == nil {
+		t.Error("overlong device accepted")
+	}
+	p = &ProbePayload{Origin: "n1"}
+	p.Stack.Records = []Record{{Device: "s1", EgressPort: 300}}
+	if _, err := MarshalProbe(p); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestMarshalClampsQueueValues(t *testing.T) {
+	p := &ProbePayload{Origin: "n1"}
+	p.Stack.Records = []Record{{
+		Device: "s1",
+		Queues: []PortQueue{{Port: 0, MaxQueue: 1 << 20}, {Port: 1, MaxQueue: -5}},
+	}}
+	b, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stack.Records[0].Queues[0].MaxQueue != 65535 {
+		t.Errorf("large queue not clamped: %d", got.Stack.Records[0].Queues[0].MaxQueue)
+	}
+	if got.Stack.Records[0].Queues[1].MaxQueue != 0 {
+		t.Errorf("negative queue not clamped: %d", got.Stack.Records[0].Queues[1].MaxQueue)
+	}
+}
+
+func TestProbeCodecPropertyRoundTrip(t *testing.T) {
+	f := func(origin string, seq uint64, sentNs int64, dev string, in, out uint8, linkNs, hopNs int64, port uint8, mq uint16, pk uint32) bool {
+		if len(origin) > 255 || len(dev) > 255 {
+			return true
+		}
+		p := &ProbePayload{Origin: origin, Seq: seq, SentAt: time.Duration(sentNs)}
+		p.Stack.Append(Record{
+			Device:      dev,
+			IngressPort: int(in),
+			EgressPort:  int(out),
+			LinkLatency: absDur(linkNs),
+			HopLatency:  absDur(hopNs),
+			EgressTS:    time.Duration(seq % 1e9),
+			Queues:      []PortQueue{{Port: int(port), MaxQueue: int(mq), Packets: pk}},
+		})
+		b, err := MarshalProbe(p)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalProbe(b)
+		if err != nil {
+			return false
+		}
+		r, g := p.Stack.Records[0], got.Stack.Records[0]
+		return got.Origin == origin && got.Seq == seq &&
+			g.Device == r.Device && g.IngressPort == r.IngressPort &&
+			g.EgressPort == r.EgressPort && g.LinkLatency == r.LinkLatency &&
+			g.Queues[0] == r.Queues[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDur(ns int64) time.Duration {
+	if ns < 0 {
+		if ns == -1<<63 {
+			ns++
+		}
+		ns = -ns
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,195 @@
+// Package trace records packet lifecycle events from the network simulator
+// for debugging and analysis: a bounded ring-buffer recorder with
+// composable filters, per-flow and per-node summaries, and a text dump —
+// the simulator's stand-in for a pcap.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"intsched/internal/netsim"
+)
+
+// Filter decides whether an event is recorded.
+type Filter func(ev netsim.TraceEvent) bool
+
+// ByFlow keeps only events of the given transport flow.
+func ByFlow(flowID uint64) Filter {
+	return func(ev netsim.TraceEvent) bool { return ev.FlowID == flowID }
+}
+
+// ByNode keeps only events observed at the given node.
+func ByNode(node netsim.NodeID) Filter {
+	return func(ev netsim.TraceEvent) bool { return ev.Node == node }
+}
+
+// ByPacketKind keeps only events for packets of the given kind.
+func ByPacketKind(kind netsim.PacketKind) Filter {
+	return func(ev netsim.TraceEvent) bool { return ev.PacketKind == kind }
+}
+
+// ByEventKind keeps only events of the given lifecycle kind.
+func ByEventKind(kind netsim.TraceEventKind) Filter {
+	return func(ev netsim.TraceEvent) bool { return ev.Kind == kind }
+}
+
+// DropsOnly keeps only drop events.
+func DropsOnly() Filter { return ByEventKind(netsim.TraceDrop) }
+
+// All combines filters conjunctively.
+func All(filters ...Filter) Filter {
+	return func(ev netsim.TraceEvent) bool {
+		for _, f := range filters {
+			if !f(ev) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Recorder is a bounded ring buffer of trace events.
+type Recorder struct {
+	filter Filter
+	buf    []netsim.TraceEvent
+	next   int
+	full   bool
+
+	// Seen counts events matching the filter (including ones evicted from
+	// the ring).
+	Seen uint64
+}
+
+// NewRecorder creates a recorder holding the most recent capacity events
+// that pass the filter (nil filter records everything).
+func NewRecorder(capacity int, filter Filter) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{filter: filter, buf: make([]netsim.TraceEvent, capacity)}
+}
+
+// Attach installs the recorder as the network's tracer and returns it.
+func (r *Recorder) Attach(nw *netsim.Network) *Recorder {
+	nw.SetTracer(r.Record)
+	return r
+}
+
+// Record ingests one event (usable directly as a netsim.Tracer).
+func (r *Recorder) Record(ev netsim.TraceEvent) {
+	if r.filter != nil && !r.filter(ev) {
+		return
+	}
+	r.Seen++
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the recorded events in arrival order.
+func (r *Recorder) Events() []netsim.TraceEvent {
+	if !r.full {
+		out := make([]netsim.TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]netsim.TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.next = 0
+	r.full = false
+	r.Seen = 0
+}
+
+// Dump writes the held events as text, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlowSummary aggregates one flow's recorded lifecycle.
+type FlowSummary struct {
+	FlowID    uint64
+	Sent      int
+	Delivered int
+	Dropped   int
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+}
+
+// Summarize aggregates held events per flow, ordered by flow ID.
+func (r *Recorder) Summarize() []FlowSummary {
+	byFlow := map[uint64]*FlowSummary{}
+	for _, ev := range r.Events() {
+		s := byFlow[ev.FlowID]
+		if s == nil {
+			s = &FlowSummary{FlowID: ev.FlowID, FirstSeen: ev.At}
+			byFlow[ev.FlowID] = s
+		}
+		s.LastSeen = ev.At
+		switch ev.Kind {
+		case netsim.TraceSend:
+			s.Sent++
+		case netsim.TraceDeliver:
+			s.Delivered++
+		case netsim.TraceDrop:
+			s.Dropped++
+		}
+	}
+	out := make([]FlowSummary, 0, len(byFlow))
+	for _, s := range byFlow {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// DropsByNode tallies drop events per node.
+func (r *Recorder) DropsByNode() map[netsim.NodeID]int {
+	out := map[netsim.NodeID]int{}
+	for _, ev := range r.Events() {
+		if ev.Kind == netsim.TraceDrop {
+			out[ev.Node]++
+		}
+	}
+	return out
+}
+
+// PathOf reconstructs the node sequence a packet visited from its recorded
+// arrive/deliver events.
+func (r *Recorder) PathOf(packetID uint64) []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, ev := range r.Events() {
+		if ev.PacketID != packetID {
+			continue
+		}
+		switch ev.Kind {
+		case netsim.TraceSend, netsim.TraceArrive:
+			out = append(out, ev.Node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+	"intsched/internal/transport"
+)
+
+// lineNet builds h1 - s1 - h2 with transport installed.
+func lineNet(t *testing.T) (*netsim.Network, *transport.Domain, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine()
+	nw := netsim.New(e)
+	nw.AddHost("h1")
+	nw.AddHost("h2")
+	nw.AddSwitch("s1")
+	cfg := netsim.LinkConfig{RateBps: 50_000_000, Delay: time.Millisecond}
+	if _, err := nw.Connect("h1", "s1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Connect("h2", "s1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return nw, transport.NewDomain(nw).InstallAll(), e
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	nw, domain, e := lineNet(t)
+	rec := NewRecorder(1024, nil).Attach(nw)
+	domain.Stack("h1").Transfer("h2", 10_000, nil)
+	e.RunUntilIdle()
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[netsim.TraceEventKind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []netsim.TraceEventKind{netsim.TraceSend, netsim.TraceEnqueue, netsim.TraceTxStart, netsim.TraceArrive, netsim.TraceDeliver} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events", k)
+		}
+	}
+	// Every send eventually delivered on an idle network.
+	if kinds[netsim.TraceSend] != kinds[netsim.TraceDeliver] {
+		t.Errorf("sends %d != delivers %d", kinds[netsim.TraceSend], kinds[netsim.TraceDeliver])
+	}
+}
+
+func TestRecorderFilters(t *testing.T) {
+	nw, domain, e := lineNet(t)
+	rec := NewRecorder(1024, All(ByPacketKind(netsim.KindData), ByEventKind(netsim.TraceDeliver))).Attach(nw)
+	domain.Stack("h1").Transfer("h2", 5_000, nil)
+	e.RunUntilIdle()
+	for _, ev := range rec.Events() {
+		if ev.PacketKind != netsim.KindData || ev.Kind != netsim.TraceDeliver {
+			t.Fatalf("filter leaked %v", ev)
+		}
+	}
+	if rec.Len() == 0 {
+		t.Fatal("filter dropped everything")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4, nil)
+	for i := 0; i < 10; i++ {
+		r.Record(netsim.TraceEvent{PacketID: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 || r.Len() != 4 {
+		t.Fatalf("held %d", len(evs))
+	}
+	// Oldest retained is #6.
+	for i, ev := range evs {
+		if ev.PacketID != uint64(6+i) {
+			t.Fatalf("ring order wrong: %v", evs)
+		}
+	}
+	if r.Seen != 10 {
+		t.Fatalf("seen %d", r.Seen)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPathOfReconstructsRoute(t *testing.T) {
+	nw, _, e := lineNet(t)
+	rec := NewRecorder(256, nil).Attach(nw)
+	nw.Node("h2").Handler = func(p *netsim.Packet) {}
+	pkt := nw.NewPacket(netsim.KindData, "h1", "h2", 500)
+	_ = nw.Send(pkt)
+	e.RunUntilIdle()
+	path := rec.PathOf(pkt.ID)
+	want := []netsim.NodeID{"h1", "s1", "h2"}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestSummarizeAndDrops(t *testing.T) {
+	nw, domain, e := lineNet(t)
+	rec := NewRecorder(8192, nil).Attach(nw)
+	// Inject 100% loss at s1 for datagrams so drops accumulate there.
+	nw.SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool {
+		return at.ID == "s1" && p.Kind == netsim.KindDatagram
+	})
+	c := domain.Stack("h1").StartCBR("h2", transport.CBRConfig{RateBps: 1_000_000, Duration: time.Second})
+	e.Run(2 * time.Second)
+	if c.PacketsSent == 0 {
+		t.Fatal("no CBR packets")
+	}
+	drops := rec.DropsByNode()
+	if drops["s1"] == 0 {
+		t.Fatalf("no drops recorded at s1: %v", drops)
+	}
+	sums := rec.Summarize()
+	found := false
+	for _, s := range sums {
+		if s.FlowID != 0 && s.Dropped > 0 && s.Delivered == 0 {
+			found = true
+			if s.LastSeen < s.FirstSeen {
+				t.Fatal("summary time range inverted")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no fully-dropped flow in %v", sums)
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	nw, _, e := lineNet(t)
+	rec := NewRecorder(64, nil).Attach(nw)
+	nw.Node("h2").Handler = func(p *netsim.Packet) {}
+	_ = nw.Send(nw.NewPacket(netsim.KindData, "h1", "h2", 100))
+	e.RunUntilIdle()
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "send") || !strings.Contains(out, "deliver") {
+		t.Fatalf("dump:\n%s", out)
+	}
+}
+
+func TestFaultInjectorDropReason(t *testing.T) {
+	nw, _, e := lineNet(t)
+	var reason netsim.DropReason
+	nw.OnDrop = func(p *netsim.Packet, at *netsim.Node, r netsim.DropReason) { reason = r }
+	nw.SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool { return at.ID == "s1" })
+	nw.Node("h2").Handler = func(p *netsim.Packet) {}
+	_ = nw.Send(nw.NewPacket(netsim.KindData, "h1", "h2", 100))
+	e.RunUntilIdle()
+	if reason != netsim.DropInjected {
+		t.Fatalf("reason %v", reason)
+	}
+	if reason.String() != "injected" {
+		t.Fatalf("reason string %q", reason.String())
+	}
+}

@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+	"intsched/internal/transport"
+)
+
+func buildNet(t *testing.T) (*transport.Domain, *simtime.Engine, []netsim.NodeID) {
+	t.Helper()
+	e := simtime.NewEngine()
+	n := netsim.New(e)
+	n.AddSwitch("s1")
+	hosts := []netsim.NodeID{"n1", "n2", "n3", "n4"}
+	for _, h := range hosts {
+		n.AddHost(h)
+		if _, err := n.Connect(h, "s1", netsim.LinkConfig{RateBps: 100_000_000, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return transport.NewDomain(n).InstallAll(), e, hosts
+}
+
+func TestRandomBackgroundKeepsFlowsRunning(t *testing.T) {
+	d, e, hosts := buildNet(t)
+	rng := simtime.NewRand(1)
+	bg := StartRandom(d, hosts, rng, Config{RateBps: 5_000_000})
+	e.Run(5 * time.Minute)
+	bg.Stop()
+	// Slot 0 cycles continuously: ≥ 5min/60s = 5 flows; slot 1 adds more.
+	if bg.FlowsStarted < 6 {
+		t.Fatalf("only %d flows started in 5 minutes", bg.FlowsStarted)
+	}
+	if d.Network().Delivered == 0 {
+		t.Fatal("no traffic delivered")
+	}
+}
+
+func TestRandomBackgroundDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		d, e, hosts := buildNet(t)
+		bg := StartRandom(d, hosts, simtime.NewRand(7), Config{RateBps: 5_000_000})
+		e.Run(3 * time.Minute)
+		bg.Stop()
+		return bg.FlowsStarted, d.Network().Delivered
+	}
+	f1, d1 := run()
+	f2, d2 := run()
+	if f1 != f2 || d1 != d2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", f1, d1, f2, d2)
+	}
+}
+
+func TestBackgroundStopHaltsTraffic(t *testing.T) {
+	d, e, hosts := buildNet(t)
+	bg := StartRandom(d, hosts, simtime.NewRand(2), Config{RateBps: 5_000_000})
+	e.Run(10 * time.Second)
+	bg.Stop()
+	delivered := d.Network().Delivered
+	e.Run(e.Now() + time.Minute)
+	// In-flight packets may still land, but no meaningful new traffic.
+	if d.Network().Delivered > delivered+100 {
+		t.Fatalf("traffic continued after Stop: %d -> %d", delivered, d.Network().Delivered)
+	}
+}
+
+func TestPatternTraffic1Shape(t *testing.T) {
+	cfg := Traffic1()
+	if cfg.Flows != 3 || cfg.On != 30*time.Second || cfg.Off != 30*time.Second || cfg.Stagger != 10*time.Second {
+		t.Fatalf("Traffic1 = %+v", cfg)
+	}
+	cfg2 := Traffic2()
+	if cfg2.Flows != 3 || cfg2.On != 5*time.Second || cfg2.Off != 5*time.Second {
+		t.Fatalf("Traffic2 = %+v", cfg2)
+	}
+}
+
+func TestPatternCyclesOnOff(t *testing.T) {
+	d, e, hosts := buildNet(t)
+	pat := PatternConfig{Flows: 1, On: 5 * time.Second, Off: 5 * time.Second,
+		Traffic: Config{RateBps: 5_000_000}}
+	bg := StartPattern(d, hosts, simtime.NewRand(3), pat)
+	e.Run(60 * time.Second)
+	bg.Stop()
+	// 60s of 5on/5off cycles ≈ 6 flows.
+	if bg.FlowsStarted < 5 || bg.FlowsStarted > 7 {
+		t.Fatalf("flows started %d, want ≈6", bg.FlowsStarted)
+	}
+	// Duty cycle ≈ 50%: delivered bytes ≈ rate × 30s.
+	gotBits := float64(d.Stack("n1").DatagramBytes+d.Stack("n2").DatagramBytes+
+		d.Stack("n3").DatagramBytes+d.Stack("n4").DatagramBytes) * 8
+	wantBits := 5_000_000.0 * 30
+	if gotBits < wantBits*0.7 || gotBits > wantBits*1.3 {
+		t.Fatalf("delivered %.1f Mbit, want ≈%.1f", gotBits/1e6, wantBits/1e6)
+	}
+}
+
+func TestPatternStagger(t *testing.T) {
+	d, e, hosts := buildNet(t)
+	pat := PatternConfig{Flows: 3, On: 30 * time.Second, Off: 30 * time.Second,
+		Stagger: 10 * time.Second, Traffic: Config{RateBps: 1_000_000}}
+	bg := StartPattern(d, hosts, simtime.NewRand(4), pat)
+	// After 5s only the first flow has started.
+	e.Run(5 * time.Second)
+	if bg.FlowsStarted != 1 {
+		t.Fatalf("at t=5s: %d flows, want 1", bg.FlowsStarted)
+	}
+	e.Run(25 * time.Second)
+	if bg.FlowsStarted != 3 {
+		t.Fatalf("at t=25s: %d flows, want 3", bg.FlowsStarted)
+	}
+	bg.Stop()
+}
+
+func TestConfigRateDefault(t *testing.T) {
+	if (Config{}).rate() != DefaultRateBps {
+		t.Fatal("default rate")
+	}
+	if (Config{RateBps: 5}).rate() != 5 {
+		t.Fatal("explicit rate")
+	}
+}

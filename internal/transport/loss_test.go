@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// TestTransferExactlyOnceUnderRandomLoss is the transport's core
+// reliability property: under uniform random loss the receiver must obtain
+// exactly the transferred byte count — never fewer (reliability), never
+// more counted (exactly-once in-order delivery) — across many seeds.
+func TestTransferExactlyOnceUnderRandomLoss(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, lossPct := range []int{2, 10} {
+			d, e := testNet(t, 20_000_000, 64)
+			rng := simtime.NewRand(seed)
+			d.Network().SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool {
+				// Lose data and acks alike, only at the switch.
+				if at.ID != "s1" {
+					return false
+				}
+				return rng.Intn(100) < lossPct
+			})
+			const bytes = 400_000
+			completed := false
+			var fs FlowStats
+			d.Stack("h1").Transfer("h2", bytes, func(s FlowStats) { completed = true; fs = s })
+			e.RunUntilIdle()
+			if !completed {
+				t.Fatalf("seed=%d loss=%d%%: transfer never completed", seed, lossPct)
+			}
+			var rcv *tcpReceiver
+			for _, r := range d.Stack("h2").receivers {
+				rcv = r
+			}
+			if rcv == nil {
+				t.Fatalf("seed=%d: no receiver", seed)
+			}
+			if rcv.BytesReceived != bytes {
+				t.Fatalf("seed=%d loss=%d%%: receiver got %d bytes, want %d (retransmits=%d timeouts=%d)",
+					seed, lossPct, rcv.BytesReceived, bytes, fs.Retransmits, fs.Timeouts)
+			}
+		}
+	}
+}
+
+// TestControlReliabilityUnderLoss: reliable control messages must deliver
+// exactly once despite loss of messages and acknowledgements.
+func TestControlReliabilityUnderLoss(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	rng := simtime.NewRand(3)
+	d.Network().SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool {
+		if at.ID != "s1" {
+			return false
+		}
+		return rng.Intn(100) < 30 // brutal 30% loss
+	})
+	type msg struct{ N int }
+	var got []int
+	d.Stack("h2").ControlHandler = func(_ netsim.NodeID, payload any) {
+		got = append(got, payload.(*msg).N)
+	}
+	const count = 40
+	for i := 0; i < count; i++ {
+		d.Stack("h1").SendControl("h2", 100, &msg{N: i})
+	}
+	e.RunUntilIdle()
+	if len(got) != count {
+		t.Fatalf("delivered %d control messages, want %d", len(got), count)
+	}
+	seen := map[int]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("duplicate delivery of %d", n)
+		}
+		seen[n] = true
+	}
+	if d.Stack("h1").ControlRetransmits == 0 {
+		t.Fatal("expected control retransmissions under 30% loss")
+	}
+}
+
+// TestControlGivesUpAfterMaxRetries: with a fully black-holed path the
+// sender must stop retrying eventually (no infinite timers).
+func TestControlGivesUpAfterMaxRetries(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	d.Network().SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool {
+		return at.ID == "s1" && p.Kind == netsim.KindControl
+	})
+	d.Stack("h1").SendControl("h2", 100, "lost forever")
+	e.RunUntilIdle()
+	if e.Now() > 60*time.Second {
+		t.Fatalf("retry loop ran for %v; should give up after ~%v", e.Now(), ctlMaxRetries*ctlRTO)
+	}
+	if len(d.Stack("h1").ctlPending) != 0 {
+		t.Fatal("pending control state leaked")
+	}
+}
+
+// TestProbeLossDegradesGracefully: probe packets are unreliable by design;
+// losing them must not wedge anything, and delivered probes still carry
+// telemetry.
+func TestProbeLossDegradesGracefully(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	rng := simtime.NewRand(9)
+	d.Network().SetFaultInjector(func(p *netsim.Packet, at *netsim.Node) bool {
+		return p.Kind == netsim.KindProbe && at.ID == "s1" && rng.Intn(2) == 0
+	})
+	received := 0
+	d.Stack("h2").ProbeHandler = func(p *netsim.Packet) { received++ }
+	for i := 0; i < 40; i++ {
+		pkt := d.Network().NewPacket(netsim.KindProbe, "h1", "h2", 1500)
+		pkt.Probe = nil // raw probe without payload is tolerated
+		_ = d.Network().Send(pkt)
+	}
+	e.RunUntilIdle()
+	if received == 0 || received == 40 {
+		t.Fatalf("received %d probes, want partial delivery", received)
+	}
+}

@@ -1,0 +1,346 @@
+// Package transport implements the host-side protocol stack for the
+// simulator: a TCP-like reliable byte-stream (slow start, AIMD congestion
+// avoidance, fast retransmit, RTO with exponential backoff), iperf-style
+// constant-bit-rate datagram flows for background congestion, ICMP-echo
+// style ping, and a small control-message service used by the scheduler
+// query protocol and the task lifecycle.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// Wire-size constants (bytes).
+const (
+	// MSS is the maximum transport payload per data segment.
+	MSS = 1460
+	// HeaderSize approximates IP+transport headers per segment.
+	HeaderSize = 40
+	// SegmentWireSize is the on-wire size of a full data segment.
+	SegmentWireSize = MSS + HeaderSize
+	// AckSize is the on-wire size of a pure acknowledgement.
+	AckSize = HeaderSize
+	// PingSize is the on-wire size of a ping request/response.
+	PingSize = 64
+)
+
+// Domain owns the transport stacks of all hosts in one network and
+// allocates network-unique flow IDs.
+type Domain struct {
+	net      *netsim.Network
+	engine   *simtime.Engine
+	stacks   map[netsim.NodeID]*Stack
+	nextFlow uint64
+}
+
+// NewDomain creates a transport domain for the network.
+func NewDomain(nw *netsim.Network) *Domain {
+	return &Domain{
+		net:    nw,
+		engine: nw.Engine(),
+		stacks: make(map[netsim.NodeID]*Stack),
+	}
+}
+
+// Network returns the underlying network.
+func (d *Domain) Network() *netsim.Network { return d.net }
+
+// InstallAll installs a stack on every host and returns the domain.
+func (d *Domain) InstallAll() *Domain {
+	for _, id := range d.net.Hosts() {
+		d.Install(id)
+	}
+	return d
+}
+
+// Install creates (or returns) the stack for the given host and wires it as
+// the host's packet handler.
+func (d *Domain) Install(host netsim.NodeID) *Stack {
+	if s, ok := d.stacks[host]; ok {
+		return s
+	}
+	node := d.net.Node(host)
+	if node == nil {
+		panic(fmt.Sprintf("transport: unknown host %s", host))
+	}
+	if node.Kind != netsim.Host {
+		panic(fmt.Sprintf("transport: %s is not a host", host))
+	}
+	s := &Stack{
+		domain:     d,
+		host:       node,
+		senders:    make(map[uint64]*tcpSender),
+		receivers:  make(map[uint64]*tcpReceiver),
+		pings:      make(map[int64]*pendingPing),
+		ctlPending: make(map[int64]*pendingControl),
+		ctlSeen:    make(map[netsim.NodeID]map[int64]bool),
+	}
+	node.Handler = s.handle
+	d.stacks[host] = s
+	return s
+}
+
+// Stack returns the stack installed on host, or nil.
+func (d *Domain) Stack(host netsim.NodeID) *Stack { return d.stacks[host] }
+
+func (d *Domain) allocFlowID() uint64 {
+	d.nextFlow++
+	return d.nextFlow
+}
+
+// Stack is one host's transport endpoint.
+type Stack struct {
+	domain *Domain
+	host   *netsim.Node
+
+	senders   map[uint64]*tcpSender
+	receivers map[uint64]*tcpReceiver
+
+	pings    map[int64]*pendingPing
+	nextPing int64
+
+	// Reliable control-message state.
+	ctlSeq     int64
+	ctlPending map[int64]*pendingControl
+	ctlSeen    map[netsim.NodeID]map[int64]bool
+
+	// ControlRetransmits counts control-message retransmissions.
+	ControlRetransmits uint64
+
+	// ProbeHandler receives INT probe packets addressed to this host
+	// (set on the scheduler host by the collector).
+	ProbeHandler func(pkt *netsim.Packet)
+	// ControlHandler receives control messages addressed to this host.
+	ControlHandler func(from netsim.NodeID, payload any)
+	// DatagramHandler, when set, observes unreliable datagrams (CBR
+	// traffic sinks do not need it; counters suffice).
+	DatagramHandler func(pkt *netsim.Packet)
+	// INTSink, when set, observes data packets carrying embedded
+	// per-packet INT stacks (classic INT mode): the destination host is
+	// the INT sink that extracts telemetry and exports it to the
+	// monitoring engine.
+	INTSink func(pkt *netsim.Packet)
+
+	// Stats
+	DatagramsReceived uint64
+	DatagramBytes     uint64
+}
+
+// Host returns the host node ID.
+func (s *Stack) Host() netsim.NodeID { return s.host.ID }
+
+// Engine returns the simulation engine.
+func (s *Stack) Engine() *simtime.Engine { return s.domain.engine }
+
+func (s *Stack) now() time.Duration { return s.domain.engine.Now() }
+
+// handle demultiplexes packets delivered to this host.
+func (s *Stack) handle(pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.KindData:
+		s.handleData(pkt)
+	case netsim.KindAck:
+		if snd := s.senders[pkt.FlowID]; snd != nil {
+			snd.onAck(pkt.Seq)
+		}
+	case netsim.KindProbe:
+		if s.ProbeHandler != nil {
+			s.ProbeHandler(pkt)
+		}
+	case netsim.KindPingReq:
+		// Echo back to the source, preserving the sequence cookie.
+		resp := s.domain.net.NewPacket(netsim.KindPingResp, s.host.ID, pkt.Src, PingSize)
+		resp.Seq = pkt.Seq
+		_ = s.domain.net.Send(resp)
+	case netsim.KindPingResp:
+		if p := s.pings[pkt.Seq]; p != nil {
+			delete(s.pings, pkt.Seq)
+			p.timeout.Cancel()
+			p.cb(s.now()-p.sentAt, true)
+		}
+	case netsim.KindControl:
+		s.handleControlPacket(pkt)
+	case netsim.KindControlAck:
+		s.handleControlAck(pkt)
+	case netsim.KindDatagram:
+		s.DatagramsReceived++
+		s.DatagramBytes += uint64(pkt.Size)
+		if pkt.Probe != nil && s.INTSink != nil {
+			s.INTSink(pkt)
+		}
+		if s.DatagramHandler != nil {
+			s.DatagramHandler(pkt)
+		}
+	}
+}
+
+func (s *Stack) handleData(pkt *netsim.Packet) {
+	if pkt.Probe != nil && s.INTSink != nil {
+		s.INTSink(pkt)
+	}
+	rcv := s.receivers[pkt.FlowID]
+	if rcv == nil {
+		rcv = newTCPReceiver(s, pkt.FlowID, pkt.Src)
+		s.receivers[pkt.FlowID] = rcv
+	}
+	rcv.onData(pkt)
+}
+
+// Control-message reliability parameters: a lost query or task lifecycle
+// message must not strand a task, so control packets are retransmitted
+// until acknowledged.
+const (
+	ctlRTO        = 500 * time.Millisecond
+	ctlMaxRetries = 20
+)
+
+type pendingControl struct {
+	pkt   *netsim.Packet
+	tries int
+	timer *simtime.Event
+}
+
+// SendControl sends a small control message to dst reliably: the packet is
+// retransmitted on a fixed timeout until the receiver acknowledges it (or
+// ctlMaxRetries is exhausted). size is the on-wire size in bytes (clamped
+// to at least the header size).
+func (s *Stack) SendControl(dst netsim.NodeID, size int, payload any) {
+	if size < HeaderSize {
+		size = HeaderSize
+	}
+	s.ctlSeq++
+	seq := s.ctlSeq
+	pkt := s.domain.net.NewPacket(netsim.KindControl, s.host.ID, dst, size)
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pend := &pendingControl{pkt: pkt}
+	s.ctlPending[seq] = pend
+	s.sendControlAttempt(pend)
+}
+
+func (s *Stack) sendControlAttempt(pend *pendingControl) {
+	pend.tries++
+	// Re-issue a fresh packet per attempt: the previous copy may still be
+	// queued somewhere in the network.
+	copyPkt := s.domain.net.NewPacket(netsim.KindControl, pend.pkt.Src, pend.pkt.Dst, pend.pkt.Size)
+	copyPkt.Seq = pend.pkt.Seq
+	copyPkt.Payload = pend.pkt.Payload
+	_ = s.domain.net.Send(copyPkt)
+	if pend.tries > 1 {
+		s.ControlRetransmits++
+	}
+	if pend.tries >= ctlMaxRetries {
+		delete(s.ctlPending, pend.pkt.Seq)
+		return
+	}
+	pend.timer = s.domain.engine.After(ctlRTO, func() {
+		if _, ok := s.ctlPending[pend.pkt.Seq]; ok {
+			s.sendControlAttempt(pend)
+		}
+	})
+}
+
+// handleControlPacket delivers a control packet exactly once and always
+// acknowledges it (duplicates re-acknowledge in case the first ack was
+// lost).
+func (s *Stack) handleControlPacket(pkt *netsim.Packet) {
+	ack := s.domain.net.NewPacket(netsim.KindControlAck, s.host.ID, pkt.Src, AckSize)
+	ack.Seq = pkt.Seq
+	_ = s.domain.net.Send(ack)
+
+	seen := s.ctlSeen[pkt.Src]
+	if seen == nil {
+		seen = make(map[int64]bool)
+		s.ctlSeen[pkt.Src] = seen
+	}
+	if seen[pkt.Seq] {
+		return // duplicate delivery from a retransmission
+	}
+	seen[pkt.Seq] = true
+	if s.ControlHandler != nil {
+		s.ControlHandler(pkt.Src, pkt.Payload)
+	}
+}
+
+func (s *Stack) handleControlAck(pkt *netsim.Packet) {
+	if pend, ok := s.ctlPending[pkt.Seq]; ok {
+		delete(s.ctlPending, pkt.Seq)
+		if pend.timer != nil {
+			pend.timer.Cancel()
+		}
+	}
+}
+
+type pendingPing struct {
+	sentAt  time.Duration
+	cb      func(rtt time.Duration, ok bool)
+	timeout *simtime.Event
+}
+
+// DefaultPingTimeout is how long a ping waits for its echo.
+const DefaultPingTimeout = 2 * time.Second
+
+// Ping sends an echo request to dst and invokes cb with the measured RTT,
+// or ok=false on timeout.
+func (s *Stack) Ping(dst netsim.NodeID, cb func(rtt time.Duration, ok bool)) {
+	s.nextPing++
+	seq := s.nextPing
+	req := s.domain.net.NewPacket(netsim.KindPingReq, s.host.ID, dst, PingSize)
+	req.Seq = seq
+	p := &pendingPing{sentAt: s.now(), cb: cb}
+	p.timeout = s.domain.engine.After(DefaultPingTimeout, func() {
+		if _, ok := s.pings[seq]; ok {
+			delete(s.pings, seq)
+			cb(0, false)
+		}
+	})
+	s.pings[seq] = p
+	_ = s.domain.net.Send(req)
+}
+
+// Pinger periodically pings a destination and records the observed RTTs —
+// the simulator's equivalent of the paper's background `ping` used to
+// measure end-to-end delay in the Fig 3 calibration.
+type Pinger struct {
+	stack  *Stack
+	ticker *simtime.Ticker
+
+	// RTTs holds every successful measurement in order.
+	RTTs []time.Duration
+	// Lost counts timed-out pings.
+	Lost int
+}
+
+// StartPinger pings dst every interval until Stop is called.
+func (s *Stack) StartPinger(dst netsim.NodeID, interval time.Duration) *Pinger {
+	p := &Pinger{stack: s}
+	p.ticker = s.domain.engine.NewTicker(interval, func() {
+		s.Ping(dst, func(rtt time.Duration, ok bool) {
+			if ok {
+				p.RTTs = append(p.RTTs, rtt)
+			} else {
+				p.Lost++
+			}
+		})
+	})
+	return p
+}
+
+// Stop halts the pinger.
+func (p *Pinger) Stop() { p.ticker.Stop() }
+
+// MeanRTT returns the average of recorded RTTs (0 when none).
+func (p *Pinger) MeanRTT() time.Duration {
+	if len(p.RTTs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range p.RTTs {
+		sum += r
+	}
+	return sum / time.Duration(len(p.RTTs))
+}

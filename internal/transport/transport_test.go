@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// testNet builds h1 - s1 - h2 with fast host uplinks and a configurable
+// switch egress rate, returning the installed domain.
+func testNet(t *testing.T, switchRate int64, queueCap int) (*Domain, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine()
+	n := netsim.New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	up := netsim.LinkConfig{RateBps: 1_000_000_000, ReverseRateBps: switchRate, Delay: 5 * time.Millisecond, QueueCap: queueCap}
+	if _, err := n.Connect("h1", "s1", up); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("h2", "s1", up); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return NewDomain(n).InstallAll(), e
+}
+
+func TestTransferCompletesAndDeliversAllBytes(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	var done FlowStats
+	completed := false
+	d.Stack("h1").Transfer("h2", 500_000, func(fs FlowStats) {
+		done = fs
+		completed = true
+	})
+	e.RunUntilIdle()
+	if !completed {
+		t.Fatal("transfer never completed")
+	}
+	if done.Bytes != 500_000 {
+		t.Fatalf("bytes %d", done.Bytes)
+	}
+	if done.Duration() <= 0 {
+		t.Fatalf("duration %v", done.Duration())
+	}
+	// 500 KB at 20 Mbps ≈ 0.2 s minimum; with slow start overhead it
+	// should still land well under 2 s on an idle path.
+	if done.Duration() > 2*time.Second {
+		t.Fatalf("idle-path transfer took %v", done.Duration())
+	}
+}
+
+func TestTransferThroughputApproachesLineRate(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	var fs FlowStats
+	d.Stack("h1").Transfer("h2", 5_000_000, func(s FlowStats) { fs = s })
+	e.RunUntilIdle()
+	tp := fs.ThroughputBps()
+	if tp < 12_000_000 {
+		t.Fatalf("goodput %.1f Mbps, want >12 on an idle 20 Mbps path", tp/1e6)
+	}
+	if tp > 20_000_000 {
+		t.Fatalf("goodput %.1f Mbps exceeds line rate", tp/1e6)
+	}
+}
+
+func TestTransferSurvivesHeavyLoss(t *testing.T) {
+	// Tiny queue forces drops during slow start; the flow must still
+	// complete via fast retransmit / RTO.
+	d, e := testNet(t, 5_000_000, 4)
+	var fs FlowStats
+	completed := false
+	d.Stack("h1").Transfer("h2", 1_000_000, func(s FlowStats) { fs = s; completed = true })
+	e.RunUntilIdle()
+	if !completed {
+		t.Fatal("transfer did not complete under loss")
+	}
+	if fs.Retransmits == 0 {
+		t.Fatal("expected retransmissions with a 4-packet queue")
+	}
+	if d.Network().Dropped == 0 {
+		t.Fatal("expected drops")
+	}
+}
+
+func TestTwoFlowsShareBottleneckFairly(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	var a, b FlowStats
+	d.Stack("h1").Transfer("h2", 2_000_000, func(s FlowStats) { a = s })
+	d.Stack("h1").Transfer("h2", 2_000_000, func(s FlowStats) { b = s })
+	e.RunUntilIdle()
+	if a.End == 0 || b.End == 0 {
+		t.Fatal("a flow did not finish")
+	}
+	ra, rb := a.ThroughputBps(), b.ThroughputBps()
+	ratio := ra / rb
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("unfair share: %.1f vs %.1f Mbps", ra/1e6, rb/1e6)
+	}
+}
+
+func TestSmallTransferSinglePacket(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	completed := false
+	d.Stack("h1").Transfer("h2", 1, func(FlowStats) { completed = true })
+	e.RunUntilIdle()
+	if !completed {
+		t.Fatal("1-byte transfer did not complete")
+	}
+}
+
+func TestTransferZeroBytesClamped(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	completed := false
+	d.Stack("h1").Transfer("h2", 0, func(FlowStats) { completed = true })
+	e.RunUntilIdle()
+	if !completed {
+		t.Fatal("zero-byte transfer did not complete")
+	}
+}
+
+func TestFlowHandleAndStats(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	f := d.Stack("h1").Transfer("h2", 100_000, nil)
+	if f.Done() {
+		t.Fatal("flow done before running")
+	}
+	e.RunUntilIdle()
+	if !f.Done() {
+		t.Fatal("flow not done after run")
+	}
+	fs := f.Stats()
+	if fs.Src != "h1" || fs.Dst != "h2" || fs.SRTT <= 0 {
+		t.Fatalf("stats %+v", fs)
+	}
+	if f.ID() == 0 {
+		t.Fatal("flow ID zero")
+	}
+}
+
+func TestPingRTT(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	var rtt time.Duration
+	ok := false
+	d.Stack("h1").Ping("h2", func(r time.Duration, o bool) { rtt, ok = r, o })
+	e.RunUntilIdle()
+	if !ok {
+		t.Fatal("ping timed out on idle network")
+	}
+	// 4 propagation legs of 5ms plus tiny serialization.
+	if rtt < 20*time.Millisecond || rtt > 25*time.Millisecond {
+		t.Fatalf("rtt %v, want ≈20ms", rtt)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	// Destination exists but all replies die: use a 1-packet queue and
+	// saturate it so the reply drops... simpler: ping an unreachable host
+	// by disconnecting routes — here we ping a host with no handler
+	// installed by removing its stack.
+	e := simtime.NewEngine()
+	n := netsim.New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddSwitch("s1")
+	up := netsim.LinkConfig{RateBps: 1_000_000, Delay: time.Millisecond}
+	_, _ = n.Connect("h1", "s1", up)
+	_, _ = n.Connect("h2", "s1", up)
+	_ = n.ComputeRoutes()
+	d := NewDomain(n)
+	d.Install("h1") // h2 has no stack: echo request is dropped on delivery
+	var ok = true
+	d.Stack("h1").Ping("h2", func(_ time.Duration, o bool) { ok = o })
+	e.RunUntilIdle()
+	if ok {
+		t.Fatal("ping to a deaf host did not time out")
+	}
+}
+
+func TestPingerCollectsSeries(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	p := d.Stack("h1").StartPinger("h2", time.Second)
+	e.Run(10500 * time.Millisecond)
+	p.Stop()
+	if len(p.RTTs) != 10 {
+		t.Fatalf("collected %d RTTs, want 10", len(p.RTTs))
+	}
+	if p.MeanRTT() < 20*time.Millisecond {
+		t.Fatalf("mean RTT %v", p.MeanRTT())
+	}
+	if p.Lost != 0 {
+		t.Fatalf("lost %d on idle network", p.Lost)
+	}
+}
+
+func TestCBRSustainsRate(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	c := d.Stack("h1").StartCBR("h2", CBRConfig{RateBps: 10_000_000, Duration: 10 * time.Second})
+	e.Run(12 * time.Second)
+	if c.Active() {
+		t.Fatal("CBR still active after its duration")
+	}
+	// 10 Mbps for 10 s = 12.5 MB ≈ 8333 packets (burst quantization ±1).
+	sentBits := float64(c.BytesSent * 8)
+	rate := sentBits / 10.0
+	if rate < 9_000_000 || rate > 11_000_000 {
+		t.Fatalf("offered rate %.2f Mbps, want ≈10", rate/1e6)
+	}
+	rx := d.Stack("h2").DatagramsReceived
+	if rx < c.PacketsSent*9/10 {
+		t.Fatalf("received %d of %d datagrams", rx, c.PacketsSent)
+	}
+}
+
+func TestCBRPoissonPacingSustainsRate(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	rng := simtime.NewRand(11)
+	c := d.Stack("h1").StartCBR("h2", CBRConfig{RateBps: 10_000_000, Jitter: rng, Duration: 10 * time.Second})
+	e.Run(12 * time.Second)
+	rate := float64(c.BytesSent*8) / 10.0
+	if rate < 8_500_000 || rate > 11_500_000 {
+		t.Fatalf("Poisson offered rate %.2f Mbps, want ≈10", rate/1e6)
+	}
+}
+
+func TestCBRStopIdempotent(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	stops := 0
+	c := d.Stack("h1").StartCBR("h2", CBRConfig{RateBps: 1_000_000})
+	c.OnStop = func(*CBR) { stops++ }
+	e.Run(time.Second)
+	c.Stop()
+	c.Stop()
+	if stops != 1 {
+		t.Fatalf("OnStop fired %d times", stops)
+	}
+	if c.StoppedAt == 0 {
+		t.Fatal("StoppedAt not recorded")
+	}
+}
+
+func TestControlMessageRoundTrip(t *testing.T) {
+	d, e := testNet(t, 20_000_000, 64)
+	type msg struct{ X int }
+	var got any
+	var from netsim.NodeID
+	d.Stack("h2").ControlHandler = func(f netsim.NodeID, payload any) { from, got = f, payload }
+	d.Stack("h1").SendControl("h2", 100, &msg{X: 7})
+	e.RunUntilIdle()
+	m, ok := got.(*msg)
+	if !ok || m.X != 7 || from != "h1" {
+		t.Fatalf("got %v from %v", got, from)
+	}
+}
+
+func TestDomainInstallIdempotentAndValidating(t *testing.T) {
+	d, _ := testNet(t, 20_000_000, 64)
+	if d.Install("h1") != d.Stack("h1") {
+		t.Fatal("Install not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("installing on a switch did not panic")
+		}
+	}()
+	d.Install("s1")
+}
+
+func TestRTOBackoffRecoversFromBlackout(t *testing.T) {
+	// Start a transfer, then blackhole the path for a while by saturating
+	// the tiny queue with datagrams; the sender must recover via RTO.
+	d, e := testNet(t, 2_000_000, 2)
+	var fs FlowStats
+	completed := false
+	d.Stack("h1").Transfer("h2", 300_000, func(s FlowStats) { fs = s; completed = true })
+	// Blast datagrams for 3 seconds to starve the flow.
+	d.Stack("h1").StartCBR("h2", CBRConfig{RateBps: 10_000_000, Duration: 3 * time.Second})
+	e.RunUntilIdle()
+	if !completed {
+		t.Fatal("flow never recovered from blackout")
+	}
+	if fs.Timeouts == 0 && fs.Retransmits == 0 {
+		t.Fatal("expected timeouts or retransmits during blackout")
+	}
+}
+
+func TestFlowStatsThroughputZeroDuration(t *testing.T) {
+	fs := FlowStats{Bytes: 100, Start: time.Second, End: time.Second}
+	if fs.ThroughputBps() != 0 {
+		t.Fatal("zero duration throughput not zero")
+	}
+}

@@ -1,0 +1,201 @@
+// Package wire defines the on-the-wire encodings shared by the live
+// (real-socket) deployment: a compact binary encapsulation header for
+// datagrams forwarded through the soft-switch overlay, and length-prefixed
+// JSON framing for the scheduler's TCP query protocol.
+//
+// Probe payloads inside probe datagrams use the binary codec from the
+// telemetry package; this package only frames and addresses them.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Magic identifies overlay datagrams.
+const Magic uint16 = 0x1A7E
+
+// Kind tags an overlay datagram's role (mirrors netsim.PacketKind for the
+// kinds the live overlay carries).
+type Kind uint8
+
+// Overlay datagram kinds.
+const (
+	KindData Kind = iota
+	KindProbe
+	KindPing
+	KindPong
+)
+
+// MaxNodeName bounds node identifiers on the wire.
+const MaxNodeName = 255
+
+// DefaultTTL is the initial hop limit for overlay datagrams.
+const DefaultTTL = 32
+
+// Datagram is one encapsulated overlay packet.
+type Datagram struct {
+	Kind Kind
+	TTL  uint8
+	// Src and Dst are overlay node names.
+	Src, Dst string
+	// SentAtNs is the sender's wall-clock timestamp (for ping RTT).
+	SentAtNs int64
+	// EgressTS carries the previous hop's egress timestamp for link
+	// latency measurement (0 when absent), exactly like the simulator's
+	// probe stamping.
+	EgressTS int64
+	// Payload is the opaque upper-layer content (e.g. an encoded probe).
+	Payload []byte
+}
+
+// Marshal encodes the datagram.
+//
+//	magic u16 | kind u8 | ttl u8 | sentAt i64 | egressTS i64 |
+//	srcLen u8 | src | dstLen u8 | dst | payloadLen u16 | payload
+func (d *Datagram) Marshal() ([]byte, error) {
+	if len(d.Src) > MaxNodeName || len(d.Dst) > MaxNodeName {
+		return nil, fmt.Errorf("wire: node name too long")
+	}
+	if len(d.Payload) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: payload too large (%d)", len(d.Payload))
+	}
+	buf := make([]byte, 0, 24+len(d.Src)+len(d.Dst)+len(d.Payload))
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, byte(d.Kind), d.TTL)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.SentAtNs))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.EgressTS))
+	buf = append(buf, byte(len(d.Src)))
+	buf = append(buf, d.Src...)
+	buf = append(buf, byte(len(d.Dst)))
+	buf = append(buf, d.Dst...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Payload)))
+	buf = append(buf, d.Payload...)
+	return buf, nil
+}
+
+// ErrShortDatagram is returned for malformed overlay datagrams.
+var ErrShortDatagram = errors.New("wire: short datagram")
+
+// UnmarshalDatagram decodes an overlay datagram.
+func UnmarshalDatagram(b []byte) (*Datagram, error) {
+	if len(b) < 22 {
+		return nil, ErrShortDatagram
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return nil, fmt.Errorf("wire: bad magic %#x", binary.BigEndian.Uint16(b))
+	}
+	d := &Datagram{Kind: Kind(b[2]), TTL: b[3]}
+	d.SentAtNs = int64(binary.BigEndian.Uint64(b[4:]))
+	d.EgressTS = int64(binary.BigEndian.Uint64(b[12:]))
+	off := 20
+	take := func() (string, bool) {
+		if off >= len(b) {
+			return "", false
+		}
+		n := int(b[off])
+		off++
+		if off+n > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+n])
+		off += n
+		return s, true
+	}
+	var ok bool
+	if d.Src, ok = take(); !ok {
+		return nil, ErrShortDatagram
+	}
+	if d.Dst, ok = take(); !ok {
+		return nil, ErrShortDatagram
+	}
+	if off+2 > len(b) {
+		return nil, ErrShortDatagram
+	}
+	plen := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if off+plen > len(b) {
+		return nil, ErrShortDatagram
+	}
+	d.Payload = append([]byte(nil), b[off:off+plen]...)
+	return d, nil
+}
+
+// --- TCP query protocol -------------------------------------------------
+
+// MaxFrame bounds a framed JSON message.
+const MaxFrame = 1 << 20
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by the JSON
+// encoding of v.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// QueryRequest is the scheduler query sent by a live edge device.
+type QueryRequest struct {
+	From   string `json:"from"`
+	Metric string `json:"metric"`
+	Count  int    `json:"count,omitempty"`
+	Sorted bool   `json:"sorted"`
+	// DataBytes optionally hints the task's transfer size for size-aware
+	// rankings (metric "transfer-time").
+	DataBytes int64 `json:"data_bytes,omitempty"`
+}
+
+// CandidateInfo is one ranked edge server in a live query response.
+type CandidateInfo struct {
+	Node         string  `json:"node"`
+	DelayNs      int64   `json:"delay_ns"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	Hops         int     `json:"hops"`
+	Reachable    bool    `json:"reachable"`
+}
+
+// Delay returns the candidate's delay estimate as a duration.
+func (c CandidateInfo) Delay() time.Duration { return time.Duration(c.DelayNs) }
+
+// QueryResponse is the scheduler's reply.
+type QueryResponse struct {
+	Metric     string          `json:"metric"`
+	Error      string          `json:"error,omitempty"`
+	Candidates []CandidateInfo `json:"candidates"`
+}

@@ -1,0 +1,233 @@
+// Package workload generates the paper's experimental workloads: serverless
+// computing jobs (one task per job) and distributed computing jobs (three
+// tasks per job, e.g. distributed/federated training), with task classes
+// Very Small / Small / Medium / Large drawn from Table I's data-size and
+// execution-time ranges.
+//
+// Generation is fully deterministic for a given seed, and — critically for
+// the paper's methodology — the same generated job sequence is replayed
+// against every scheduling algorithm so comparisons are fair.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// Class is a task size class from Table I.
+type Class uint8
+
+const (
+	// VerySmall: 0–1000 KB data, 0–2000 ms execution.
+	VerySmall Class = iota
+	// Small: 1500–2500 KB data, 2500–4500 ms execution.
+	Small
+	// Medium: 3000–4000 KB data, 5000–7000 ms execution.
+	Medium
+	// Large: 4500–5500 KB data, 7500–9500 ms execution.
+	Large
+	numClasses
+)
+
+var classNames = [...]string{"VS", "S", "M", "L"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classes lists all task classes in Table I order.
+func Classes() []Class { return []Class{VerySmall, Small, Medium, Large} }
+
+// ClassSpec is one row of Table I.
+type ClassSpec struct {
+	Class       Class
+	MinDataKB   int
+	MaxDataKB   int
+	MinExecMs   int
+	MaxExecMs   int
+	Description string
+}
+
+// TableI returns the paper's Table I.
+func TableI() []ClassSpec {
+	return []ClassSpec{
+		{VerySmall, 0, 1000, 0, 2000, "Very small (VS)"},
+		{Small, 1500, 2500, 2500, 4500, "Small (S)"},
+		{Medium, 3000, 4000, 5000, 7000, "Medium (M)"},
+		{Large, 4500, 5500, 7500, 9500, "Large (L)"},
+	}
+}
+
+// Spec returns the Table I row for class c.
+func Spec(c Class) ClassSpec {
+	return TableI()[c]
+}
+
+// Kind selects the workload type.
+type Kind uint8
+
+const (
+	// Serverless jobs submit one task (FaaS-style offload).
+	Serverless Kind = iota
+	// Distributed jobs submit three tasks to three servers.
+	Distributed
+)
+
+func (k Kind) String() string {
+	if k == Serverless {
+		return "serverless"
+	}
+	return "distributed"
+}
+
+// TasksPerJob returns the number of tasks a job of this kind submits.
+func (k Kind) TasksPerJob() int {
+	if k == Serverless {
+		return 1
+	}
+	return 3
+}
+
+// Task is one unit of offloaded work.
+type Task struct {
+	// ID is unique within a generated workload.
+	ID uint64
+	// JobID identifies the parent job.
+	JobID uint64
+	// Class is the Table I size class.
+	Class Class
+	// DataBytes is the input data transferred from device to server.
+	DataBytes int64
+	// ExecTime is the server-side execution duration.
+	ExecTime time.Duration
+}
+
+// Job is a unit of submission from one edge device.
+type Job struct {
+	ID uint64
+	// Device is the submitting edge device.
+	Device netsim.NodeID
+	// SubmitAt is the virtual submission time.
+	SubmitAt time.Duration
+	// Kind is the workload type.
+	Kind Kind
+	// Tasks are the job's tasks (1 for serverless, 3 for distributed).
+	Tasks []Task
+}
+
+// GenConfig parameterizes workload generation.
+type GenConfig struct {
+	// Kind is the workload type.
+	Kind Kind
+	// TaskCount is the total number of tasks to generate (the paper uses
+	// 200 per experiment). The last job is truncated if needed.
+	TaskCount int
+	// Devices are the submitting hosts; each job picks one uniformly.
+	Devices []netsim.NodeID
+	// MeanInterarrival is the mean of the exponential job inter-arrival
+	// time. Zero means DefaultInterarrival.
+	MeanInterarrival time.Duration
+	// Classes restricts generation to the given classes; nil means all
+	// four classes uniformly (the main experiments). Fig 9 uses a single
+	// class (Medium for Traffic 1, Small for Traffic 2).
+	Classes []Class
+	// Start offsets the first submission. Zero starts after one mean
+	// inter-arrival.
+	Start time.Duration
+}
+
+// DefaultInterarrival is the default mean job inter-arrival time.
+const DefaultInterarrival = 5 * time.Second
+
+// Generate produces a deterministic job sequence. The same (config, seed)
+// always yields the same jobs, which is how the experiment harness replays
+// identical workloads across scheduling algorithms.
+func Generate(cfg GenConfig, rng *simtime.Rand) ([]Job, error) {
+	if cfg.TaskCount <= 0 {
+		return nil, fmt.Errorf("workload: TaskCount must be positive")
+	}
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("workload: no devices")
+	}
+	mean := cfg.MeanInterarrival
+	if mean <= 0 {
+		mean = DefaultInterarrival
+	}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = Classes()
+	}
+
+	r := rng.Stream("workload")
+	var jobs []Job
+	var taskID, jobID uint64
+	at := cfg.Start
+	remaining := cfg.TaskCount
+	for remaining > 0 {
+		at += time.Duration(r.Exp(float64(mean)))
+		jobID++
+		ntasks := cfg.Kind.TasksPerJob()
+		if ntasks > remaining {
+			ntasks = remaining
+		}
+		job := Job{
+			ID:       jobID,
+			Device:   simtime.Pick(r, cfg.Devices),
+			SubmitAt: at,
+			Kind:     cfg.Kind,
+		}
+		class := simtime.Pick(r, classes)
+		for i := 0; i < ntasks; i++ {
+			taskID++
+			job.Tasks = append(job.Tasks, sampleTask(r, taskID, jobID, class))
+		}
+		jobs = append(jobs, job)
+		remaining -= ntasks
+	}
+	return jobs, nil
+}
+
+// sampleTask draws a task's data size and execution time from its class's
+// Table I ranges.
+func sampleTask(r *simtime.Rand, taskID, jobID uint64, class Class) Task {
+	spec := Spec(class)
+	dataKB := r.UniformInt(spec.MinDataKB, spec.MaxDataKB)
+	execMs := r.UniformInt(spec.MinExecMs, spec.MaxExecMs)
+	data := int64(dataKB) * 1000
+	if data <= 0 {
+		data = 1000 // at least one small packet of payload
+	}
+	return Task{
+		ID:        taskID,
+		JobID:     jobID,
+		Class:     class,
+		DataBytes: data,
+		ExecTime:  time.Duration(execMs) * time.Millisecond,
+	}
+}
+
+// CountByClass tallies tasks per class across jobs.
+func CountByClass(jobs []Job) map[Class]int {
+	out := make(map[Class]int)
+	for _, j := range jobs {
+		for _, t := range j.Tasks {
+			out[t.Class]++
+		}
+	}
+	return out
+}
+
+// TotalTasks returns the task count across jobs.
+func TotalTasks(jobs []Job) int {
+	n := 0
+	for _, j := range jobs {
+		n += len(j.Tasks)
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+var devices = []netsim.NodeID{"n1", "n2", "n3", "n4"}
+
+func gen(t *testing.T, cfg GenConfig, seed int64) []Job {
+	t.Helper()
+	jobs, err := Generate(cfg, simtime.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestTableIRanges(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	want := []struct {
+		cls                        Class
+		minKB, maxKB, minMs, maxMs int
+	}{
+		{VerySmall, 0, 1000, 0, 2000},
+		{Small, 1500, 2500, 2500, 4500},
+		{Medium, 3000, 4000, 5000, 7000},
+		{Large, 4500, 5500, 7500, 9500},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Class != w.cls || r.MinDataKB != w.minKB || r.MaxDataKB != w.maxKB ||
+			r.MinExecMs != w.minMs || r.MaxExecMs != w.maxMs {
+			t.Errorf("row %d = %+v", i, r)
+		}
+	}
+}
+
+func TestGenerateExactTaskCount(t *testing.T) {
+	for _, kind := range []Kind{Serverless, Distributed} {
+		for _, count := range []int{1, 2, 3, 7, 200} {
+			jobs := gen(t, GenConfig{Kind: kind, TaskCount: count, Devices: devices}, 1)
+			if got := TotalTasks(jobs); got != count {
+				t.Errorf("%v count=%d: generated %d tasks", kind, count, got)
+			}
+		}
+	}
+}
+
+func TestGenerateTasksPerJob(t *testing.T) {
+	jobs := gen(t, GenConfig{Kind: Distributed, TaskCount: 30, Devices: devices}, 2)
+	for i, j := range jobs {
+		if i < len(jobs)-1 && len(j.Tasks) != 3 {
+			t.Fatalf("distributed job %d has %d tasks", i, len(j.Tasks))
+		}
+		// All tasks of one job share a class (one logical job).
+		for _, task := range j.Tasks {
+			if task.Class != j.Tasks[0].Class {
+				t.Fatalf("job %d mixes classes", i)
+			}
+			if task.JobID != j.ID {
+				t.Fatalf("task jobID mismatch")
+			}
+		}
+	}
+	sl := gen(t, GenConfig{Kind: Serverless, TaskCount: 5, Devices: devices}, 2)
+	for _, j := range sl {
+		if len(j.Tasks) != 1 {
+			t.Fatal("serverless job with multiple tasks")
+		}
+	}
+}
+
+func TestGenerateWithinTableIRanges(t *testing.T) {
+	jobs := gen(t, GenConfig{Kind: Serverless, TaskCount: 400, Devices: devices}, 3)
+	for _, j := range jobs {
+		for _, task := range j.Tasks {
+			spec := Spec(task.Class)
+			maxData := int64(spec.MaxDataKB) * 1000
+			if task.DataBytes <= 0 || task.DataBytes > maxData {
+				t.Fatalf("task %d data %d outside (0, %d]", task.ID, task.DataBytes, maxData)
+			}
+			if task.DataBytes > 1000 && task.DataBytes < int64(spec.MinDataKB)*1000 {
+				t.Fatalf("task %d data %d below class min", task.ID, task.DataBytes)
+			}
+			minE := time.Duration(spec.MinExecMs) * time.Millisecond
+			maxE := time.Duration(spec.MaxExecMs) * time.Millisecond
+			if task.ExecTime < minE || task.ExecTime > maxE {
+				t.Fatalf("task %d exec %v outside [%v, %v]", task.ID, task.ExecTime, minE, maxE)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Kind: Distributed, TaskCount: 60, Devices: devices}
+	a := gen(t, cfg, 42)
+	b := gen(t, cfg, 42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Device != b[i].Device || a[i].SubmitAt != b[i].SubmitAt {
+			t.Fatal("job sequence diverged")
+		}
+		for k := range a[i].Tasks {
+			if a[i].Tasks[k] != b[i].Tasks[k] {
+				t.Fatal("task diverged")
+			}
+		}
+	}
+	c := gen(t, cfg, 43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i].SubmitAt != c[i].SubmitAt {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateClassRestriction(t *testing.T) {
+	jobs := gen(t, GenConfig{Kind: Serverless, TaskCount: 50, Devices: devices,
+		Classes: []Class{Medium}}, 4)
+	counts := CountByClass(jobs)
+	if counts[Medium] != 50 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestGenerateAllClassesAppear(t *testing.T) {
+	jobs := gen(t, GenConfig{Kind: Serverless, TaskCount: 200, Devices: devices}, 5)
+	counts := CountByClass(jobs)
+	for _, c := range Classes() {
+		if counts[c] < 20 {
+			t.Errorf("class %v underrepresented: %d/200", c, counts[c])
+		}
+	}
+}
+
+func TestGenerateSubmitTimesIncrease(t *testing.T) {
+	jobs := gen(t, GenConfig{Kind: Serverless, TaskCount: 50, Devices: devices,
+		MeanInterarrival: time.Second, Start: 10 * time.Second}, 6)
+	prev := 10 * time.Second
+	for _, j := range jobs {
+		if j.SubmitAt <= prev {
+			t.Fatalf("submit times not strictly increasing: %v then %v", prev, j.SubmitAt)
+		}
+		prev = j.SubmitAt
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := simtime.NewRand(1)
+	if _, err := Generate(GenConfig{TaskCount: 0, Devices: devices}, r); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := Generate(GenConfig{TaskCount: 5}, r); err == nil {
+		t.Error("no devices accepted")
+	}
+}
+
+func TestTaskIDsUniqueProperty(t *testing.T) {
+	f := func(seed int64, countRaw uint8) bool {
+		count := int(countRaw%100) + 1
+		jobs, err := Generate(GenConfig{Kind: Distributed, TaskCount: count, Devices: devices},
+			simtime.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, j := range jobs {
+			for _, task := range j.Tasks {
+				if seen[task.ID] {
+					return false
+				}
+				seen[task.ID] = true
+			}
+		}
+		return len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndClassStrings(t *testing.T) {
+	if Serverless.String() != "serverless" || Distributed.String() != "distributed" {
+		t.Error("kind strings")
+	}
+	if Serverless.TasksPerJob() != 1 || Distributed.TasksPerJob() != 3 {
+		t.Error("tasks per job")
+	}
+	names := []string{"VS", "S", "M", "L"}
+	for i, c := range Classes() {
+		if c.String() != names[i] {
+			t.Errorf("class %d string %q", i, c.String())
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class string empty")
+	}
+}
