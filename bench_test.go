@@ -323,6 +323,44 @@ func BenchmarkBandwidthRanking(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerQueryThroughput measures the scheduler's query read
+// path on a warmed Fig 4 deployment with telemetry churning at the 100 ms
+// probe cadence, 100 queries per probe tick. Cached uses the
+// epoch-versioned snapshot + rank cache; Uncached restores the
+// pre-refactor behavior (fresh topology copy and re-ranking per query) for
+// the before/after comparison. Run with -bench SchedulerQueryThroughput;
+// intbench -exp qps prints the same comparison full-size.
+func BenchmarkSchedulerQueryThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		cached bool
+	}{
+		{"Cached", true},
+		{"Uncached", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			rig, err := experiment.NewQueryRig(mode.cached, experiment.QPSConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sinceProbe := 0
+			for i := 0; i < b.N; i++ {
+				if sinceProbe == 100 {
+					rig.Tick()
+					sinceProbe = 0
+				}
+				if got := rig.Query(i); len(got) == 0 {
+					b.Fatal("empty ranking")
+				}
+				sinceProbe++
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
 // warmedCollector builds a collector taught the Fig 4 topology via a short
 // simulated probing phase.
 func warmedCollector(b *testing.B) *collector.Collector {

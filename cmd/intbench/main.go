@@ -5,7 +5,7 @@
 //	intbench -exp fig5        # one experiment
 //	intbench -tasks 60 -fig3dur 30s   # scaled-down quick pass
 //
-// Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation.
+// Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation, qps.
 package main
 
 import (
@@ -29,7 +29,8 @@ var (
 	seeds   = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
 	tasks   = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
 	fig3dur = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
-	expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,all")
+	expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,qps,all")
+	queries = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
 )
 
 func main() {
@@ -59,6 +60,29 @@ func main() {
 	run("fig8", fig8)
 	run("fig9", fig9)
 	run("ablation", ablation)
+	run("qps", qps)
+}
+
+// qps compares scheduler query throughput with and without the
+// epoch-versioned snapshot + rank cache read path, telemetry churning at
+// the 100 ms probe cadence, queries outnumbering probes 100:1.
+func qps() error {
+	res, err := experiment.QPS(experiment.QPSConfig{Queries: *queries})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("read path", "queries", "elapsed", "queries/s", "cache hit rate", "epochs")
+	for _, m := range []experiment.QPSMode{res.Uncached, res.Cached} {
+		hit := "-"
+		if total := m.Cache.Hits + m.Cache.Misses; total > 0 {
+			hit = fmt.Sprintf("%.1f%%", float64(m.Cache.Hits)/float64(total)*100)
+		}
+		tb.AddRow(m.Label, res.Queries, m.Elapsed.Round(time.Millisecond),
+			fmt.Sprintf("%.0f", m.QPS), hit, m.Epoch)
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("speedup: %.1fx queries/s (target: >=5x when queries outnumber probes 100:1)\n", res.Speedup)
+	return nil
 }
 
 // table1 prints the workload class definitions plus sampled statistics from

@@ -65,8 +65,13 @@ func main() {
 		case <-tick:
 			st := daemon.Collector().Stats()
 			cov := daemon.Collector().Coverage()
-			fmt.Printf("intsched: probes=%d records=%d fresh=%v stale=%v\n",
-				st.ProbesReceived, st.RecordsParsed, cov.Fresh, cov.Stale)
+			cs := daemon.CacheStats()
+			hitRate := 0.0
+			if total := cs.Hits + cs.Misses; total > 0 {
+				hitRate = float64(cs.Hits) / float64(total)
+			}
+			fmt.Printf("intsched: probes=%d records=%d epoch=%d rank-cache hit=%.0f%% fresh=%v stale=%v\n",
+				st.ProbesReceived, st.RecordsParsed, daemon.Collector().Epoch(), hitRate*100, cov.Fresh, cov.Stale)
 		case <-stop:
 			fmt.Println("\nintsched: shutting down")
 			return

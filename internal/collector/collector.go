@@ -12,6 +12,7 @@ package collector
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intsched/internal/netsim"
@@ -110,6 +111,17 @@ type Collector struct {
 	lastReport map[string]time.Duration // device -> last INT record time
 	lastProbe  map[probeKey]probeMeta   // (origin, target) -> latest probe metadata
 
+	// epoch counts state-mutating updates (accepted probes, link-rate and
+	// queue-window changes). Snapshots are versioned by it: readers can
+	// tell "nothing changed since my snapshot" by comparing epochs without
+	// taking the lock. Incremented under mu, read lock-free.
+	epoch atomic.Uint64
+	// snap is the published cached snapshot (nil until first Snapshot).
+	snap atomic.Pointer[snapshotCache]
+	// noSnapCache forces Snapshot to rebuild on every call (the
+	// pre-caching behavior), for before/after benchmarking.
+	noSnapCache atomic.Bool
+
 	// Stats (guarded by mu; read via Stats()).
 	probesReceived   uint64
 	probesOutOfOrder uint64
@@ -168,6 +180,18 @@ func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector 
 // Self returns the collector's own host ID.
 func (c *Collector) Self() netsim.NodeID { return netsim.NodeID(c.self) }
 
+// Epoch returns the collector's current state version. It advances on every
+// accepted probe and configuration change; equal epochs guarantee that
+// Snapshot would return the same topology (modulo queue-window aging, which
+// Snapshot also accounts for).
+func (c *Collector) Epoch() uint64 { return c.epoch.Load() }
+
+// SetSnapshotCaching toggles snapshot reuse. Caching is on by default;
+// disabling it forces every Snapshot call to rebuild a fresh deep copy (the
+// pre-epoch behavior), which exists for before/after benchmarking and
+// debugging only.
+func (c *Collector) SetSnapshotCaching(enabled bool) { c.noSnapCache.Store(!enabled) }
+
 // SetQueueWindow adjusts the queue-report window, typically to track a
 // changed probing interval (Fig 9 sweeps).
 func (c *Collector) SetQueueWindow(w time.Duration) {
@@ -177,6 +201,7 @@ func (c *Collector) SetQueueWindow(w time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cfg.QueueWindow = w
+	c.epoch.Add(1)
 }
 
 // SetLinkRate records the capacity of the directed link from->to. Both
@@ -186,6 +211,7 @@ func (c *Collector) SetLinkRate(from, to netsim.NodeID, rateBps int64) {
 	defer c.mu.Unlock()
 	c.linkRate[edgeKey{string(from), string(to)}] = rateBps
 	c.linkRate[edgeKey{string(to), string(from)}] = rateBps
+	c.epoch.Add(1)
 }
 
 // Bind installs the collector as the probe handler of the scheduler host's
@@ -224,6 +250,9 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 		c.probesOutOfOrder++
 		return
 	}
+	// Accepted probe: the learned state is about to change, invalidating
+	// cached snapshots and every rank result derived from them.
+	c.epoch.Add(1)
 	c.lastProbe[key] = probeMeta{seq: p.Seq, at: now}
 	c.isHost[p.Origin] = true
 

@@ -2,18 +2,27 @@ package collector
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
 // Topology is an immutable snapshot of the collector's learned network view,
 // used by the ranking algorithms. All lookups are against the snapshot, so a
-// ranking pass sees one consistent picture.
+// ranking pass sees one consistent picture. Snapshots are epoch-versioned
+// and shared: the collector returns the same *Topology pointer to every
+// caller until its state actually changes, so snapshots must be safe for
+// concurrent readers. The only internal mutability is the lazily built
+// per-destination shortest-path tree cache, which is guarded by its own
+// lock.
 type Topology struct {
 	// Nodes lists every known node ID (hosts and switches), sorted.
 	Nodes []string
 	// hosts marks which nodes are hosts.
 	hosts map[string]bool
+	// hostList caches the sorted host IDs (Hosts returns a copy).
+	hostList []string
 	// neighbors maps node -> sorted neighbor IDs.
 	neighbors map[string][]string
 	// egressPort maps (from, to) -> from's egress port toward to.
@@ -30,16 +39,68 @@ type Topology struct {
 	// linkRate maps (from, to) -> capacity in bps.
 	linkRate    map[edgeKey]int64
 	defaultRate int64
-	// TakenAt is the snapshot time.
+	// TakenAt is the time the snapshot was built. With snapshot caching it
+	// is the time of the last rebuild, not the time of the Snapshot() call
+	// that returned it.
 	TakenAt time.Duration
+	// epoch is the collector epoch this snapshot was built at.
+	epoch uint64
+
+	// spt memoizes per-destination shortest-path trees: one BFS from the
+	// destination serves Path/HopCount for every source. Built lazily on
+	// first use; safe for concurrent readers.
+	sptMu sync.RWMutex
+	spt   map[string]map[string]string // dst -> node -> next hop toward dst
 }
 
-// Snapshot captures the current learned topology and link state.
+// snapshotCache is the atomically published cached snapshot together with
+// its validity bounds: the epoch it was built at and the earliest time at
+// which a cached in-window queue report would age out of the queue window
+// (after which queue maxima must be recomputed even without new probes).
+type snapshotCache struct {
+	topo     *Topology
+	epoch    uint64
+	expireAt time.Duration
+}
+
+// neverExpires marks snapshots with no in-window queue reports; they stay
+// valid until the epoch advances.
+const neverExpires = time.Duration(math.MaxInt64)
+
+// Snapshot returns the current learned topology and link state. The
+// returned Topology is immutable and shared: repeated calls return the
+// identical pointer until a state-mutating probe/report advances the
+// collector's epoch (or an in-window queue report ages out of the queue
+// window, which changes windowed maxima without a new probe). The fast path
+// is lock-free, so any number of concurrent readers can query while probes
+// are being ingested.
 func (c *Collector) Snapshot() *Topology {
 	now := c.clock()
+	if c.noSnapCache.Load() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		t, _ := c.buildSnapshotLocked(now, c.epoch.Load())
+		return t
+	}
+	if cached := c.snap.Load(); cached != nil && cached.epoch == c.epoch.Load() && now <= cached.expireAt {
+		return cached.topo
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Double-check under the lock: another goroutine may have rebuilt.
+	epoch := c.epoch.Load()
+	if cached := c.snap.Load(); cached != nil && cached.epoch == epoch && now <= cached.expireAt {
+		return cached.topo
+	}
+	t, expireAt := c.buildSnapshotLocked(now, epoch)
+	c.snap.Store(&snapshotCache{topo: t, epoch: epoch, expireAt: expireAt})
+	return t
+}
 
+// buildSnapshotLocked deep-copies the collector state into a fresh immutable
+// Topology. It returns the snapshot and the earliest time an in-window queue
+// report expires (neverExpires if none).
+func (c *Collector) buildSnapshotLocked(now time.Duration, epoch uint64) (*Topology, time.Duration) {
 	t := &Topology{
 		hosts:       make(map[string]bool, len(c.isHost)),
 		neighbors:   make(map[string][]string, len(c.adj)),
@@ -51,6 +112,8 @@ func (c *Collector) Snapshot() *Topology {
 		linkRate:    make(map[edgeKey]int64, len(c.linkRate)),
 		defaultRate: c.cfg.DefaultLinkRateBps,
 		TakenAt:     now,
+		epoch:       epoch,
+		spt:         make(map[string]map[string]string),
 	}
 	nodeSet := make(map[string]bool)
 	for from, ports := range c.adj {
@@ -72,7 +135,9 @@ func (c *Collector) Snapshot() *Topology {
 	sort.Strings(t.Nodes)
 	for h := range c.isHost {
 		t.hosts[h] = true
+		t.hostList = append(t.hostList, h)
 	}
+	sort.Strings(t.hostList)
 	for k, st := range c.linkDelay {
 		t.linkDelay[k] = st.ewma
 		t.linkJitter[k] = st.jitterLocked()
@@ -80,25 +145,46 @@ func (c *Collector) Snapshot() *Topology {
 	for k, rate := range c.linkRate {
 		t.linkRate[k] = rate
 	}
-	for key := range c.queues {
-		if q, ok := c.maxQueueLocked(key.device, key.port, now); ok {
-			t.queueMax[key] = q
+	expireAt := neverExpires
+	cutoff := now - c.cfg.QueueWindow
+	for key, reports := range c.queues {
+		best, found := 0, false
+		for i := range reports {
+			if reports[i].at < cutoff {
+				continue
+			}
+			found = true
+			if reports[i].maxQueue > best {
+				best = reports[i].maxQueue
+			}
+			// This report stays in-window while now' <= at + window; the
+			// earliest such boundary is when the cached snapshot must be
+			// rebuilt.
+			if e := reports[i].at + c.cfg.QueueWindow; e < expireAt {
+				expireAt = e
+			}
+		}
+		if found {
+			t.queueMax[key] = best
 			t.queueSeen[key] = true
 		}
 	}
-	return t
+	return t, expireAt
 }
+
+// Epoch returns the collector epoch this snapshot was built at. Two
+// snapshots with equal epochs are the same object; ranking results computed
+// from a snapshot stay valid exactly while the collector's epoch equals the
+// snapshot's.
+func (t *Topology) Epoch() uint64 { return t.epoch }
 
 // IsHost reports whether id is a known host.
 func (t *Topology) IsHost(id string) bool { return t.hosts[id] }
 
 // Hosts returns all known hosts, sorted.
 func (t *Topology) Hosts() []string {
-	var out []string
-	for h := range t.hosts {
-		out = append(out, h)
-	}
-	sort.Strings(out)
+	out := make([]string, len(t.hostList))
+	copy(out, t.hostList)
 	return out
 }
 
@@ -147,21 +233,25 @@ func (t *Topology) QueueMax(from, to string) (int, bool) {
 	return t.queueMax[key], true
 }
 
-// Path returns the hop sequence (including endpoints) from src to dst using
-// breadth-first shortest paths with lexicographic tie-breaking over sorted
-// neighbors — the same deterministic rule the simulator's routing uses, so
-// the scheduler's estimate walks the links traffic will actually take.
-// Hosts never forward transit traffic.
-func (t *Topology) Path(src, dst string) ([]string, error) {
-	if src == dst {
-		return []string{src}, nil
+// destTree returns the shortest-path tree toward dst: for every node that
+// can reach dst, the next hop on the BFS shortest path (lexicographic
+// tie-breaking over sorted neighbors, hosts never forwarding transit
+// traffic — the same deterministic rule as netsim.ComputeRoutes). The tree
+// is built once per destination and memoized, so one BFS serves Path and
+// HopCount lookups from every source.
+func (t *Topology) destTree(dst string) map[string]string {
+	t.sptMu.RLock()
+	tree, ok := t.spt[dst]
+	t.sptMu.RUnlock()
+	if ok {
+		return tree
 	}
-	if _, ok := t.neighbors[src]; !ok {
-		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
+	t.sptMu.Lock()
+	defer t.sptMu.Unlock()
+	if tree, ok := t.spt[dst]; ok {
+		return tree
 	}
-	// BFS from dst so each node learns its next hop toward dst, mirroring
-	// netsim.ComputeRoutes.
-	next := map[string]string{}
+	tree = make(map[string]string)
 	visited := map[string]bool{dst: true}
 	frontier := []string{dst}
 	for len(frontier) > 0 {
@@ -172,7 +262,7 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 					continue
 				}
 				visited[nb] = true
-				next[nb] = cur
+				tree[nb] = cur
 				if !(t.hosts[nb] && nb != dst) {
 					nextFrontier = append(nextFrontier, nb)
 				}
@@ -180,13 +270,37 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 		}
 		frontier = nextFrontier
 	}
-	if _, ok := next[src]; !ok {
+	t.spt[dst] = tree
+	return tree
+}
+
+// Path returns the hop sequence (including endpoints) from src to dst along
+// BFS shortest paths, by walking the memoized per-destination tree. Hosts
+// never forward transit traffic; a malformed tree that would route through
+// a host mid-path (or reference an unknown node) yields a defensive error
+// instead of looping.
+func (t *Topology) Path(src, dst string) ([]string, error) {
+	if src == dst {
+		return []string{src}, nil
+	}
+	if _, ok := t.neighbors[src]; !ok {
+		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
+	}
+	tree := t.destTree(dst)
+	if _, ok := tree[src]; !ok {
 		return nil, fmt.Errorf("collector: no learned path from %q to %q", src, dst)
 	}
 	path := []string{src}
 	cur := src
 	for cur != dst {
-		cur = next[cur]
+		if cur != src && t.hosts[cur] {
+			return nil, fmt.Errorf("collector: learned path from %q to %q transits host %q (hosts do not forward)", src, dst, cur)
+		}
+		nxt, ok := tree[cur]
+		if !ok {
+			return nil, fmt.Errorf("collector: learned path from %q to %q breaks at unknown node %q", src, dst, cur)
+		}
+		cur = nxt
 		path = append(path, cur)
 		if len(path) > len(t.Nodes)+1 {
 			return nil, fmt.Errorf("collector: path loop from %q to %q", src, dst)

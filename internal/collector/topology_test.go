@@ -82,6 +82,114 @@ func TestHostsDoNotForwardInLearnedTopology(t *testing.T) {
 	}
 }
 
+// craftedTopology builds a Topology directly (same package) with an
+// injected shortest-path tree, to exercise Path's defensive branches that a
+// well-formed BFS can never produce but a corrupted or hand-fed tree could.
+func craftedTopology(nodes []string, hosts map[string]bool, neighbors map[string][]string, dst string, tree map[string]string) *Topology {
+	return &Topology{
+		Nodes:     nodes,
+		hosts:     hosts,
+		neighbors: neighbors,
+		spt:       map[string]map[string]string{dst: tree},
+	}
+}
+
+// TestPathHostTransitDefensive: a tree that routes through a host mid-path
+// must yield an error, not a path that pretends hosts forward transit
+// traffic (and not an infinite walk).
+func TestPathHostTransitDefensive(t *testing.T) {
+	topo := craftedTopology(
+		[]string{"a", "h", "z"},
+		map[string]bool{"h": true},
+		map[string][]string{"a": {"h"}, "h": {"a", "z"}, "z": {"h"}},
+		"z",
+		map[string]string{"a": "h", "h": "z"},
+	)
+	if _, err := topo.Path("a", "z"); err == nil {
+		t.Fatal("host-transit path accepted")
+	}
+	// src itself being a host is fine — hosts originate traffic.
+	topoOK := craftedTopology(
+		[]string{"h", "s", "z"},
+		map[string]bool{"h": true},
+		map[string][]string{"h": {"s"}, "s": {"h", "z"}, "z": {"s"}},
+		"z",
+		map[string]string{"h": "s", "s": "z"},
+	)
+	p, err := topoOK.Path("h", "z")
+	if err != nil || len(p) != 3 {
+		t.Fatalf("host source rejected: %v %v", p, err)
+	}
+}
+
+// TestPathBrokenTreeDefensive: a tree whose chain dead-ends at a node with
+// no next hop must error instead of walking into the zero value forever.
+func TestPathBrokenTreeDefensive(t *testing.T) {
+	topo := craftedTopology(
+		[]string{"a", "b", "z"},
+		map[string]bool{},
+		map[string][]string{"a": {"b"}, "b": {"a"}, "z": nil},
+		"z",
+		map[string]string{"a": "b"}, // b has no entry: chain breaks
+	)
+	if _, err := topo.Path("a", "z"); err == nil {
+		t.Fatal("broken tree walk accepted")
+	}
+}
+
+// TestPathLoopDefensive: a cyclic tree (impossible from BFS, possible from
+// corruption) must hit the loop guard.
+func TestPathLoopDefensive(t *testing.T) {
+	topo := craftedTopology(
+		[]string{"a", "b", "z"},
+		map[string]bool{},
+		map[string][]string{"a": {"b"}, "b": {"a"}, "z": nil},
+		"z",
+		map[string]string{"a": "b", "b": "a"},
+	)
+	if _, err := topo.Path("a", "z"); err == nil {
+		t.Fatal("cyclic tree walk accepted")
+	}
+}
+
+// TestPathUnknownHostSource: a node known only as a host (marked via
+// isHost but absent from the adjacency) is still an unknown source for
+// path purposes.
+func TestPathUnknownHostSource(t *testing.T) {
+	topo := craftedTopology(
+		[]string{"z"},
+		map[string]bool{"x": true},
+		map[string][]string{"z": nil},
+		"z",
+		map[string]string{},
+	)
+	if _, err := topo.Path("x", "z"); err == nil {
+		t.Fatal("adjacency-less host accepted as source")
+	}
+}
+
+// TestPathMemoizedTreeShared: repeated Path calls toward one destination
+// reuse the memoized tree (one BFS serves all sources).
+func TestPathMemoizedTreeShared(t *testing.T) {
+	c, _ := buildDiamond(t)
+	topo := c.Snapshot()
+	if _, err := topo.Path("n1", "sched"); err != nil {
+		t.Fatal(err)
+	}
+	topo.sptMu.RLock()
+	tree1 := topo.spt["sched"]
+	topo.sptMu.RUnlock()
+	if tree1 == nil {
+		t.Fatal("tree not memoized")
+	}
+	if _, err := topo.Path("s2", "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.spt) != 1 {
+		t.Fatalf("expected a single memoized destination, got %d", len(topo.spt))
+	}
+}
+
 func TestQueueMaxPerDirection(t *testing.T) {
 	c, _ := buildDiamond(t)
 	topo := c.Snapshot()

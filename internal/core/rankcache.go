@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"intsched/internal/netsim"
+)
+
+// This file implements the shared rank-result cache used across the
+// scheduler read path (the simulated Service and the live CollectorDaemon).
+// Between telemetry updates — the common case at high query rates, since
+// probes arrive every 100 ms — the learned topology is frozen at one
+// collector epoch, so a ranking computed for (from, metric, dataBytes,
+// requirements) is valid for every identical query until the epoch
+// advances. Invalidation is by epoch comparison only; no timers.
+
+// CacheableRanker is implemented by rankers that declare whether their
+// output is a pure function of the topology snapshot and the query. Rankers
+// that do not implement it, or return false, are never cached: RandomRanker
+// draws from an RNG stream, HysteresisRanker keeps per-device state, and
+// ComputeAwareRanker reads load reports that change without a collector
+// epoch advance.
+type CacheableRanker interface {
+	// RankCacheable reports whether equal (snapshot, query) inputs always
+	// produce equal output with no side effects.
+	RankCacheable() bool
+}
+
+// RankerCacheable reports whether r's results may be served from the rank
+// cache.
+func RankerCacheable(r Ranker) bool {
+	c, ok := r.(CacheableRanker)
+	return ok && c.RankCacheable()
+}
+
+// RankCacheable implements CacheableRanker: Algorithm 1 is a pure function
+// of the snapshot.
+func (r *DelayRanker) RankCacheable() bool { return true }
+
+// RankCacheable implements CacheableRanker: the bottleneck estimate is a
+// pure function of the snapshot.
+func (r *BandwidthRanker) RankCacheable() bool { return true }
+
+// RankCacheable implements CacheableRanker: hop counts are static.
+func (r *NearestRanker) RankCacheable() bool { return true }
+
+// RankCacheable implements CacheableRanker: the estimate depends only on
+// the snapshot and the query's data size.
+func (r *TransferTimeRanker) RankCacheable() bool { return true }
+
+// RankCacheable implements CacheableRanker: hysteresis is stateful (the
+// previous top pick per device shapes the next answer), so its results
+// must be recomputed every query.
+func (r *HysteresisRanker) RankCacheable() bool { return false }
+
+// RankKey identifies one cacheable ranking computation within an epoch.
+type RankKey struct {
+	// From is the querying device.
+	From netsim.NodeID
+	// Metric is the ranking strategy.
+	Metric Metric
+	// DataBytes is the (possibly bucketed) transfer-size hint.
+	DataBytes int64
+	// Reqs is the canonical requirements encoding ("" for none).
+	Reqs string
+}
+
+// ReqKey canonicalizes a Requirements value for use in a RankKey.
+func ReqKey(r *Requirements) string {
+	if r == nil {
+		return ""
+	}
+	return "hw=" + strings.Join(r.Hardware, ",") + "|sw=" + strings.Join(r.Software, ",")
+}
+
+// RankCacheStats reports cache effectiveness.
+type RankCacheStats struct {
+	Hits, Misses uint64
+	// Invalidations counts epoch advances observed by the cache.
+	Invalidations uint64
+}
+
+// RankCache memoizes ranked candidate lists per collector epoch. All
+// methods are safe for concurrent use. Entries from older epochs are
+// discarded wholesale the first time a newer epoch is observed, so the
+// cache never serves results computed from a superseded topology.
+type RankCache struct {
+	mu      sync.Mutex
+	valid   bool
+	epoch   uint64
+	entries map[RankKey][]Candidate
+	stats   RankCacheStats
+}
+
+// syncEpochLocked resets the cache when the observed epoch moved.
+func (c *RankCache) syncEpochLocked(epoch uint64) {
+	if c.valid && c.epoch == epoch {
+		return
+	}
+	if c.valid {
+		c.stats.Invalidations++
+	}
+	c.valid = true
+	c.epoch = epoch
+	c.entries = make(map[RankKey][]Candidate)
+}
+
+// Lookup returns the cached ranking for key at the given epoch. The
+// returned slice is shared — callers must CloneCandidates before mutating
+// (reordering, in-place truncation of shared backing arrays, etc.).
+func (c *RankCache) Lookup(epoch uint64, key RankKey) ([]Candidate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncEpochLocked(epoch)
+	ranked, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return ranked, ok
+}
+
+// Store records a computed ranking for key at the given epoch. The cache
+// keeps the slice as passed; hand it a private copy.
+func (c *RankCache) Store(epoch uint64, key RankKey, ranked []Candidate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncEpochLocked(epoch)
+	if c.epoch == epoch {
+		c.entries[key] = ranked
+	}
+}
+
+// Invalidate drops all entries regardless of epoch (used when inputs
+// outside the collector change, e.g. server capabilities).
+func (c *RankCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.valid = false
+	c.entries = nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RankCache) Stats() RankCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// CloneCandidates returns a private copy of a ranked list, so cached
+// entries can be reordered/truncated per request without corrupting the
+// cache.
+func CloneCandidates(cs []Candidate) []Candidate {
+	if cs == nil {
+		return nil
+	}
+	out := make([]Candidate, len(cs))
+	copy(out, cs)
+	return out
+}

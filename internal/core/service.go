@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"intsched/internal/collector"
@@ -96,11 +97,23 @@ type ServiceConfig struct {
 	QueryResponseSize int
 	// ComputeAware* tune the compute-aware ranking extension.
 	ComputeAwareBase Ranker // underlying network ranker (delay by default)
+	// DisableRankCache turns off epoch-keyed rank memoization (every query
+	// recomputes from the snapshot); for benchmarking and debugging.
+	DisableRankCache bool
+	// DataBytesBucket optionally coarsens the DataBytes component of rank
+	// cache keys (e.g. rounding to powers of two) so size-aware queries of
+	// similar sizes share entries, trading estimate exactness for hit
+	// rate. Nil keys on the exact size, which preserves exact estimates.
+	DataBytesBucket func(int64) int64
 }
 
 // Service is the scheduler: it owns the collector's learned topology,
 // answers ranking queries from edge devices over the network, and tracks
 // server capabilities and load reports for the extensions.
+//
+// RankFor is safe for concurrent callers: it reads one immutable topology
+// snapshot, and the rank cache and mutable service state carry their own
+// locks. (Ranker registration and configuration are setup-time only.)
 type Service struct {
 	stack *transport.Stack
 	coll  *collector.Collector
@@ -108,11 +121,19 @@ type Service struct {
 
 	rankers map[Metric]Ranker
 
-	// candidateFn returns the candidate servers for a querying device.
-	// The default is every known host except the device itself (the paper:
-	// all nodes, scheduler included, execute tasks unless they submitted).
-	candidateFn func(from netsim.NodeID) []netsim.NodeID
+	// customCandidates, when set via SetCandidateFn, overrides candidate
+	// selection. The default (nil) is every host in the snapshot except
+	// the device itself (the paper: all nodes, scheduler included, execute
+	// tasks unless they submitted). Custom functions may close over
+	// arbitrary mutable state, so their results bypass the rank cache.
+	customCandidates func(from netsim.NodeID) []netsim.NodeID
 
+	// cache memoizes ranked candidate lists per collector epoch.
+	cache RankCache
+
+	// stateMu guards capabilities and load, which change on control
+	// messages while queries may be reading them concurrently.
+	stateMu      sync.RWMutex
 	capabilities map[netsim.NodeID]Capabilities
 	load         map[netsim.NodeID]time.Duration
 
@@ -142,7 +163,6 @@ func NewService(stack *transport.Stack, coll *collector.Collector, cfg ServiceCo
 		capabilities: make(map[netsim.NodeID]Capabilities),
 		load:         make(map[netsim.NodeID]time.Duration),
 	}
-	s.candidateFn = s.defaultCandidates
 	s.Demux = stack.ControlHandler
 	stack.ControlHandler = s.handleControl
 	return s
@@ -151,24 +171,38 @@ func NewService(stack *transport.Stack, coll *collector.Collector, cfg ServiceCo
 // Register installs a ranker for its metric.
 func (s *Service) Register(r Ranker) { s.rankers[r.Metric()] = r }
 
-// SetCandidateFn overrides candidate selection.
+// SetCandidateFn overrides candidate selection. Queries answered through a
+// custom candidate function bypass the rank cache (the function may depend
+// on state the collector epoch does not version).
 func (s *Service) SetCandidateFn(fn func(from netsim.NodeID) []netsim.NodeID) {
-	s.candidateFn = fn
+	s.customCandidates = fn
+	s.cache.Invalidate()
 }
 
-// SetCapabilities records an edge server's capabilities.
+// SetCapabilities records an edge server's capabilities. Cached rankings
+// may have been filtered against the old capability set, so the rank cache
+// is invalidated.
 func (s *Service) SetCapabilities(server netsim.NodeID, caps Capabilities) {
+	s.stateMu.Lock()
 	s.capabilities[server] = caps
+	s.stateMu.Unlock()
+	s.cache.Invalidate()
 }
 
 // Load returns the last reported backlog for a server.
-func (s *Service) Load(server netsim.NodeID) time.Duration { return s.load[server] }
+func (s *Service) Load(server netsim.NodeID) time.Duration {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.load[server]
+}
 
-// defaultCandidates: every host the collector has learned about except the
-// requester. The scheduler itself is a valid server (per the paper's
-// experimental setup).
-func (s *Service) defaultCandidates(from netsim.NodeID) []netsim.NodeID {
-	topo := s.coll.Snapshot()
+// CacheStats reports the rank cache counters.
+func (s *Service) CacheStats() RankCacheStats { return s.cache.Stats() }
+
+// candidatesOn lists the default candidates from one topology snapshot:
+// every host the collector has learned about except the requester. The
+// scheduler itself is a valid server (per the paper's experimental setup).
+func candidatesOn(topo *collector.Topology, from netsim.NodeID) []netsim.NodeID {
 	var out []netsim.NodeID
 	for _, h := range topo.Hosts() {
 		if netsim.NodeID(h) != from {
@@ -184,7 +218,9 @@ func (s *Service) handleControl(from netsim.NodeID, payload any) {
 	case *QueryRequest:
 		s.handleQuery(from, msg)
 	case *LoadReport:
+		s.stateMu.Lock()
 		s.load[msg.Server] = msg.Backlog
+		s.stateMu.Unlock()
 	case *telemetry.ProbePayload:
 		// Relayed INT report from a probe-sink host (coverage-planned
 		// probes that terminated away from the scheduler).
@@ -205,23 +241,63 @@ func (s *Service) handleQuery(from netsim.NodeID, req *QueryRequest) {
 
 // RankFor computes the ranked candidate list for a query without the
 // network round trip (used by the service itself, tests, and the live
-// daemon).
+// daemon). It acquires one topology snapshot for the whole computation —
+// candidate selection and ranking see the same epoch — and serves repeated
+// queries between telemetry updates from the epoch-keyed rank cache.
 func (s *Service) RankFor(req *QueryRequest) []Candidate {
+	return s.RankOn(s.coll.Snapshot(), req)
+}
+
+// RankOn answers a query against a caller-supplied snapshot (RankFor with
+// the snapshot already acquired).
+func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidate {
 	ranker := s.rankers[req.Metric]
 	if ranker == nil {
 		return nil
 	}
-	cands := s.candidateFn(req.From)
+	// The cache stores the full ranked list (pre reorder/truncation); the
+	// per-request Sorted/Count shaping is applied to a private copy.
+	cacheable := !s.cfg.DisableRankCache && s.customCandidates == nil && RankerCacheable(ranker)
+	var key RankKey
+	if cacheable {
+		key = RankKey{From: req.From, Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
+		if ranked, ok := s.cache.Lookup(topo.Epoch(), key); ok {
+			return s.finishRanked(CloneCandidates(ranked), req)
+		}
+	}
+	var cands []netsim.NodeID
+	if s.customCandidates != nil {
+		cands = s.customCandidates(req.From)
+	} else {
+		cands = candidatesOn(topo, req.From)
+	}
 	if req.Requirements != nil {
 		cands = s.filterCapable(cands, req.Requirements)
 	}
-	topo := s.coll.Snapshot()
 	var ranked []Candidate
 	if sa, ok := ranker.(SizeAwareRanker); ok && req.DataBytes > 0 {
 		ranked = sa.RankSize(topo, req.From, cands, req.DataBytes)
 	} else {
 		ranked = ranker.Rank(topo, req.From, cands)
 	}
+	if cacheable {
+		s.cache.Store(topo.Epoch(), key, CloneCandidates(ranked))
+	}
+	return s.finishRanked(ranked, req)
+}
+
+// bucketBytes maps a DataBytes hint to its cache-key bucket.
+func (s *Service) bucketBytes(b int64) int64 {
+	if s.cfg.DataBytesBucket != nil {
+		return s.cfg.DataBytesBucket(b)
+	}
+	return b
+}
+
+// finishRanked applies the per-request response shaping: the paper's
+// option two (estimates in ID order for device-side selection) and the
+// count limit. ranked must be private to the caller.
+func (s *Service) finishRanked(ranked []Candidate, req *QueryRequest) []Candidate {
 	if !req.Sorted && req.Metric != MetricRandom {
 		// Option two from the paper: return estimates unsorted (by ID) so
 		// the device can run its own selection.
@@ -234,6 +310,8 @@ func (s *Service) RankFor(req *QueryRequest) []Candidate {
 }
 
 func (s *Service) filterCapable(cands []netsim.NodeID, req *Requirements) []netsim.NodeID {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	var out []netsim.NodeID
 	for _, c := range cands {
 		if s.capabilities[c].Satisfies(req) {

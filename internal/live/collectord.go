@@ -28,6 +28,7 @@ type CollectorDaemon struct {
 	delay    core.Ranker
 	bw       core.Ranker
 	xfer     *core.TransferTimeRanker
+	cache    core.RankCache
 	wg       sync.WaitGroup
 	closed   chan struct{}
 	closeOne sync.Once
@@ -116,6 +117,9 @@ func (d *CollectorDaemon) QueryAddr() string { return d.tcp.Addr().String() }
 // Collector exposes the underlying collector (tests, coverage reports).
 func (d *CollectorDaemon) Collector() *collector.Collector { return d.coll }
 
+// CacheStats reports the daemon's rank-cache counters.
+func (d *CollectorDaemon) CacheStats() core.RankCacheStats { return d.cache.Stats() }
+
 // Close shuts the daemon down.
 func (d *CollectorDaemon) Close() {
 	d.closeOne.Do(func() {
@@ -196,7 +200,10 @@ func (d *CollectorDaemon) serve(conn net.Conn) {
 }
 
 // Answer computes the response for a query (exported for tests and for the
-// cmd/intsched daemon's local diagnostics).
+// cmd/intsched daemon's local diagnostics). It is safe for concurrent
+// callers — queries read one immutable epoch-versioned snapshot, and
+// repeated queries between probe arrivals are served from the same rank
+// cache machinery the simulated scheduler service uses.
 func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 	metric, ok := core.ParseMetric(req.Metric)
 	if !ok {
@@ -214,17 +221,31 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 		return &wire.QueryResponse{Metric: req.Metric, Error: fmt.Sprintf("metric %q not served live", req.Metric)}
 	}
 	topo := d.coll.Snapshot()
-	var cands []netsim.NodeID
-	for _, h := range topo.Hosts() {
-		if h != req.From {
-			cands = append(cands, netsim.NodeID(h))
-		}
+	// Hysteresis-wrapped rankers are stateful and bypass the cache.
+	cacheable := core.RankerCacheable(ranker)
+	key := core.RankKey{From: netsim.NodeID(req.From), Metric: metric, DataBytes: req.DataBytes}
+	ranked, hit := []core.Candidate(nil), false
+	if cacheable {
+		// Cached lists are shared between queries; the marshalling below
+		// only reads (and slicing for Count does not mutate), so no copy
+		// is needed.
+		ranked, hit = d.cache.Lookup(topo.Epoch(), key)
 	}
-	var ranked []core.Candidate
-	if sa, ok := ranker.(core.SizeAwareRanker); ok && req.DataBytes > 0 {
-		ranked = sa.RankSize(topo, netsim.NodeID(req.From), cands, req.DataBytes)
-	} else {
-		ranked = ranker.Rank(topo, netsim.NodeID(req.From), cands)
+	if !hit {
+		var cands []netsim.NodeID
+		for _, h := range topo.Hosts() {
+			if h != req.From {
+				cands = append(cands, netsim.NodeID(h))
+			}
+		}
+		if sa, ok := ranker.(core.SizeAwareRanker); ok && req.DataBytes > 0 {
+			ranked = sa.RankSize(topo, netsim.NodeID(req.From), cands, req.DataBytes)
+		} else {
+			ranked = ranker.Rank(topo, netsim.NodeID(req.From), cands)
+		}
+		if cacheable {
+			d.cache.Store(topo.Epoch(), key, ranked)
+		}
 	}
 	if req.Count > 0 && req.Count < len(ranked) {
 		ranked = ranked[:req.Count]

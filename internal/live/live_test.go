@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -265,4 +266,57 @@ func TestDaemonCloseIdempotent(t *testing.T) {
 	}
 	d.Close()
 	d.Close()
+}
+
+// TestOverlayConcurrentQueriesUnderChurn issues parallel TCP queries while
+// the overlay's probe fleet keeps mutating the collector at a 20 ms cadence
+// — the live deployment of the epoch-versioned snapshot + rank cache read
+// path, exercised under go test -race.
+func TestOverlayConcurrentQueriesUnderChurn(t *testing.T) {
+	o, err := StartOverlay(chainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		return len(o.Daemon.Collector().Snapshot().Hosts()) == 4
+	}, "learned hosts")
+
+	const clients, perClient = 8, 20
+	addr := o.Daemon.QueryAddr()
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		go func(g int) {
+			metrics := []string{"delay", "bandwidth"}
+			for i := 0; i < perClient; i++ {
+				resp, err := Query(addr, &wire.QueryRequest{
+					From: "dev", Metric: metrics[(g+i)%2], Sorted: true,
+				}, 3*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Candidates) != 3 {
+					errs <- fmt.Errorf("query %d/%d: candidates %+v", g, i, resp.Candidates)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < clients; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	startEpoch := o.Daemon.Collector().Epoch()
+	waitFor(t, 5*time.Second, func() bool {
+		return o.Daemon.Collector().Epoch() > startEpoch
+	}, "probe churn advancing the epoch")
+	// 160 queries against probes arriving every 20 ms: the cache must have
+	// served a meaningful share.
+	st := o.Daemon.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("rank cache never hit under churn: %+v", st)
+	}
 }
