@@ -181,15 +181,18 @@ func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector 
 func (c *Collector) Self() netsim.NodeID { return netsim.NodeID(c.self) }
 
 // Epoch returns the collector's current state version. It advances on every
-// accepted probe and configuration change; equal epochs guarantee that
-// Snapshot would return the same topology (modulo queue-window aging, which
-// Snapshot also accounts for).
+// accepted probe and configuration change, and when Snapshot detects that a
+// queue report aged out of the queue window (windowed maxima changed without
+// a probe); equal epochs guarantee that Snapshot returns the identical
+// topology.
 func (c *Collector) Epoch() uint64 { return c.epoch.Load() }
 
 // SetSnapshotCaching toggles snapshot reuse. Caching is on by default;
 // disabling it forces every Snapshot call to rebuild a fresh deep copy (the
 // pre-epoch behavior), which exists for before/after benchmarking and
-// debugging only.
+// debugging only. With caching off, queue-window aging no longer advances
+// the epoch (two same-epoch snapshots can then differ), so pair it with
+// ServiceConfig.DisableRankCache as the qps experiment does.
 func (c *Collector) SetSnapshotCaching(enabled bool) { c.noSnapCache.Store(!enabled) }
 
 // SetQueueWindow adjusts the queue-report window, typically to track a
@@ -392,9 +395,19 @@ func (c *Collector) MaxQueue(device string, port int) (int, bool) {
 }
 
 func (c *Collector) maxQueueLocked(device string, port int, now time.Duration) (int, bool) {
-	reports := c.queues[portKey{device, port}]
+	best, found, _ := c.windowedQueueMaxLocked(c.queues[portKey{device, port}], now)
+	return best, found
+}
+
+// windowedQueueMaxLocked scans one port's reports and returns the maximum
+// queue occupancy among in-window reports, whether any report is in the
+// window, and the earliest time an in-window report ages out of the window
+// (neverExpires if none) — the moment a cached snapshot built from these
+// reports must be rebuilt. It is the single definition of the queue-window
+// cutoff/boundary rule, shared by point lookups and snapshot builds.
+func (c *Collector) windowedQueueMaxLocked(reports []queueReport, now time.Duration) (best int, found bool, expireAt time.Duration) {
+	expireAt = neverExpires
 	cutoff := now - c.cfg.QueueWindow
-	best, found := 0, false
 	for i := range reports {
 		if reports[i].at < cutoff {
 			continue
@@ -403,8 +416,13 @@ func (c *Collector) maxQueueLocked(device string, port int, now time.Duration) (
 		if reports[i].maxQueue > best {
 			best = reports[i].maxQueue
 		}
+		// This report stays in-window while now' <= at + window; the
+		// earliest such boundary is when cached results must be recomputed.
+		if e := reports[i].at + c.cfg.QueueWindow; e < expireAt {
+			expireAt = e
+		}
 	}
-	return best, found
+	return best, found, expireAt
 }
 
 // LinkDelay returns the EWMA latency estimate for the directed link

@@ -102,6 +102,15 @@ func TestSnapshotRebuildsOnQueueWindowExpiry(t *testing.T) {
 	if _, ok := fresh.QueueMax("s1", "sched"); ok {
 		t.Fatal("expired queue report visible in fresh snapshot")
 	}
+	// The expiry-driven rebuild must advance the epoch: downstream caches
+	// (core.RankCache) invalidate by epoch comparison only, so publishing
+	// changed queue maxima under the old epoch would serve stale rankings.
+	if fresh.Epoch() <= cached.Epoch() {
+		t.Fatalf("expiry rebuild kept epoch %d; equal epochs must mean identical snapshots", fresh.Epoch())
+	}
+	if c.Epoch() != fresh.Epoch() {
+		t.Fatalf("collector epoch %d disagrees with snapshot epoch %d", c.Epoch(), fresh.Epoch())
+	}
 	// The rebuilt snapshot is cached again.
 	if c.Snapshot() != fresh {
 		t.Fatal("rebuilt snapshot not cached")

@@ -70,10 +70,12 @@ const neverExpires = time.Duration(math.MaxInt64)
 // Snapshot returns the current learned topology and link state. The
 // returned Topology is immutable and shared: repeated calls return the
 // identical pointer until a state-mutating probe/report advances the
-// collector's epoch (or an in-window queue report ages out of the queue
-// window, which changes windowed maxima without a new probe). The fast path
-// is lock-free, so any number of concurrent readers can query while probes
-// are being ingested.
+// collector's epoch. An in-window queue report aging out of the queue
+// window also triggers a rebuild — the windowed maxima changed without a
+// new probe — and advances the epoch itself, so a rebuilt snapshot is never
+// published under the epoch of a superseded one. The fast path is
+// lock-free, so any number of concurrent readers can query while probes are
+// being ingested.
 func (c *Collector) Snapshot() *Topology {
 	now := c.clock()
 	if c.noSnapCache.Load() {
@@ -89,8 +91,17 @@ func (c *Collector) Snapshot() *Topology {
 	defer c.mu.Unlock()
 	// Double-check under the lock: another goroutine may have rebuilt.
 	epoch := c.epoch.Load()
-	if cached := c.snap.Load(); cached != nil && cached.epoch == epoch && now <= cached.expireAt {
-		return cached.topo
+	if cached := c.snap.Load(); cached != nil && cached.epoch == epoch {
+		if now <= cached.expireAt {
+			return cached.topo
+		}
+		// A queue report aged out of the window with no probe arriving:
+		// the windowed maxima changed, so this is a state change like any
+		// other. Advance the epoch so the rebuilt snapshot is
+		// distinguishable from the expired one and epoch-keyed caches
+		// downstream (core.RankCache) invalidate instead of serving
+		// rankings computed from the stale maxima.
+		epoch = c.epoch.Add(1)
 	}
 	t, expireAt := c.buildSnapshotLocked(now, epoch)
 	c.snap.Store(&snapshotCache{topo: t, epoch: epoch, expireAt: expireAt})
@@ -146,23 +157,10 @@ func (c *Collector) buildSnapshotLocked(now time.Duration, epoch uint64) (*Topol
 		t.linkRate[k] = rate
 	}
 	expireAt := neverExpires
-	cutoff := now - c.cfg.QueueWindow
 	for key, reports := range c.queues {
-		best, found := 0, false
-		for i := range reports {
-			if reports[i].at < cutoff {
-				continue
-			}
-			found = true
-			if reports[i].maxQueue > best {
-				best = reports[i].maxQueue
-			}
-			// This report stays in-window while now' <= at + window; the
-			// earliest such boundary is when the cached snapshot must be
-			// rebuilt.
-			if e := reports[i].at + c.cfg.QueueWindow; e < expireAt {
-				expireAt = e
-			}
+		best, found, exp := c.windowedQueueMaxLocked(reports, now)
+		if exp < expireAt {
+			expireAt = exp
 		}
 		if found {
 			t.queueMax[key] = best

@@ -86,9 +86,14 @@ type RankCacheStats struct {
 // discarded wholesale the first time a newer epoch is observed, so the
 // cache never serves results computed from a superseded topology.
 type RankCache struct {
-	mu      sync.Mutex
-	valid   bool
-	epoch   uint64
+	mu    sync.Mutex
+	valid bool
+	epoch uint64
+	// gen counts Invalidate() calls. A ranking computed before an
+	// Invalidate may have used superseded inputs (e.g. the old capability
+	// set), so Store drops entries whose generation token — captured at
+	// Lookup time, before the computation — is no longer current.
+	gen     uint64
 	entries map[RankKey][]Candidate
 	stats   RankCacheStats
 }
@@ -106,10 +111,11 @@ func (c *RankCache) syncEpochLocked(epoch uint64) {
 	c.entries = make(map[RankKey][]Candidate)
 }
 
-// Lookup returns the cached ranking for key at the given epoch. The
-// returned slice is shared — callers must CloneCandidates before mutating
-// (reordering, in-place truncation of shared backing arrays, etc.).
-func (c *RankCache) Lookup(epoch uint64, key RankKey) ([]Candidate, bool) {
+// Lookup returns the cached ranking for key at the given epoch, plus a
+// generation token to pass back to Store on a miss. The returned slice is
+// shared — callers must CloneCandidates before mutating (reordering,
+// in-place truncation of shared backing arrays, etc.).
+func (c *RankCache) Lookup(epoch uint64, key RankKey) ([]Candidate, bool, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.syncEpochLocked(epoch)
@@ -119,14 +125,19 @@ func (c *RankCache) Lookup(epoch uint64, key RankKey) ([]Candidate, bool) {
 	} else {
 		c.stats.Misses++
 	}
-	return ranked, ok
+	return ranked, ok, c.gen
 }
 
-// Store records a computed ranking for key at the given epoch. The cache
-// keeps the slice as passed; hand it a private copy.
-func (c *RankCache) Store(epoch uint64, key RankKey, ranked []Candidate) {
+// Store records a computed ranking for key at the given epoch. gen is the
+// token Lookup returned before the ranking was computed; if an Invalidate
+// ran in between, the entry is silently dropped — its inputs may be stale.
+// The cache keeps the slice as passed; hand it a private copy.
+func (c *RankCache) Store(epoch, gen uint64, key RankKey, ranked []Candidate) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
 	c.syncEpochLocked(epoch)
 	if c.epoch == epoch {
 		c.entries[key] = ranked
@@ -134,10 +145,12 @@ func (c *RankCache) Store(epoch uint64, key RankKey, ranked []Candidate) {
 }
 
 // Invalidate drops all entries regardless of epoch (used when inputs
-// outside the collector change, e.g. server capabilities).
+// outside the collector change, e.g. server capabilities) and advances the
+// generation so in-flight computations cannot resurrect stale entries.
 func (c *RankCache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.valid = false
 	c.entries = nil
 }

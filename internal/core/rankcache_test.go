@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"intsched/internal/collector"
 	"intsched/internal/netsim"
 	"intsched/internal/simtime"
 	"intsched/internal/telemetry"
+	"intsched/internal/transport"
 )
 
 // TestRankerCacheability pins down which rankers may be memoized: pure
@@ -153,6 +155,84 @@ func TestRankCacheInvalidatedByCapabilities(t *testing.T) {
 	f.svc.SetCapabilities("e1", Capabilities{Hardware: []string{"gpu"}})
 	if got := f.svc.RankFor(req); len(got) != 1 || got[0].Node != "e1" {
 		t.Fatalf("stale capability filter served from cache: %v", got)
+	}
+}
+
+// TestRankCacheInvalidatedByQueueWindowExpiry: windowed queue maxima change
+// when a report ages out of the queue window even though no probe arrived;
+// the expiry-driven snapshot rebuild advances the epoch, so RankFor must
+// recompute instead of serving the ranking cached against the pre-expiry
+// maxima.
+func TestRankCacheInvalidatedByQueueWindowExpiry(t *testing.T) {
+	engine := simtime.NewEngine()
+	nw := netsim.New(engine)
+	nw.AddSwitch("s1")
+	for _, h := range []netsim.NodeID{"dev", "sched"} {
+		nw.AddHost(h)
+		if _, err := nw.Connect(h, "s1", netsim.LinkConfig{RateBps: 100_000_000, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	domain := transport.NewDomain(nw).InstallAll()
+	// Hand-driven clock: the report must age out with no probe (and no
+	// simulation event) in between, which the fixture's fleet cannot do.
+	now := time.Second
+	coll := collector.New("sched", func() time.Duration { return now },
+		collector.Config{QueueWindow: 200 * time.Millisecond})
+	svc := NewService(domain.Stack("sched"), coll, ServiceConfig{})
+	svc.Register(&DelayRanker{})
+
+	// One probe teaches dev--s1--sched and reports a deep queue on s1's
+	// egress port toward sched.
+	p := &telemetry.ProbePayload{Origin: "dev", Seq: 1}
+	p.Stack.Append(telemetry.Record{
+		Device: "s1", IngressPort: 0, EgressPort: 2,
+		LinkLatency: time.Millisecond, EgressTS: now,
+		Queues: []telemetry.PortQueue{{Port: 2, MaxQueue: 40, Packets: 5}},
+	})
+	coll.HandleProbe(p)
+
+	req := &QueryRequest{From: "dev", Metric: MetricDelay, Sorted: true}
+	before := svc.RankFor(req)
+	if len(before) != 1 || before[0].Node != "sched" {
+		t.Fatalf("candidates %v, want just sched", before)
+	}
+	// Age the queue report out of the window without any probe arriving.
+	now += 250 * time.Millisecond
+	after := svc.RankFor(req)
+	recomputed := (&DelayRanker{}).Rank(coll.Snapshot(), "dev", []netsim.NodeID{"sched"})
+	if !reflect.DeepEqual(after, recomputed) {
+		t.Fatalf("post-expiry RankFor %v, recomputation gives %v", after, recomputed)
+	}
+	if after[0].Delay >= before[0].Delay {
+		t.Fatalf("queue penalty survived expiry: before %v, after %v", before[0].Delay, after[0].Delay)
+	}
+}
+
+// TestRankCacheStoreDroppedAfterInvalidate: an Invalidate between a missed
+// Lookup and the corresponding Store — the lost-invalidation race, e.g.
+// SetCapabilities landing while a ranking is being computed — must drop the
+// entry, since it may have been computed from the superseded inputs.
+func TestRankCacheStoreDroppedAfterInvalidate(t *testing.T) {
+	var c RankCache
+	key := RankKey{From: "dev", Metric: MetricDelay}
+	_, ok, gen := c.Lookup(7, key)
+	if ok {
+		t.Fatal("unexpected hit in empty cache")
+	}
+	c.Invalidate()
+	c.Store(7, gen, key, []Candidate{{Node: "stale"}})
+	if ranked, ok, _ := c.Lookup(7, key); ok {
+		t.Fatalf("stale entry resurrected after Invalidate: %v", ranked)
+	}
+	// A Store with the current generation token is accepted.
+	_, _, gen = c.Lookup(7, key)
+	c.Store(7, gen, key, []Candidate{{Node: "fresh"}})
+	if ranked, ok, _ := c.Lookup(7, key); !ok || ranked[0].Node != "fresh" {
+		t.Fatalf("current-generation entry not stored: %v (hit=%v)", ranked, ok)
 	}
 }
 

@@ -259,11 +259,14 @@ func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidat
 	// per-request Sorted/Count shaping is applied to a private copy.
 	cacheable := !s.cfg.DisableRankCache && s.customCandidates == nil && RankerCacheable(ranker)
 	var key RankKey
+	var gen uint64
 	if cacheable {
 		key = RankKey{From: req.From, Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
-		if ranked, ok := s.cache.Lookup(topo.Epoch(), key); ok {
+		ranked, ok, g := s.cache.Lookup(topo.Epoch(), key)
+		if ok {
 			return s.finishRanked(CloneCandidates(ranked), req)
 		}
+		gen = g
 	}
 	var cands []netsim.NodeID
 	if s.customCandidates != nil {
@@ -281,7 +284,7 @@ func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidat
 		ranked = ranker.Rank(topo, req.From, cands)
 	}
 	if cacheable {
-		s.cache.Store(topo.Epoch(), key, CloneCandidates(ranked))
+		s.cache.Store(topo.Epoch(), gen, key, CloneCandidates(ranked))
 	}
 	return s.finishRanked(ranked, req)
 }

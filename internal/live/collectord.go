@@ -224,12 +224,12 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 	// Hysteresis-wrapped rankers are stateful and bypass the cache.
 	cacheable := core.RankerCacheable(ranker)
 	key := core.RankKey{From: netsim.NodeID(req.From), Metric: metric, DataBytes: req.DataBytes}
-	ranked, hit := []core.Candidate(nil), false
+	ranked, hit, gen := []core.Candidate(nil), false, uint64(0)
 	if cacheable {
 		// Cached lists are shared between queries; the marshalling below
 		// only reads (and slicing for Count does not mutate), so no copy
 		// is needed.
-		ranked, hit = d.cache.Lookup(topo.Epoch(), key)
+		ranked, hit, gen = d.cache.Lookup(topo.Epoch(), key)
 	}
 	if !hit {
 		var cands []netsim.NodeID
@@ -244,7 +244,7 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 			ranked = ranker.Rank(topo, netsim.NodeID(req.From), cands)
 		}
 		if cacheable {
-			d.cache.Store(topo.Epoch(), key, ranked)
+			d.cache.Store(topo.Epoch(), gen, key, ranked)
 		}
 	}
 	if req.Count > 0 && req.Count < len(ranked) {
