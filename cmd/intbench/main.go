@@ -71,17 +71,21 @@ func qps() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("read path", "queries", "elapsed", "queries/s", "cache hit rate", "epochs")
+	tb := stats.NewTable("read path", "queries", "elapsed", "queries/s", "cache hit rate", "query p50", "query p99", "epochs")
 	for _, m := range []experiment.QPSMode{res.Uncached, res.Cached} {
 		hit := "-"
-		if total := m.Cache.Hits + m.Cache.Misses; total > 0 {
-			hit = fmt.Sprintf("%.1f%%", float64(m.Cache.Hits)/float64(total)*100)
+		if rate, ok := m.HitRate(); ok {
+			hit = fmt.Sprintf("%.1f%%", rate*100)
 		}
 		tb.AddRow(m.Label, res.Queries, m.Elapsed.Round(time.Millisecond),
-			fmt.Sprintf("%.0f", m.QPS), hit, m.Epoch)
+			fmt.Sprintf("%.0f", m.QPS), hit,
+			m.QueryLatency.QuantileDuration(0.50).Round(100*time.Nanosecond).String(),
+			m.QueryLatency.QuantileDuration(0.99).Round(100*time.Nanosecond).String(),
+			m.Epoch)
 	}
 	fmt.Println(tb.String())
 	fmt.Printf("speedup: %.1fx queries/s (target: >=5x when queries outnumber probes 100:1)\n", res.Speedup)
+	fmt.Println("(cache hit rate and latency quantiles read from the obs registry the live daemon also serves at /metrics)")
 	return nil
 }
 

@@ -25,22 +25,26 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("id", "sched", "scheduler node name")
-		udp    = flag.String("udp", "127.0.0.1:7001", "UDP bind address for probe ingestion")
-		tcp    = flag.String("tcp", "127.0.0.1:7002", "TCP bind address for the query API")
-		k      = flag.Duration("k", core.DefaultK, "queue occupancy to latency conversion factor")
-		rate   = flag.Int64("link-rate", 20_000_000, "assumed link capacity (bps) for bandwidth estimates")
-		window = flag.Duration("queue-window", 0, "queue report freshness window (default: collector default)")
-		report = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
+		id       = flag.String("id", "sched", "scheduler node name")
+		udp      = flag.String("udp", "127.0.0.1:7001", "UDP bind address for probe ingestion")
+		tcp      = flag.String("tcp", "127.0.0.1:7002", "TCP bind address for the query API")
+		httpAddr = flag.String("http", "", "HTTP bind address for /metrics and /healthz (empty disables)")
+		k        = flag.Duration("k", core.DefaultK, "queue occupancy to latency conversion factor")
+		rate     = flag.Int64("link-rate", 20_000_000, "assumed link capacity (bps) for bandwidth estimates")
+		window   = flag.Duration("queue-window", 0, "queue report freshness window (default: collector default)")
+		degraded = flag.Duration("degraded-after", 0, "probe silence per edge before /healthz degrades (default: 3 queue windows)")
+		report   = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
 	)
 	flag.Parse()
 
 	daemon, err := live.NewCollectorDaemon(*id, live.DaemonConfig{
-		UDPAddr:     *udp,
-		TCPAddr:     *tcp,
-		K:           *k,
-		LinkRateBps: *rate,
-		QueueWindow: *window,
+		UDPAddr:       *udp,
+		TCPAddr:       *tcp,
+		HTTPAddr:      *httpAddr,
+		K:             *k,
+		LinkRateBps:   *rate,
+		QueueWindow:   *window,
+		DegradedAfter: *degraded,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "intsched: %v\n", err)
@@ -49,6 +53,10 @@ func main() {
 	defer daemon.Close()
 	fmt.Printf("intsched: node %s, probes on udp://%s, queries on tcp://%s\n",
 		daemon.ID(), daemon.UDPAddr(), daemon.QueryAddr())
+	if daemon.HTTPAddr() != "" {
+		fmt.Printf("intsched: metrics on http://%s/metrics, health on http://%s/healthz\n",
+			daemon.HTTPAddr(), daemon.HTTPAddr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -64,14 +72,22 @@ func main() {
 		select {
 		case <-tick:
 			st := daemon.Collector().Stats()
+			ds := daemon.Stats()
 			cov := daemon.Collector().Coverage()
 			cs := daemon.CacheStats()
+			health := daemon.Health().Evaluate()
 			hitRate := 0.0
 			if total := cs.Hits + cs.Misses; total > 0 {
 				hitRate = float64(cs.Hits) / float64(total)
 			}
-			fmt.Printf("intsched: probes=%d records=%d epoch=%d rank-cache hit=%.0f%% fresh=%v stale=%v\n",
-				st.ProbesReceived, st.RecordsParsed, daemon.Collector().Epoch(), hitRate*100, cov.Fresh, cov.Stale)
+			fmt.Printf("intsched: health=%s probes=%d drops=%d/%d/%d stale=%d records=%d epoch=%d rank-cache hit=%.0f%% fresh=%v stale-devs=%v\n",
+				health.Status, ds.ProbesReceived,
+				ds.DatagramErrors, ds.UnexpectedKinds, ds.PayloadErrors,
+				st.ProbesOutOfOrder, st.RecordsParsed,
+				daemon.Collector().Epoch(), hitRate*100, cov.Fresh, cov.Stale)
+			for _, r := range health.Reasons {
+				fmt.Printf("intsched:   degraded: %s\n", r)
+			}
 		case <-stop:
 			fmt.Println("\nintsched: shutting down")
 			return

@@ -11,6 +11,7 @@ package collector
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,6 +153,49 @@ func (c *Collector) Stats() Stats {
 type probeMeta struct {
 	seq uint64
 	at  time.Duration
+}
+
+// ProbeStream reports the freshness of one probe stream — the (origin,
+// target) sequence space a probing host maintains. Target is "" for streams
+// probing the collector itself. The observability health model derives
+// per-edge probe liveness from these.
+type ProbeStream struct {
+	Origin, Target string
+	// Seq is the highest accepted sequence number.
+	Seq uint64
+	// Age is the time since the last accepted probe of this stream.
+	Age time.Duration
+}
+
+// ProbeStreams lists every known probe stream with its freshness, sorted by
+// (origin, target).
+func (c *Collector) ProbeStreams() []ProbeStream {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ProbeStream, 0, len(c.lastProbe))
+	for key, meta := range c.lastProbe {
+		out = append(out, ProbeStream{
+			Origin: key.origin,
+			Target: key.target,
+			Seq:    meta.seq,
+			Age:    now - meta.at,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// QueueWindow returns the configured queue-report freshness window.
+func (c *Collector) QueueWindow() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.QueueWindow
 }
 
 // probeKey identifies one probe stream: a host may probe several targets

@@ -7,6 +7,7 @@ import (
 
 	"intsched/internal/collector"
 	"intsched/internal/netsim"
+	"intsched/internal/obs"
 	"intsched/internal/telemetry"
 	"intsched/internal/transport"
 )
@@ -131,6 +132,11 @@ type Service struct {
 	// cache memoizes ranked candidate lists per collector epoch.
 	cache RankCache
 
+	// queryLatency times RankOn per metric when Instrument installed a
+	// registry (nil map otherwise — the uninstrumented hot path pays one
+	// nil-map lookup).
+	queryLatency map[Metric]*obs.Histogram
+
 	// stateMu guards capabilities and load, which change on control
 	// messages while queries may be reading them concurrently.
 	stateMu      sync.RWMutex
@@ -199,6 +205,38 @@ func (s *Service) Load(server netsim.NodeID) time.Duration {
 // CacheStats reports the rank cache counters.
 func (s *Service) CacheStats() RankCacheStats { return s.cache.Stats() }
 
+// Instrument registers the service's observability series on reg — the rank
+// cache counters as read-through functions and one query-latency histogram
+// per registered metric (the same series names the live daemon exposes, so
+// the simulated and live schedulers are observed identically). Call it at
+// setup time, after Register; it is not safe to race with queries.
+func (s *Service) Instrument(reg *obs.Registry) {
+	for _, c := range []struct {
+		name, help string
+		read       func(RankCacheStats) uint64
+	}{
+		{"intsched_rank_cache_hits_total", "Ranking queries served from the epoch-keyed rank cache.",
+			func(st RankCacheStats) uint64 { return st.Hits }},
+		{"intsched_rank_cache_misses_total", "Ranking queries that recomputed from the snapshot.",
+			func(st RankCacheStats) uint64 { return st.Misses }},
+		{"intsched_rank_cache_invalidations_total", "Rank cache flushes on epoch advance.",
+			func(st RankCacheStats) uint64 { return st.Invalidations }},
+	} {
+		read := c.read
+		reg.CounterFunc(obs.Opts{Name: c.name, Help: c.help}, func() float64 {
+			return float64(read(s.cache.Stats()))
+		})
+	}
+	s.queryLatency = make(map[Metric]*obs.Histogram, len(s.rankers))
+	for m := range s.rankers {
+		s.queryLatency[m] = reg.Histogram(obs.Opts{
+			Name:   "intsched_query_latency_seconds",
+			Help:   "Answer latency of ranking queries.",
+			Labels: []obs.Label{{Key: "metric", Value: m.String()}},
+		}, nil)
+	}
+}
+
 // candidatesOn lists the default candidates from one topology snapshot:
 // every host the collector has learned about except the requester. The
 // scheduler itself is a valid server (per the paper's experimental setup).
@@ -254,6 +292,10 @@ func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidat
 	ranker := s.rankers[req.Metric]
 	if ranker == nil {
 		return nil
+	}
+	if h := s.queryLatency[req.Metric]; h != nil {
+		start := time.Now()
+		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
 	// The cache stores the full ranked list (pre reorder/truncation); the
 	// per-request Sorted/Count shaping is applied to a private copy.

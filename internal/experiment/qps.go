@@ -8,6 +8,7 @@ import (
 	"intsched/internal/core"
 	"intsched/internal/dataplane"
 	"intsched/internal/netsim"
+	"intsched/internal/obs"
 	"intsched/internal/probe"
 	"intsched/internal/simtime"
 	"intsched/internal/transport"
@@ -54,6 +55,10 @@ type QueryRig struct {
 	Coll    *collector.Collector
 	Svc     *core.Service
 	Devices []netsim.NodeID
+	// Reg is the rig's metrics registry: the service's rank-cache counters
+	// and per-metric query-latency histograms, the same series the live
+	// daemon exposes over /metrics.
+	Reg *obs.Registry
 
 	probeInterval time.Duration
 }
@@ -80,6 +85,8 @@ func NewQueryRig(cached bool, cfg QPSConfig) (*QueryRig, error) {
 	})
 	svc.Register(&core.DelayRanker{})
 	svc.Register(&core.BandwidthRanker{})
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
 	if !cached {
 		coll.SetSnapshotCaching(false)
 	}
@@ -101,6 +108,7 @@ func NewQueryRig(cached bool, cfg QPSConfig) (*QueryRig, error) {
 		Coll:          coll,
 		Svc:           svc,
 		Devices:       devices,
+		Reg:           reg,
 		probeInterval: cfg.ProbeInterval,
 	}, nil
 }
@@ -132,6 +140,19 @@ type QPSMode struct {
 	QPS     float64
 	Cache   core.RankCacheStats
 	Epoch   uint64
+	// QueryLatency is the registry's per-query latency distribution,
+	// merged across the delay and bandwidth metrics.
+	QueryLatency obs.HistogramSnapshot
+}
+
+// HitRate is the cache hit fraction in [0, 1], and whether any lookups
+// happened.
+func (m QPSMode) HitRate() (float64, bool) {
+	total := m.Cache.Hits + m.Cache.Misses
+	if total == 0 {
+		return 0, false
+	}
+	return float64(m.Cache.Hits) / float64(total), true
 }
 
 // QPSResult is the before/after comparison.
@@ -168,12 +189,14 @@ func QPS(cfg QPSConfig) (*QPSResult, error) {
 			sinceProbe++
 		}
 		elapsed := time.Since(start)
+		lat, _ := rig.Reg.FindHistogram("intsched_query_latency_seconds")
 		return QPSMode{
-			Label:   label,
-			Elapsed: elapsed,
-			QPS:     float64(cfg.Queries) / elapsed.Seconds(),
-			Cache:   rig.Svc.CacheStats(),
-			Epoch:   rig.Coll.Epoch(),
+			Label:        label,
+			Elapsed:      elapsed,
+			QPS:          float64(cfg.Queries) / elapsed.Seconds(),
+			Cache:        rig.Svc.CacheStats(),
+			Epoch:        rig.Coll.Epoch(),
+			QueryLatency: lat,
 		}, nil
 	}
 	uncached, err := run("uncached (pre-refactor)", false)

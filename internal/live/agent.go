@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intsched/internal/telemetry"
@@ -25,6 +26,7 @@ type ProbeAgent struct {
 	pings  map[int64]chan time.Duration
 	closed chan struct{}
 	wg     sync.WaitGroup
+	paused atomic.Bool
 
 	// Sent counts emitted probes.
 	Sent uint64
@@ -74,7 +76,9 @@ func (a *ProbeAgent) Start() {
 		for {
 			select {
 			case <-ticker.C:
-				_ = a.EmitProbe()
+				if !a.paused.Load() {
+					_ = a.EmitProbe()
+				}
 			case <-a.closed:
 				return
 			}
@@ -159,6 +163,11 @@ func (a *ProbeAgent) Ping(dst string, timeout time.Duration) (time.Duration, err
 		return 0, fmt.Errorf("live: agent closed")
 	}
 }
+
+// SetPaused suspends (true) or resumes (false) the periodic prober while
+// the agent keeps answering pings — a controllable telemetry outage for
+// health-model tests and failure drills.
+func (a *ProbeAgent) SetPaused(paused bool) { a.paused.Store(paused) }
 
 // EmitProbe sends a single probe immediately (also used by tests).
 func (a *ProbeAgent) EmitProbe() error {

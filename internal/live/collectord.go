@@ -4,25 +4,30 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"intsched/internal/collector"
 	"intsched/internal/core"
 	"intsched/internal/netsim"
+	"intsched/internal/obs"
 	"intsched/internal/telemetry"
 	"intsched/internal/wire"
 )
 
 // CollectorDaemon is the live scheduler: it ingests INT probes over UDP,
 // maintains the learned topology in a collector.Collector, and serves
-// ranking queries over a TCP API.
+// ranking queries over a TCP API. An optional HTTP listener exposes the
+// daemon's metrics registry (/metrics) and telemetry health (/healthz).
 type CollectorDaemon struct {
 	id   string
 	base time.Time
 
-	udp *net.UDPConn
-	tcp net.Listener
+	udp   *net.UDPConn
+	tcp   net.Listener
+	hsrv  *http.Server
+	haddr string
 
 	coll     *collector.Collector
 	delay    core.Ranker
@@ -33,9 +38,17 @@ type CollectorDaemon struct {
 	closed   chan struct{}
 	closeOne sync.Once
 
-	mu sync.Mutex
-	// ProbesReceived counts decoded probe datagrams.
-	ProbesReceived uint64
+	reg    *obs.Registry
+	health *obs.Health
+	// Ingest-path counters: every probe datagram lands in exactly one of
+	// these four (plus the collector's own out-of-order drop counter). All
+	// are single atomic adds — the probe hot path takes no daemon lock.
+	probesReceived *obs.Counter
+	datagramErrors *obs.Counter
+	unexpectedKind *obs.Counter
+	payloadErrors  *obs.Counter
+	queryErrors    *obs.Counter
+	queryLatency   map[core.Metric]*obs.Histogram
 }
 
 // DaemonConfig tunes the collector daemon.
@@ -43,6 +56,9 @@ type DaemonConfig struct {
 	// UDPAddr and TCPAddr are the bind addresses ("127.0.0.1:0" for
 	// ephemeral ports).
 	UDPAddr, TCPAddr string
+	// HTTPAddr, when non-empty, binds the observability endpoints
+	// (/metrics, /healthz). Empty disables the HTTP listener.
+	HTTPAddr string
 	// K is the queue→latency conversion factor (core.DefaultK when zero).
 	K time.Duration
 	// LinkRateBps is the assumed link capacity for bandwidth estimates.
@@ -50,6 +66,10 @@ type DaemonConfig struct {
 	// QueueWindow bounds queue-report freshness (collector default when
 	// zero).
 	QueueWindow time.Duration
+	// DegradedAfter is the probe silence per edge after which /healthz
+	// reports degraded. Zero means 3 queue windows — the paper's ranking
+	// inputs (windowed queue maxima) have fully aged out well before that.
+	DegradedAfter time.Duration
 	// Hysteresis, when positive, suppresses candidate switching on
 	// estimate changes smaller than this relative margin.
 	Hysteresis float64
@@ -96,10 +116,157 @@ func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
 		QueueWindow:        cfg.QueueWindow,
 		DefaultLinkRateBps: cfg.LinkRateBps,
 	})
+	d.initObs(cfg)
+	if cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			udp.Close()
+			tcp.Close()
+			return nil, err
+		}
+		d.haddr = ln.Addr().String()
+		d.hsrv = &http.Server{Handler: obs.Handler(d.reg, d.health)}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			_ = d.hsrv.Serve(ln)
+		}()
+	}
 	d.wg.Add(2)
 	go d.probeLoop()
 	go d.queryLoop()
 	return d, nil
+}
+
+// initObs builds the daemon's metrics registry and health model.
+func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
+	d.reg = obs.NewRegistry()
+	d.health = &obs.Health{}
+
+	d.probesReceived = d.reg.Counter(obs.Opts{
+		Name: "intsched_probes_received_total",
+		Help: "Probe datagrams decoded and handed to the collector.",
+	})
+	d.datagramErrors = d.reg.Counter(obs.Opts{
+		Name: "intsched_probe_datagram_errors_total",
+		Help: "UDP datagrams dropped because the overlay header failed to unmarshal.",
+	})
+	d.unexpectedKind = d.reg.Counter(obs.Opts{
+		Name: "intsched_probe_unexpected_kind_total",
+		Help: "Well-formed datagrams dropped because they were not probes.",
+	})
+	d.payloadErrors = d.reg.Counter(obs.Opts{
+		Name: "intsched_probe_payload_errors_total",
+		Help: "Probe datagrams dropped because the INT payload failed to decode.",
+	})
+	d.queryErrors = d.reg.Counter(obs.Opts{
+		Name: "intsched_query_errors_total",
+		Help: "Ranking queries rejected (unknown or unserved metric).",
+	})
+	d.queryLatency = make(map[core.Metric]*obs.Histogram)
+	for _, m := range []core.Metric{core.MetricDelay, core.MetricBandwidth, core.MetricTransferTime} {
+		d.queryLatency[m] = d.reg.Histogram(obs.Opts{
+			Name:   "intsched_query_latency_seconds",
+			Help:   "Answer latency of ranking queries.",
+			Labels: []obs.Label{{Key: "metric", Value: m.String()}},
+		}, nil)
+	}
+
+	// Collector-maintained counts surface through read-through functions:
+	// the collector already guards them, so the registry stores no copy.
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_probes_stale_total",
+		Help: "Probes dropped by the collector for stale sequence numbers.",
+	}, func() float64 { return float64(d.coll.Stats().ProbesOutOfOrder) })
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_records_parsed_total",
+		Help: "INT records processed by the collector.",
+	}, func() float64 { return float64(d.coll.Stats().RecordsParsed) })
+	d.reg.GaugeFunc(obs.Opts{
+		Name: "intsched_collector_epoch",
+		Help: "Collector state version; advances on every accepted probe and config change.",
+	}, func() float64 { return float64(d.coll.Epoch()) })
+	d.reg.GaugeFunc(obs.Opts{
+		Name: "intsched_collector_snapshot_age_seconds",
+		Help: "Age of the current topology snapshot (time since last rebuild).",
+	}, func() float64 { return (d.clock() - d.coll.Snapshot().TakenAt).Seconds() })
+	d.reg.GaugeFunc(obs.Opts{
+		Name: "intsched_probe_streams",
+		Help: "Known probe streams (origin/target sequence spaces).",
+	}, func() float64 { return float64(len(d.coll.ProbeStreams())) })
+	for _, c := range []struct {
+		name, help string
+		read       func(core.RankCacheStats) uint64
+	}{
+		{"intsched_rank_cache_hits_total", "Ranking queries served from the epoch-keyed rank cache.",
+			func(s core.RankCacheStats) uint64 { return s.Hits }},
+		{"intsched_rank_cache_misses_total", "Ranking queries that recomputed from the snapshot.",
+			func(s core.RankCacheStats) uint64 { return s.Misses }},
+		{"intsched_rank_cache_invalidations_total", "Rank cache flushes on epoch advance.",
+			func(s core.RankCacheStats) uint64 { return s.Invalidations }},
+	} {
+		read := c.read
+		d.reg.CounterFunc(obs.Opts{Name: c.name, Help: c.help}, func() float64 {
+			return float64(read(d.cache.Stats()))
+		})
+	}
+
+	// Health: the scheduler is only trustworthy while its telemetry stream
+	// is alive. Degrade when any known edge falls silent for longer than
+	// the windowed ranking inputs stay valid, when devices go stale, or
+	// when no probe has ever arrived.
+	degradedAfter := cfg.DegradedAfter
+	d.health.Register("probe-ingest", func() []string {
+		if d.probesReceived.Value() == 0 {
+			return []string{"no probes received yet"}
+		}
+		return nil
+	})
+	d.health.Register("probe-liveness", func() []string {
+		window := d.coll.QueueWindow()
+		threshold := degradedAfter
+		if threshold <= 0 {
+			threshold = 3 * window
+		}
+		// A host may run several planned probe streams; it is alive if any
+		// of them is fresh. ProbeStreams is sorted, so reasons come out in
+		// origin order.
+		newest := make(map[string]time.Duration)
+		var origins []string
+		for _, s := range d.coll.ProbeStreams() {
+			age, ok := newest[s.Origin]
+			if !ok {
+				origins = append(origins, s.Origin)
+			}
+			if !ok || s.Age < age {
+				newest[s.Origin] = s.Age
+			}
+		}
+		var reasons []string
+		for _, origin := range origins {
+			if age := newest[origin]; age > threshold {
+				windows := "unbounded"
+				if window > 0 {
+					windows = fmt.Sprintf("%.0f", float64(age)/float64(window))
+				}
+				reasons = append(reasons, fmt.Sprintf(
+					"no probes from edge %s for %v (%s queue windows)",
+					origin, age.Round(time.Millisecond), windows))
+			}
+		}
+		return reasons
+	})
+	d.health.Register("topology-staleness", func() []string {
+		cov := d.coll.Coverage()
+		var reasons []string
+		for _, dev := range cov.Stale {
+			age := d.clock() - cov.LastSeen[dev]
+			reasons = append(reasons, fmt.Sprintf(
+				"stale telemetry from device %s (last report %v ago)",
+				dev, age.Round(time.Millisecond)))
+		}
+		return reasons
+	})
 }
 
 // clock returns daemon-relative time, the collector's timebase.
@@ -114,11 +281,48 @@ func (d *CollectorDaemon) UDPAddr() string { return d.udp.LocalAddr().String() }
 // QueryAddr returns the TCP query API address.
 func (d *CollectorDaemon) QueryAddr() string { return d.tcp.Addr().String() }
 
+// HTTPAddr returns the observability endpoint address ("" when the HTTP
+// listener is disabled).
+func (d *CollectorDaemon) HTTPAddr() string { return d.haddr }
+
 // Collector exposes the underlying collector (tests, coverage reports).
 func (d *CollectorDaemon) Collector() *collector.Collector { return d.coll }
 
 // CacheStats reports the daemon's rank-cache counters.
 func (d *CollectorDaemon) CacheStats() core.RankCacheStats { return d.cache.Stats() }
+
+// Metrics exposes the daemon's metric registry (the same one /metrics
+// serves), for embedding the daemon and for local diagnostics.
+func (d *CollectorDaemon) Metrics() *obs.Registry { return d.reg }
+
+// Health exposes the daemon's health model (the same one /healthz serves).
+func (d *CollectorDaemon) Health() *obs.Health { return d.health }
+
+// DaemonStats counts the daemon's probe ingest outcomes. Every received
+// datagram lands in exactly one bucket; collector-level drops (stale
+// sequence numbers) are counted separately in collector.Stats.
+type DaemonStats struct {
+	// ProbesReceived counts decoded probe datagrams handed to the collector.
+	ProbesReceived uint64
+	// DatagramErrors counts datagrams whose overlay header failed to
+	// unmarshal.
+	DatagramErrors uint64
+	// UnexpectedKinds counts well-formed datagrams that were not probes.
+	UnexpectedKinds uint64
+	// PayloadErrors counts probe datagrams whose INT payload failed to
+	// decode.
+	PayloadErrors uint64
+}
+
+// Stats returns the daemon's ingest counters.
+func (d *CollectorDaemon) Stats() DaemonStats {
+	return DaemonStats{
+		ProbesReceived:  d.probesReceived.Value(),
+		DatagramErrors:  d.datagramErrors.Value(),
+		UnexpectedKinds: d.unexpectedKind.Value(),
+		PayloadErrors:   d.payloadErrors.Value(),
+	}
+}
 
 // Close shuts the daemon down.
 func (d *CollectorDaemon) Close() {
@@ -126,6 +330,9 @@ func (d *CollectorDaemon) Close() {
 		close(d.closed)
 		d.udp.Close()
 		d.tcp.Close()
+		if d.hsrv != nil {
+			d.hsrv.Close()
+		}
 	})
 	d.wg.Wait()
 }
@@ -138,12 +345,21 @@ func (d *CollectorDaemon) probeLoop() {
 		if err != nil {
 			return
 		}
+		// Bad input is dropped, never fatal — but each drop class is
+		// counted so a misbehaving sender shows up in /metrics instead of
+		// vanishing silently.
 		dg, err := wire.UnmarshalDatagram(buf[:n])
-		if err != nil || dg.Kind != wire.KindProbe {
+		if err != nil {
+			d.datagramErrors.Inc()
+			continue
+		}
+		if dg.Kind != wire.KindProbe {
+			d.unexpectedKind.Inc()
 			continue
 		}
 		payload, err := telemetry.UnmarshalProbe(dg.Payload)
 		if err != nil {
+			d.payloadErrors.Inc()
 			continue
 		}
 		d.ingest(payload)
@@ -166,9 +382,7 @@ func (d *CollectorDaemon) ingest(p *telemetry.ProbePayload) {
 	if p.SentAt > 0 {
 		p.SentAt -= time.Duration(baseNs)
 	}
-	d.mu.Lock()
-	d.ProbesReceived++
-	d.mu.Unlock()
+	d.probesReceived.Inc()
 	d.coll.HandleProbe(p)
 }
 
@@ -207,6 +421,7 @@ func (d *CollectorDaemon) serve(conn net.Conn) {
 func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 	metric, ok := core.ParseMetric(req.Metric)
 	if !ok {
+		d.queryErrors.Inc()
 		return &wire.QueryResponse{Metric: req.Metric, Error: fmt.Sprintf("unknown metric %q", req.Metric)}
 	}
 	var ranker core.Ranker
@@ -218,7 +433,12 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 	case core.MetricTransferTime:
 		ranker = d.xfer
 	default:
+		d.queryErrors.Inc()
 		return &wire.QueryResponse{Metric: req.Metric, Error: fmt.Sprintf("metric %q not served live", req.Metric)}
+	}
+	if h := d.queryLatency[metric]; h != nil {
+		start := time.Now()
+		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
 	topo := d.coll.Snapshot()
 	// Hysteresis-wrapped rankers are stateful and bypass the cache.

@@ -27,6 +27,13 @@ type OverlaySpec struct {
 	// K and LinkRateBps configure the daemon's rankers.
 	K           time.Duration
 	LinkRateBps int64
+	// HTTPAddr, when non-empty, enables the daemon's observability
+	// endpoints (/metrics, /healthz).
+	HTTPAddr string
+	// QueueWindow and DegradedAfter tune the daemon's telemetry freshness
+	// and health thresholds (daemon defaults when zero).
+	QueueWindow   time.Duration
+	DegradedAfter time.Duration
 }
 
 // Overlay is a running live topology on loopback sockets.
@@ -62,8 +69,11 @@ func StartOverlay(spec OverlaySpec) (*Overlay, error) {
 	}
 
 	daemon, err := NewCollectorDaemon(spec.Scheduler, DaemonConfig{
-		K:           spec.K,
-		LinkRateBps: spec.LinkRateBps,
+		K:             spec.K,
+		LinkRateBps:   spec.LinkRateBps,
+		HTTPAddr:      spec.HTTPAddr,
+		QueueWindow:   spec.QueueWindow,
+		DegradedAfter: spec.DegradedAfter,
 	})
 	if err != nil {
 		return fail(err)

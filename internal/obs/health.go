@@ -1,0 +1,66 @@
+package obs
+
+import "sync"
+
+// HealthStatus is the overall verdict of a health evaluation.
+type HealthStatus string
+
+// Health verdicts. There are deliberately only two: either every check
+// passes, or the telemetry feeding the scheduler has degraded and rankings
+// may be built on stale state.
+const (
+	HealthOK       HealthStatus = "ok"
+	HealthDegraded HealthStatus = "degraded"
+)
+
+// HealthReport is the result of evaluating all registered checks.
+type HealthReport struct {
+	Status HealthStatus `json:"status"`
+	// Reasons lists every active degradation, e.g. "no probes from edge e3
+	// for 812ms (> 3 queue windows)". Empty when Status is ok.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Degraded reports whether the evaluation found any problem.
+func (r HealthReport) Degraded() bool { return r.Status == HealthDegraded }
+
+// healthCheck is one named rule.
+type healthCheck struct {
+	name string
+	fn   func() []string
+}
+
+// Health aggregates named degradation checks. A check returns the list of
+// currently active degradation reasons (nil/empty when healthy); Evaluate
+// runs every check and combines the reasons into one report. Checks must be
+// safe for concurrent use — /healthz may be scraped while the daemon ingests
+// probes.
+type Health struct {
+	mu     sync.RWMutex
+	checks []healthCheck
+}
+
+// Register adds a named check. Registration order is evaluation (and reason)
+// order.
+func (h *Health) Register(name string, fn func() []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks = append(h.checks, healthCheck{name: name, fn: fn})
+}
+
+// Evaluate runs all checks and reports ok or degraded with reasons.
+func (h *Health) Evaluate() HealthReport {
+	h.mu.RLock()
+	checks := make([]healthCheck, len(h.checks))
+	copy(checks, h.checks)
+	h.mu.RUnlock()
+
+	rep := HealthReport{Status: HealthOK}
+	for _, c := range checks {
+		rep.Reasons = append(rep.Reasons, c.fn()...)
+	}
+	if len(rep.Reasons) > 0 {
+		rep.Status = HealthDegraded
+	}
+	return rep
+}

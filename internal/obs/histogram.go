@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram for latency-like observations. The
+// bucket layout is immutable after construction; Observe is lock-free (one
+// binary search over the bounds plus three atomic adds), so it is safe on the
+// query hot path. Quantiles are estimated from the bucket counts by linear
+// interpolation, the same rule as Prometheus histogram_quantile.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, strictly
+	// increasing. An implicit +Inf bucket catches everything above the last
+	// bound.
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sumBits atomic.Uint64   // float64 bits of the running sum, CAS-updated
+}
+
+// NewHistogram creates a histogram with the given finite upper bounds, which
+// must be non-empty and strictly increasing. It panics otherwise: bucket
+// layouts are compile-time decisions, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %v <= %v", own[i], own[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Uint64, len(own)+1),
+	}
+}
+
+// LatencyBuckets returns the default bucket bounds for query/RPC latencies:
+// exponential from 1 µs to ~8.4 s (doubling), in seconds. Sub-microsecond
+// observations land in the first bucket; anything slower than ~8 s lands in
+// +Inf.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 24)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s returns the first bound >= v for the inclusive
+	// upper-bound convention (le in Prometheus terms).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot captures the current bucket counts. Concurrent Observe calls may
+// land between the individual bucket reads, so the sum can straggle the
+// counts by in-flight observations; Count is derived from the bucket reads
+// themselves and is internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable, shared
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// observations. See HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds.
+	Bounds []float64 `json:"bounds"`
+	// Counts holds per-bucket observation counts; its last element is the
+	// +Inf bucket (observations above the final bound).
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+}
+
+// Quantile estimates the q-quantile by locating the bucket containing the
+// target rank and interpolating linearly inside it (Prometheus
+// histogram_quantile semantics). With no observations it returns NaN; ranks
+// that fall in the +Inf bucket return the last finite bound (the estimate
+// saturates — fixed buckets cannot resolve the far tail).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			// +Inf bucket: saturate at the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		// Position of the target rank inside this bucket.
+		within := (rank - (cum - float64(c))) / float64(c)
+		return lo + (hi-lo)*within
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// QuantileDuration is Quantile for latency histograms observed in seconds.
+// NaN (no observations) maps to 0.
+func (s HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	v := s.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+// Merge combines two snapshots with identical bucket layouts (e.g. the same
+// latency metric observed per ranking strategy) into one.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Bounds) == 0 {
+		return o, nil
+	}
+	if len(o.Bounds) == 0 {
+		return s, nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different bounds at bucket %d", i)
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the observability endpoints:
+//
+//	GET /metrics   — Prometheus text exposition (default), or the JSON
+//	                 snapshot with ?format=json / Accept: application/json
+//	GET /healthz   — 200 {"status":"ok"} or 503 {"status":"degraded",
+//	                 "reasons":[...]} from evaluating health
+//
+// health may be nil, in which case /healthz always reports ok (a daemon
+// with no registered checks has nothing to degrade on).
+func Handler(reg *Registry, health *Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep := HealthReport{Status: HealthOK}
+		if health != nil {
+			rep = health.Evaluate()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Degraded() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	return mux
+}
+
+// wantJSON decides the /metrics representation.
+func wantJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}

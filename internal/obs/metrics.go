@@ -1,0 +1,51 @@
+// Package obs is the scheduler's runtime observability subsystem: lock-cheap
+// metric primitives (atomic counters and gauges, fixed-bucket latency
+// histograms with quantile estimates), a named registry with immutable
+// snapshots and Prometheus/JSON exposition, and a health model that turns
+// collector-derived signals (probe liveness, topology staleness) into an
+// ok/degraded verdict with reasons.
+//
+// The design constraint is the ingest and query hot paths: a probe arrives
+// every 100 ms per edge while ranking queries can outnumber probes 100:1, so
+// every per-event instrument is a single atomic operation — no locks, no
+// allocation. Locks appear only at the edges: registry mutation (setup time)
+// and exposition (scrape time).
+//
+// One registry observes both deployments of the scheduler: the live
+// CollectorDaemon serves it over HTTP (/metrics, /healthz) and the simulated
+// experiment rigs read the same snapshots to report cache hit rates and
+// query-latency quantiles.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use. All methods are safe for concurrent use; Inc/Add are a single atomic
+// add, suitable for per-datagram hot paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to use
+// and reads 0. All methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

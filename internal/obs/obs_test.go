@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v", g.Value())
+	}
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // le=1: {0.5, 1}; le=2: {1.5}; le=4: {3}; +Inf: {100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 30)) // uniform over [0,30)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 20 {
+		t.Fatalf("p50 = %v, want within [10,20]", p50)
+	}
+	// Empty histogram: NaN, and 0 as a duration.
+	empty := NewHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	if d := empty.Snapshot().QuantileDuration(0.5); d != 0 {
+		t.Fatalf("empty duration quantile = %v", d)
+	}
+	// Everything in +Inf saturates at the last finite bound.
+	sat := NewHistogram([]float64{1, 2})
+	sat.Observe(50)
+	if got := sat.Quantile(0.99); got != 2 {
+		t.Fatalf("saturated quantile = %v, want 2", got)
+	}
+}
+
+func TestHistogramObserveDurationAndLatencyBuckets(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.QuantileDuration(0.5); got < time.Millisecond || got > 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~3ms", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 3 || m.Counts[0] != 1 || m.Counts[1] != 1 || m.Counts[2] != 1 {
+		t.Fatalf("merged %+v", m)
+	}
+	c := NewHistogram([]float64{5})
+	if _, err := a.Snapshot().Merge(c.Snapshot()); err == nil {
+		t.Fatal("mismatched merge accepted")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter(Opts{Name: "x_total"})
+	c2 := r.Counter(Opts{Name: "x_total"})
+	if c1 != c2 {
+		t.Fatal("same series produced distinct counters")
+	}
+	// Distinct labels are distinct series.
+	l1 := r.Counter(Opts{Name: "y_total", Labels: []Label{{"metric", "delay"}}})
+	l2 := r.Counter(Opts{Name: "y_total", Labels: []Label{{"metric", "bandwidth"}}})
+	if l1 == l2 {
+		t.Fatal("distinct labels shared a counter")
+	}
+	// Kind mismatch on an existing series panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch accepted")
+			}
+		}()
+		r.Gauge(Opts{Name: "x_total"})
+	}()
+	// Invalid names panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name accepted")
+			}
+		}()
+		r.Counter(Opts{Name: "1bad name"})
+	}()
+}
+
+func TestRegistrySnapshotSortedAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Opts{Name: "b_total", Help: "b help"}).Add(2)
+	r.Gauge(Opts{Name: "a_gauge"}).Set(1.5)
+	r.GaugeFunc(Opts{Name: "c_fn"}, func() float64 { return 7 })
+	r.CounterFunc(Opts{Name: "d_fn_total"}, func() float64 { return 9 })
+	r.Histogram(Opts{Name: "h_seconds"}, []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d series", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Series() >= snap[i].Series() {
+			t.Fatalf("snapshot unsorted: %q >= %q", snap[i-1].Series(), snap[i].Series())
+		}
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if byName["b_total"].Value != 2 || byName["b_total"].Kind != KindCounter {
+		t.Fatalf("counter snapshot %+v", byName["b_total"])
+	}
+	if byName["a_gauge"].Value != 1.5 || byName["c_fn"].Value != 7 || byName["d_fn_total"].Value != 9 {
+		t.Fatalf("gauge/func snapshots %+v", byName)
+	}
+	if h := byName["h_seconds"].Histogram; h == nil || h.Count != 1 {
+		t.Fatalf("histogram snapshot %+v", byName["h_seconds"])
+	}
+}
+
+func TestFindHistogramMergesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Opts{Name: "q_seconds", Labels: []Label{{"metric", "delay"}}}, []float64{1, 2}).Observe(0.5)
+	r.Histogram(Opts{Name: "q_seconds", Labels: []Label{{"metric", "bandwidth"}}}, []float64{1, 2}).Observe(1.5)
+	m, ok := r.FindHistogram("q_seconds")
+	if !ok || m.Count != 2 {
+		t.Fatalf("merged %+v ok=%v", m, ok)
+	}
+	if _, ok := r.FindHistogram("missing"); ok {
+		t.Fatal("missing histogram found")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Opts{Name: "probes_total", Help: "probes received"}).Add(3)
+	r.Histogram(Opts{Name: "lat_seconds", Labels: []Label{{"metric", "delay"}}}, []float64{1, 2}).Observe(1.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP probes_total probes received",
+		"# TYPE probes_total counter",
+		"probes_total 3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{metric="delay",le="1"} 0`,
+		`lat_seconds_bucket{metric="delay",le="2"} 1`,
+		`lat_seconds_bucket{metric="delay",le="+Inf"} 1`,
+		`lat_seconds_sum{metric="delay"} 1.5`,
+		`lat_seconds_count{metric="delay"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthEvaluate(t *testing.T) {
+	var h Health
+	if rep := h.Evaluate(); rep.Degraded() || rep.Status != HealthOK {
+		t.Fatalf("empty health %+v", rep)
+	}
+	var failing bool
+	h.Register("probe-liveness", func() []string {
+		if failing {
+			return []string{"no probes from edge e3 for 812ms"}
+		}
+		return nil
+	})
+	h.Register("always-ok", func() []string { return nil })
+	if rep := h.Evaluate(); rep.Degraded() {
+		t.Fatalf("healthy checks degraded: %+v", rep)
+	}
+	failing = true
+	rep := h.Evaluate()
+	if !rep.Degraded() || len(rep.Reasons) != 1 || !strings.Contains(rep.Reasons[0], "e3") {
+		t.Fatalf("degraded report %+v", rep)
+	}
+}
