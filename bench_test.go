@@ -249,7 +249,9 @@ func BenchmarkTCPTransfer(b *testing.B) {
 }
 
 // BenchmarkProbeCodec measures INT probe marshal/unmarshal (the live-mode
-// hot path).
+// hot path): the allocating entry points ("fresh") against the scratch-
+// reusing ones a steady telemetry stream should use ("reuse", zero
+// allocs/op).
 func BenchmarkProbeCodec(b *testing.B) {
 	p := &telemetry.ProbePayload{Origin: "n1", Seq: 9, SentAt: time.Second}
 	for h := 0; h < 6; h++ {
@@ -264,15 +266,54 @@ func BenchmarkProbeCodec(b *testing.B) {
 			},
 		})
 	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := telemetry.MarshalProbe(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := telemetry.UnmarshalProbe(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var buf []byte
+		var dec telemetry.ProbePayload
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = telemetry.AppendProbe(buf[:0], p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := telemetry.UnmarshalProbeInto(&dec, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScenarioRun measures one full scheduling scenario end to end —
+// the unit cell the experiment pool fans out — with allocation accounting
+// for the DES free list and packet-recycling work.
+func BenchmarkScenarioRun(b *testing.B) {
 	b.ReportAllocs()
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf, err := telemetry.MarshalProbe(p)
+		res, err := experiment.Run(experiment.Scenario{
+			Seed:             42, // fixed seed: identical work every iteration
+			Workload:         workload.Serverless,
+			Metric:           core.MetricDelay,
+			TaskCount:        20,
+			MeanInterarrival: time.Second,
+			Background:       experiment.BackgroundRandom,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := telemetry.UnmarshalProbe(buf); err != nil {
-			b.Fatal(err)
+		if res.Incomplete != 0 {
+			b.Fatalf("%d incomplete tasks", res.Incomplete)
 		}
 	}
 }

@@ -4,14 +4,20 @@
 //	intbench                  # everything (full size: 200 tasks, Fig 3 at 300 s)
 //	intbench -exp fig5        # one experiment
 //	intbench -tasks 60 -fig3dur 30s   # scaled-down quick pass
+//	intbench -parallel 1      # force serial execution (output is byte-identical)
 //
 // Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation, qps.
+// The parbench experiment (not part of "all") measures the worker-pool
+// speedup and writes results/BENCH_parallel.json.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,16 +31,21 @@ import (
 )
 
 var (
-	seed    = flag.Int64("seed", 42, "random seed")
-	seeds   = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
-	tasks   = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
-	fig3dur = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
-	expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,qps,all")
-	queries = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
+	seed     = flag.Int64("seed", 42, "random seed")
+	seeds    = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
+	tasks    = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
+	fig3dur  = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
+	expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,qps,all (plus parbench, by name only)")
+	queries  = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
+	parallel = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 )
+
+// pool runs independent scenario cells; initialized in main from -parallel.
+var pool *experiment.Pool
 
 func main() {
 	flag.Parse()
+	pool = experiment.NewPool(*parallel)
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -61,6 +72,17 @@ func main() {
 	run("fig9", fig9)
 	run("ablation", ablation)
 	run("qps", qps)
+	// parbench re-runs the comparison grid at several pool sizes, so it
+	// only runs when asked for by name.
+	if want["parbench"] {
+		start := time.Now()
+		fmt.Println("==== parbench ====")
+		if err := parbench(); err != nil {
+			fmt.Fprintf(os.Stderr, "intbench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(parbench took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
 }
 
 // qps compares scheduler query throughput with and without the
@@ -119,7 +141,7 @@ func table1() error {
 
 // fig3 reproduces the utilization → (max queue, RTT) calibration sweep.
 func fig3() error {
-	pts, err := experiment.Fig3(experiment.Fig3Config{
+	pts, err := pool.Fig3(experiment.Fig3Config{
 		Duration: *fig3dur,
 		Seed:     *seed,
 	})
@@ -149,7 +171,7 @@ func fig3() error {
 // tables for both completion and transfer times.
 func compareAndPrint(kind workload.Kind, nwMetric core.Metric) (*experiment.Comparison, error) {
 	metrics := []core.Metric{nwMetric, core.MetricNearest, core.MetricRandom}
-	cmp, err := experiment.Compare(experiment.Scenario{
+	cmp, err := pool.Compare(experiment.Scenario{
 		Seed:       *seed,
 		Workload:   kind,
 		TaskCount:  *tasks,
@@ -174,7 +196,7 @@ func compareAndPrint(kind workload.Kind, nwMetric core.Metric) (*experiment.Comp
 		for i := range seedList {
 			seedList[i] = *seed + int64(i)
 		}
-		cmps, err := experiment.CompareSeeds(experiment.Scenario{
+		cmps, err := pool.CompareSeeds(experiment.Scenario{
 			Workload:   kind,
 			TaskCount:  *tasks,
 			Background: experiment.BackgroundRandom,
@@ -219,16 +241,32 @@ func fig8() error {
 		{"distributed-delay", workload.Distributed, core.MetricDelay},
 		{"distributed-bandwidth", workload.Distributed, core.MetricBandwidth},
 	}
-	tb := stats.NewTable("curve", "≤0 gain", "≥20% gain", "≥60% gain", "median gain")
+	// Flatten the 3 curves × 2 metrics into six independent cells so the
+	// whole figure runs in one pool pass.
+	cells := make([]experiment.Scenario, 0, 2*len(curves))
 	for _, c := range curves {
-		cmp, err := experiment.Compare(experiment.Scenario{
-			Seed:       *seed,
-			Workload:   c.kind,
-			TaskCount:  *tasks,
-			Background: experiment.BackgroundRandom,
-		}, []core.Metric{c.metric, core.MetricNearest})
-		if err != nil {
-			return err
+		for _, m := range []core.Metric{c.metric, core.MetricNearest} {
+			cells = append(cells, experiment.Scenario{
+				Seed:       *seed,
+				Workload:   c.kind,
+				Metric:     m,
+				TaskCount:  *tasks,
+				Background: experiment.BackgroundRandom,
+			})
+		}
+	}
+	results, err := pool.RunScenarios(cells)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("curve", "≤0 gain", "≥20% gain", "≥60% gain", "median gain")
+	for i, c := range curves {
+		cmp := &experiment.Comparison{
+			Scenario: cells[2*i],
+			Runs: map[core.Metric]*experiment.RunResult{
+				c.metric:           results[2*i],
+				core.MetricNearest: results[2*i+1],
+			},
 		}
 		curve := experiment.BuildFig8Curve(c.label, cmp, c.metric)
 		tb.AddRow(c.label,
@@ -262,7 +300,7 @@ func decimate(pts []stats.ECDFPoint, n int) []stats.ECDFPoint {
 
 // fig9 sweeps the probing interval under both background patterns.
 func fig9() error {
-	pts, err := experiment.Fig9(experiment.Fig9Config{Seed: *seed, TaskCount: *tasks})
+	pts, err := pool.Fig9(experiment.Fig9Config{Seed: *seed, TaskCount: *tasks})
 	if err != nil {
 		return err
 	}
@@ -275,26 +313,72 @@ func fig9() error {
 	return nil
 }
 
-// ablation exercises design choices beyond the paper's figures.
+// ablation exercises design choices beyond the paper's figures. Every cell
+// is independent, so the whole battery is submitted to the pool as one
+// flattened batch and the tables are assembled from the ordered results.
 func ablation() error {
-	// k sweep: how sensitive is the delay ranking to the conversion factor?
-	fmt.Println("k sweep (serverless, delay ranking, gain vs nearest):")
-	tb := stats.NewTable("k", "mean completion", "gain vs nearest")
-	base, err := experiment.Run(experiment.Scenario{
+	kValues := []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond}
+	skews := []time.Duration{0, time.Millisecond, 5 * time.Millisecond}
+	computeMetrics := []core.Metric{core.MetricDelay, core.MetricComputeAware}
+
+	var cells []experiment.Scenario
+	// Baseline for the serverless sweeps (k, collection mode, skew).
+	cells = append(cells, experiment.Scenario{
 		Seed: *seed, Workload: workload.Serverless, Metric: core.MetricNearest,
 		TaskCount: *tasks, Background: experiment.BackgroundRandom,
 	})
-	if err != nil {
-		return err
-	}
-	for _, k := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond} {
-		r, err := experiment.Run(experiment.Scenario{
+	for _, k := range kValues {
+		cells = append(cells, experiment.Scenario{
 			Seed: *seed, Workload: workload.Serverless, Metric: core.MetricDelay,
 			TaskCount: *tasks, Background: experiment.BackgroundRandom, K: k,
 		})
-		if err != nil {
-			return err
-		}
+	}
+	// Baseline for the probe-coverage sweep.
+	cells = append(cells, experiment.Scenario{
+		Seed: *seed, Workload: workload.Distributed, Metric: core.MetricNearest,
+		TaskCount: *tasks, Background: experiment.BackgroundRandom,
+	})
+	for _, schedOnly := range []bool{false, true} {
+		cells = append(cells, experiment.Scenario{
+			Seed: *seed, Workload: workload.Distributed, Metric: core.MetricBandwidth,
+			TaskCount: *tasks, Background: experiment.BackgroundRandom,
+			SchedulerOnlyProbes: schedOnly,
+		})
+	}
+	for _, perPkt := range []bool{false, true} {
+		cells = append(cells, experiment.Scenario{
+			Seed: *seed, Workload: workload.Serverless, Metric: core.MetricDelay,
+			TaskCount: *tasks, Background: experiment.BackgroundRandom,
+			PerPacketINT: perPkt,
+		})
+	}
+	for _, skew := range skews {
+		cells = append(cells, experiment.Scenario{
+			Seed: *seed, Workload: workload.Serverless, Metric: core.MetricDelay,
+			TaskCount: *tasks, Background: experiment.BackgroundRandom, ClockSkew: skew,
+		})
+	}
+	for _, m := range computeMetrics {
+		cells = append(cells, experiment.Scenario{
+			Seed: *seed, Workload: workload.Distributed, Metric: m,
+			TaskCount: *tasks, Background: experiment.BackgroundRandom,
+			Slots: 2, ComputeAware: true,
+		})
+	}
+
+	results, err := pool.RunScenarios(cells)
+	if err != nil {
+		return err
+	}
+	next := 0
+	take := func() *experiment.RunResult { r := results[next]; next++; return r }
+
+	// k sweep: how sensitive is the delay ranking to the conversion factor?
+	fmt.Println("k sweep (serverless, delay ranking, gain vs nearest):")
+	tb := stats.NewTable("k", "mean completion", "gain vs nearest")
+	base := take()
+	for _, k := range kValues {
+		r := take()
 		tb.AddRow(k, r.MeanCompletion(),
 			fmt.Sprintf("%.1f%%", stats.GainDuration(base.MeanCompletion(), r.MeanCompletion())*100))
 	}
@@ -306,26 +390,13 @@ func ablation() error {
 	// server→scheduler probing.
 	fmt.Println("probe route coverage (distributed, bandwidth ranking, gain vs nearest):")
 	tb5 := stats.NewTable("probing scope", "mean transfer", "gain vs nearest")
-	bwBase, err := experiment.Run(experiment.Scenario{
-		Seed: *seed, Workload: workload.Distributed, Metric: core.MetricNearest,
-		TaskCount: *tasks, Background: experiment.BackgroundRandom,
-	})
-	if err != nil {
-		return err
-	}
+	bwBase := take()
 	for _, schedOnly := range []bool{false, true} {
 		label := "coverage-planned"
 		if schedOnly {
 			label = "scheduler-only (paper literal)"
 		}
-		r, err := experiment.Run(experiment.Scenario{
-			Seed: *seed, Workload: workload.Distributed, Metric: core.MetricBandwidth,
-			TaskCount: *tasks, Background: experiment.BackgroundRandom,
-			SchedulerOnlyProbes: schedOnly,
-		})
-		if err != nil {
-			return err
-		}
+		r := take()
 		tb5.AddRow(label, r.MeanTransfer(),
 			fmt.Sprintf("%.1f%%", stats.GainDuration(bwBase.MeanTransfer(), r.MeanTransfer())*100))
 	}
@@ -353,14 +424,7 @@ func ablation() error {
 		if perPkt {
 			label = "per-packet embedding"
 		}
-		r, err := experiment.Run(experiment.Scenario{
-			Seed: *seed, Workload: workload.Serverless, Metric: core.MetricDelay,
-			TaskCount: *tasks, Background: experiment.BackgroundRandom,
-			PerPacketINT: perPkt,
-		})
-		if err != nil {
-			return err
-		}
+		r := take()
 		tb6.AddRow(label, r.MeanCompletion(),
 			fmt.Sprintf("%.1f%%", stats.GainDuration(base.MeanCompletion(), r.MeanCompletion())*100),
 			fmt.Sprintf("%d", r.INTOverheadBytes))
@@ -370,14 +434,8 @@ func ablation() error {
 	// Clock skew robustness: skewed NTP on half the switches.
 	fmt.Println("clock skew robustness (delay ranking gain vs nearest):")
 	tb3 := stats.NewTable("skew", "mean completion", "gain vs nearest")
-	for _, skew := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond} {
-		r, err := experiment.Run(experiment.Scenario{
-			Seed: *seed, Workload: workload.Serverless, Metric: core.MetricDelay,
-			TaskCount: *tasks, Background: experiment.BackgroundRandom, ClockSkew: skew,
-		})
-		if err != nil {
-			return err
-		}
+	for _, skew := range skews {
+		r := take()
 		tb3.AddRow(skew, r.MeanCompletion(),
 			fmt.Sprintf("%.1f%%", stats.GainDuration(base.MeanCompletion(), r.MeanCompletion())*100))
 	}
@@ -386,17 +444,104 @@ func ablation() error {
 	// Compute-aware extension vs plain delay under constrained servers.
 	fmt.Println("compute-aware extension (2 slots per server):")
 	tb4 := stats.NewTable("metric", "mean completion")
-	for _, m := range []core.Metric{core.MetricDelay, core.MetricComputeAware} {
-		r, err := experiment.Run(experiment.Scenario{
-			Seed: *seed, Workload: workload.Distributed, Metric: m,
-			TaskCount: *tasks, Background: experiment.BackgroundRandom,
-			Slots: 2, ComputeAware: true,
-		})
-		if err != nil {
-			return err
-		}
+	for _, m := range computeMetrics {
+		r := take()
 		tb4.AddRow(m.String(), r.MeanCompletion())
 	}
 	fmt.Println(tb4.String())
+	return nil
+}
+
+// parbench measures the worker-pool speedup on the multi-seed comparison
+// grid (4 seeds × 3 metrics = 12 cells) and writes the points to
+// results/BENCH_parallel.json so later PRs have a perf trajectory to
+// regress against. It also cross-checks that every pool size produces
+// byte-identical comparison exports.
+func parbench() error {
+	metrics := []core.Metric{core.MetricDelay, core.MetricNearest, core.MetricRandom}
+	seedList := []int64{*seed, *seed + 1, *seed + 2, *seed + 3}
+	sc := experiment.Scenario{
+		Workload:   workload.Serverless,
+		TaskCount:  *tasks,
+		Background: experiment.BackgroundRandom,
+	}
+	workers := []int{1, 2, 4, 8}
+
+	type point struct {
+		Workers int     `json:"workers"`
+		Seconds float64 `json:"seconds"`
+		Speedup float64 `json:"speedup"`
+	}
+	report := struct {
+		Bench           string  `json:"bench"`
+		Tasks           int     `json:"tasks"`
+		Seeds           int     `json:"seeds"`
+		Metrics         int     `json:"metrics"`
+		CPUs            int     `json:"cpus"`
+		OutputIdentical bool    `json:"output_identical"`
+		Points          []point `json:"points"`
+	}{
+		Bench:           "compare_seeds",
+		Tasks:           *tasks,
+		Seeds:           len(seedList),
+		Metrics:         len(metrics),
+		CPUs:            runtime.NumCPU(),
+		OutputIdentical: true,
+	}
+
+	var serialExport []byte
+	var serialSecs float64
+	tb := stats.NewTable("workers", "wall clock", "speedup", "output")
+	for _, w := range workers {
+		start := time.Now()
+		cmps, err := experiment.NewPool(w).CompareSeeds(sc, metrics, seedList)
+		if err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		var buf bytes.Buffer
+		for _, cmp := range cmps {
+			if err := experiment.WriteComparisonJSON(&buf, cmp, core.MetricNearest); err != nil {
+				return err
+			}
+		}
+		identical := true
+		if w == 1 {
+			serialExport = append([]byte(nil), buf.Bytes()...)
+			serialSecs = secs
+		} else {
+			identical = bytes.Equal(buf.Bytes(), serialExport)
+			if !identical {
+				report.OutputIdentical = false
+			}
+		}
+		speedup := serialSecs / secs
+		report.Points = append(report.Points, point{Workers: w, Seconds: secs, Speedup: speedup})
+		outcome := "byte-identical to serial"
+		if !identical {
+			outcome = "DIFFERS FROM SERIAL"
+		}
+		if w == 1 {
+			outcome = "serial reference"
+		}
+		tb.AddRow(w, fmt.Sprintf("%.2fs", secs), fmt.Sprintf("%.2fx", speedup), outcome)
+	}
+	fmt.Println(tb.String())
+	if !report.OutputIdentical {
+		return fmt.Errorf("parallel output differs from serial")
+	}
+
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("results/BENCH_parallel.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote results/BENCH_parallel.json")
 	return nil
 }

@@ -44,21 +44,14 @@ type Comparison struct {
 }
 
 // Compare runs the scenario once per metric, replaying the same inputs.
+// It executes serially; use Pool.Compare to spread the metrics across
+// workers with identical output.
 func Compare(sc Scenario, metrics []core.Metric) (*Comparison, error) {
-	c := &Comparison{Scenario: sc, Runs: make(map[core.Metric]*RunResult, len(metrics))}
-	for _, m := range metrics {
-		run := sc
-		run.Metric = m
-		if err := run.Validate(); err != nil {
-			return nil, err
-		}
-		res, err := Run(run)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: metric %s: %w", m, err)
-		}
-		c.Runs[m] = res
-	}
-	return c, nil
+	return (*Pool)(nil).Compare(sc, metrics)
+}
+
+func metricErr(m core.Metric, err error) error {
+	return fmt.Errorf("experiment: metric %s: %w", m, err)
 }
 
 // GainByClass computes, per class, the relative improvement of metric over

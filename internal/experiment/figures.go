@@ -67,16 +67,7 @@ type Fig3Point struct {
 
 // Fig3 runs the calibration sweep and returns one point per utilization.
 func Fig3(cfg Fig3Config) ([]Fig3Point, error) {
-	cfg = cfg.withDefaults()
-	var out []Fig3Point
-	for _, util := range cfg.Utilizations {
-		pt, err := fig3Point(cfg, util)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return (*Pool)(nil).Fig3(cfg)
 }
 
 func fig3Point(cfg Fig3Config, util float64) (Fig3Point, error) {
@@ -208,39 +199,27 @@ type Fig9Point struct {
 
 // Fig9 sweeps the probing interval under both background patterns.
 func Fig9(cfg Fig9Config) ([]Fig9Point, error) {
-	cfg = cfg.withDefaults()
-	var out []Fig9Point
-	for _, interval := range cfg.Intervals {
-		pt := Fig9Point{Interval: interval}
-		t1, err := Run(Scenario{
-			Seed:          cfg.Seed,
-			Workload:      workload.Distributed,
-			Metric:        cfg.Metric,
-			TaskCount:     cfg.TaskCount,
-			Classes:       []workload.Class{workload.Medium},
-			ProbeInterval: interval,
-			Background:    BackgroundTraffic1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pt.Traffic1MeanTransfer = t1.MeanTransfer()
-		t2, err := Run(Scenario{
-			Seed:          cfg.Seed,
-			Workload:      workload.Distributed,
-			Metric:        cfg.Metric,
-			TaskCount:     cfg.TaskCount,
-			Classes:       []workload.Class{workload.Small},
-			ProbeInterval: interval,
-			Background:    BackgroundTraffic2,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pt.Traffic2MeanTransfer = t2.MeanTransfer()
-		out = append(out, pt)
+	return (*Pool)(nil).Fig9(cfg)
+}
+
+// fig9Scenario builds one sweep cell: the infrequently changing background
+// with medium tasks (traffic2=false) or the frequently changing background
+// with small tasks (traffic2=true).
+func fig9Scenario(cfg Fig9Config, interval time.Duration, traffic2 bool) Scenario {
+	sc := Scenario{
+		Seed:          cfg.Seed,
+		Workload:      workload.Distributed,
+		Metric:        cfg.Metric,
+		TaskCount:     cfg.TaskCount,
+		Classes:       []workload.Class{workload.Medium},
+		ProbeInterval: interval,
+		Background:    BackgroundTraffic1,
 	}
-	return out, nil
+	if traffic2 {
+		sc.Classes = []workload.Class{workload.Small}
+		sc.Background = BackgroundTraffic2
+	}
+	return sc
 }
 
 // Fig8Curve is one ECDF curve of per-task completion-time gains vs the

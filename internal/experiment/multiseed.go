@@ -9,18 +9,10 @@ import (
 // CompareSeeds replays the comparison across several seeds, giving the
 // statistical backing single-seed runs lack (the paper reports single-run
 // averages over 200 tasks; multiple seeds expose run-to-run variance).
+// It executes serially; use Pool.CompareSeeds to spread the seeds × metrics
+// grid across workers with identical output.
 func CompareSeeds(sc Scenario, metrics []core.Metric, seeds []int64) ([]*Comparison, error) {
-	out := make([]*Comparison, 0, len(seeds))
-	for _, seed := range seeds {
-		s := sc
-		s.Seed = seed
-		cmp, err := Compare(s, metrics)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, cmp)
-	}
-	return out, nil
+	return (*Pool)(nil).CompareSeeds(sc, metrics, seeds)
 }
 
 // GainStats aggregates the overall gain of metric vs. baseline across

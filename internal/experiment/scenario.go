@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"intsched/internal/collector"
@@ -153,31 +154,26 @@ type RunResult struct {
 
 // MeanCompletion returns the mean task completion time across all tasks.
 func (r *RunResult) MeanCompletion() time.Duration {
-	ds := make([]time.Duration, 0, len(r.Results))
-	for _, res := range r.Results {
-		ds = append(ds, res.CompletionTime())
+	if len(r.Results) == 0 {
+		return 0
 	}
-	return meanDur(ds)
+	var sum time.Duration
+	for i := range r.Results {
+		sum += r.Results[i].CompletionTime()
+	}
+	return sum / time.Duration(len(r.Results))
 }
 
 // MeanTransfer returns the mean data transfer time across all tasks.
 func (r *RunResult) MeanTransfer() time.Duration {
-	ds := make([]time.Duration, 0, len(r.Results))
-	for _, res := range r.Results {
-		ds = append(ds, res.TransferTime())
-	}
-	return meanDur(ds)
-}
-
-func meanDur(ds []time.Duration) time.Duration {
-	if len(ds) == 0 {
+	if len(r.Results) == 0 {
 		return 0
 	}
 	var sum time.Duration
-	for _, d := range ds {
-		sum += d
+	for i := range r.Results {
+		sum += r.Results[i].TransferTime()
 	}
-	return sum / time.Duration(len(ds))
+	return sum / time.Duration(len(r.Results))
 }
 
 // Run executes one scenario to completion and returns its results.
@@ -407,13 +403,9 @@ func Run(sc Scenario) (*RunResult, error) {
 }
 
 func sortResults(rs []edge.TaskResult) {
-	// Insertion sort is fine at experiment sizes and avoids pulling sort
-	// helpers in for a struct slice; stable on TaskID.
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].TaskID < rs[j-1].TaskID; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
+	// TaskIDs are unique within a run, so sort.Slice's unstable order is
+	// still deterministic.
+	sort.Slice(rs, func(i, j int) bool { return rs[i].TaskID < rs[j].TaskID })
 }
 
 // Validate sanity-checks a scenario before running.

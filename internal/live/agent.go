@@ -23,6 +23,7 @@ type ProbeAgent struct {
 
 	mu     sync.Mutex
 	seq    uint64
+	encBuf []byte // probe encode scratch, guarded by mu
 	pings  map[int64]chan time.Duration
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -171,18 +172,21 @@ func (a *ProbeAgent) SetPaused(paused bool) { a.paused.Store(paused) }
 
 // EmitProbe sends a single probe immediately (also used by tests).
 func (a *ProbeAgent) EmitProbe() error {
+	now := time.Now()
 	a.mu.Lock()
 	a.seq++
-	seq := a.seq
-	a.mu.Unlock()
-	now := time.Now()
-	payload := &telemetry.ProbePayload{
+	payload := telemetry.ProbePayload{
 		Origin: a.id,
-		Seq:    seq,
+		Seq:    a.seq,
 		SentAt: time.Duration(now.UnixNano()),
 	}
-	encoded, err := telemetry.MarshalProbe(payload)
+	// Encode into the agent's reusable buffer; the datagram Marshal below
+	// copies the payload out before the lock (and with it the buffer) is
+	// released for the next emission.
+	encoded, err := telemetry.AppendProbe(a.encBuf[:0], &payload)
+	a.encBuf = encoded
 	if err != nil {
+		a.mu.Unlock()
 		return err
 	}
 	d := &wire.Datagram{
@@ -196,6 +200,7 @@ func (a *ProbeAgent) EmitProbe() error {
 		Payload:  encoded,
 	}
 	buf, err := d.Marshal()
+	a.mu.Unlock()
 	if err != nil {
 		return err
 	}

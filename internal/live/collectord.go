@@ -340,6 +340,10 @@ func (d *CollectorDaemon) Close() {
 func (d *CollectorDaemon) probeLoop() {
 	defer d.wg.Done()
 	buf := make([]byte, maxDatagram)
+	// Decode target reused across probes: HandleProbe copies everything it
+	// keeps into collector-owned maps, so the payload (and its record/queue
+	// slices) can be recycled as soon as ingest returns.
+	var payload telemetry.ProbePayload
 	for {
 		n, _, err := d.udp.ReadFromUDP(buf)
 		if err != nil {
@@ -357,12 +361,11 @@ func (d *CollectorDaemon) probeLoop() {
 			d.unexpectedKind.Inc()
 			continue
 		}
-		payload, err := telemetry.UnmarshalProbe(dg.Payload)
-		if err != nil {
+		if err := telemetry.UnmarshalProbeInto(&payload, dg.Payload); err != nil {
 			d.payloadErrors.Inc()
 			continue
 		}
-		d.ingest(payload)
+		d.ingest(&payload)
 	}
 }
 

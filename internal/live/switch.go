@@ -52,6 +52,12 @@ type swPort struct {
 	mu        sync.Mutex
 	txPackets uint64
 	drops     uint64
+
+	// Scratch reused by stampProbe, which only ever runs on this port's
+	// drain goroutine: decode target, and the encode buffer the outgoing
+	// payload points into until the datagram is marshalled for the wire.
+	probeScratch telemetry.ProbePayload
+	encScratch   []byte
 }
 
 // SoftSwitch is a userspace P4-style switch over UDP.
@@ -310,8 +316,8 @@ func (s *SoftSwitch) drain(p *swPort) {
 // stampProbe flushes the registers into the probe's INT stack and writes
 // the egress timestamp — the live twin of the simulator's INT egress stage.
 func (s *SoftSwitch) stampProbe(p *swPort, f *frame) {
-	payload, err := telemetry.UnmarshalProbe(f.d.Payload)
-	if err != nil {
+	payload := &p.probeScratch
+	if err := telemetry.UnmarshalProbeInto(payload, f.d.Payload); err != nil {
 		return // malformed probe: forward untouched
 	}
 	now := time.Now()
@@ -319,25 +325,40 @@ func (s *SoftSwitch) stampProbe(p *swPort, f *frame) {
 	if inPort < 0 {
 		inPort = 0 // unknown sender: the wire codec requires a valid port
 	}
-	rec := telemetry.Record{
-		Device:      s.id,
-		IngressPort: inPort,
-		EgressPort:  p.index,
-		HopLatency:  now.Sub(f.ingressAt),
-		EgressTS:    time.Duration(now.UnixNano()),
+	if len(payload.Stack.Records) >= telemetry.MaxRecords {
+		payload.Stack.Truncated = true
+	} else {
+		// Append our record in place, reviving the slice slot (and its
+		// queue backing array) a previous probe through this port left in
+		// the scratch payload. Every field is overwritten.
+		recs := payload.Stack.Records
+		if len(recs) < cap(recs) {
+			recs = recs[:len(recs)+1]
+		} else {
+			recs = append(recs, telemetry.Record{})
+		}
+		rec := &recs[len(recs)-1]
+		rec.Device = s.id
+		rec.IngressPort = inPort
+		rec.EgressPort = p.index
+		rec.HopLatency = now.Sub(f.ingressAt)
+		rec.EgressTS = time.Duration(now.UnixNano())
+		rec.LinkLatency = 0
+		if f.hasLat {
+			rec.LinkLatency = f.linkLat
+		}
+		n := s.maxQueue.Size()
+		queues := rec.Queues[:0]
+		for port := 0; port < n; port++ {
+			mq := s.maxQueue.Swap(port, 0)
+			cnt := s.pktCount.Swap(port, 0)
+			queues = append(queues, telemetry.PortQueue{Port: port, MaxQueue: int(mq), Packets: uint32(cnt)})
+		}
+		rec.Queues = queues
+		payload.Stack.Records = recs
 	}
-	if f.hasLat {
-		rec.LinkLatency = f.linkLat
-	}
-	n := s.maxQueue.Size()
-	rec.Queues = make([]telemetry.PortQueue, 0, n)
-	for port := 0; port < n; port++ {
-		mq := s.maxQueue.Swap(port, 0)
-		cnt := s.pktCount.Swap(port, 0)
-		rec.Queues = append(rec.Queues, telemetry.PortQueue{Port: port, MaxQueue: int(mq), Packets: uint32(cnt)})
-	}
-	payload.Stack.Append(rec)
-	if encoded, err := telemetry.MarshalProbe(payload); err == nil {
+	if encoded, err := telemetry.AppendProbe(p.encScratch[:0], payload); err == nil {
+		p.encScratch = encoded
 		f.d.Payload = encoded
 		f.d.EgressTS = now.UnixNano()
 	}

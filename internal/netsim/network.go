@@ -205,6 +205,9 @@ type Network struct {
 	links []*Link
 
 	nextPacketID uint64
+	// freePkts is the free list of recycled transient packets (see
+	// Packet.MarkTransient); NewPacket pops from it before allocating.
+	freePkts []*Packet
 
 	tracer Tracer
 	fault  FaultFn
@@ -215,6 +218,9 @@ type Network struct {
 	// Stats
 	Delivered uint64
 	Dropped   uint64
+	// PacketsRecycled counts packets reused from the free list instead of
+	// freshly allocated (allocation diagnostics).
+	PacketsRecycled uint64
 }
 
 // New creates an empty network on the given engine.
@@ -408,17 +414,39 @@ func (n *Network) HopCount(src, dst NodeID) (int, error) {
 	return len(p) - 1, nil
 }
 
-// NewPacket allocates a packet with a fresh ID and defaults.
+// NewPacket returns a packet with a fresh ID and defaults, reusing a
+// recycled transient packet when one is available.
 func (n *Network) NewPacket(kind PacketKind, src, dst NodeID, size int) *Packet {
 	n.nextPacketID++
-	return &Packet{
-		ID:   n.nextPacketID,
-		Kind: kind,
-		Src:  src,
-		Dst:  dst,
-		Size: size,
-		TTL:  DefaultTTL,
+	var pkt *Packet
+	if l := len(n.freePkts); l > 0 {
+		pkt = n.freePkts[l-1]
+		n.freePkts[l-1] = nil
+		n.freePkts = n.freePkts[:l-1]
+		*pkt = Packet{}
+		n.PacketsRecycled++
+	} else {
+		pkt = &Packet{}
 	}
+	pkt.ID = n.nextPacketID
+	pkt.Kind = kind
+	pkt.Src = src
+	pkt.Dst = dst
+	pkt.Size = size
+	pkt.TTL = DefaultTTL
+	return pkt
+}
+
+// recycle returns a transient packet to the free list once the network is
+// finally done with it (delivered to its handler or dropped).
+func (n *Network) recycle(pkt *Packet) {
+	if !pkt.transient {
+		return
+	}
+	pkt.transient = false
+	pkt.Payload = nil
+	pkt.Probe = nil
+	n.freePkts = append(n.freePkts, pkt)
 }
 
 // Send injects a packet into the network at its source host.
@@ -559,6 +587,7 @@ func (n *Network) deliver(node *Node, pkt *Packet) {
 	if node.Handler != nil {
 		node.Handler(pkt)
 	}
+	n.recycle(pkt)
 }
 
 func (n *Network) drop(pkt *Packet, at *Node, reason DropReason) {
@@ -567,4 +596,5 @@ func (n *Network) drop(pkt *Packet, at *Node, reason DropReason) {
 	if n.OnDrop != nil {
 		n.OnDrop(pkt, at, reason)
 	}
+	n.recycle(pkt)
 }

@@ -104,6 +104,21 @@ type Packet struct {
 	ingressAt time.Duration
 	// hops counts traversed switches.
 	hops int
+	// transient marks fire-and-forget packets (acks, pings, control
+	// copies, datagrams) whose creator keeps no reference past delivery
+	// or drop; the network recycles them through its free list.
+	transient bool
+}
+
+// MarkTransient declares that no component holds a reference to the packet
+// once the network has delivered or dropped it, allowing the network to
+// recycle the object for a later NewPacket call. Handlers receiving a
+// transient packet must copy out anything they keep (the Probe payload
+// pointer may be retained: recycling only clears the packet's reference).
+// It returns p so creation sites can chain it.
+func (p *Packet) MarkTransient() *Packet {
+	p.transient = true
+	return p
 }
 
 // Hops returns the number of switches the packet has traversed so far.

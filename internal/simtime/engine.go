@@ -5,6 +5,12 @@
 // All simulated components schedule work through an *Engine. Events that are
 // scheduled for the same instant fire in the order they were scheduled, which
 // makes every simulation run fully deterministic for a given seed.
+//
+// Event nodes are recycled through a per-engine free list: firing or
+// cancelling an event returns its node for reuse by a later At/After call, so
+// steady-state scheduling (packet transmissions, tickers, timers) allocates
+// nothing. Timers are generation-checked handles, so holding a Timer past its
+// event's lifetime stays safe even though the underlying node is reused.
 package simtime
 
 import (
@@ -13,31 +19,62 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel pending events.
-type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	cancel bool
+// event is a scheduled callback: one node of the event heap. Nodes are owned
+// by the engine and recycled via its free list; external code only sees them
+// through generation-checked Timer handles.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// index is the heap index, -1 when not queued.
+	index int
+	// gen increments every time the node is released (fired or cancelled),
+	// invalidating any Timer handed out for a previous occupancy.
+	gen uint64
+	// nextFree links released nodes into the engine's free list.
+	nextFree *event
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() time.Duration { return e.at }
-
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	e.cancel = true
-	e.fn = nil
+// Timer is a cancellable handle to a scheduled event. The zero value is a
+// valid, already-inert timer. Timers are generation-checked: cancelling a
+// timer whose event has already fired (and whose node may since have been
+// recycled for an unrelated event) is a safe no-op.
+type Timer struct {
+	eng       *Engine
+	ev        *event
+	gen       uint64
+	at        time.Duration
+	cancelled bool
 }
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Time returns the virtual time at which the event fires (or fired).
+func (t *Timer) Time() time.Duration { return t.at }
+
+// Cancel prevents a pending event from firing, removing it from the queue
+// immediately so long-lived tickers and retransmission timers don't strand
+// cancelled garbage in the heap. Cancelling an event that has already fired
+// (or was already cancelled) is a no-op.
+func (t *Timer) Cancel() {
+	t.cancelled = true
+	if t.eng == nil || t.ev == nil || t.ev.gen != t.gen {
+		return
+	}
+	ev := t.ev
+	t.ev = nil
+	heap.Remove(&t.eng.queue, ev.index)
+	t.eng.release(ev)
+}
+
+// Cancelled reports whether Cancel has been called on this handle.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Pending reports whether the event is still waiting to fire.
+func (t *Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen
+}
 
 // eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -55,7 +92,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -72,15 +109,20 @@ func (q *eventQueue) Pop() any {
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all simulated activity runs on the goroutine that calls
-// Run/Step.
+// Run/Step. Independent engines share no state, so separate simulations can
+// run on separate goroutines (see experiment.Pool).
 type Engine struct {
 	now     time.Duration
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+	free    *event
 
 	// Processed counts events that have fired, for instrumentation.
 	Processed uint64
+	// Recycled counts event nodes reused from the free list instead of
+	// freshly allocated (allocation diagnostics).
+	Recycled uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -94,46 +136,68 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// release returns a node to the free list, invalidating outstanding Timers.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.nextFree = e.free
+	e.free = ev
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a logic error in a simulated component.
-func (e *Engine) At(t time.Duration, fn func()) *Event {
+// The returned Timer is a value, not a pointer: callers that discard it pay
+// no allocation, and the whole At→fire cycle reuses free-listed nodes.
+func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v, before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("simtime: nil event function")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.nextFree
+		ev.nextFree = nil
+		e.Recycled++
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.index = t, e.seq, fn, -1
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Timer{eng: e, ev: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d after the current time. Negative d is clamped
 // to zero.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
+// fire pops the head event, advances the clock, and runs the callback. The
+// caller must ensure the queue is non-empty. The node is released before the
+// callback runs so the callback's own scheduling can reuse it.
+func (e *Engine) fire() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	fn := ev.fn
+	e.release(ev)
+	e.Processed++
+	fn()
+}
+
 // Step fires the next pending event and advances the clock to its time.
 // It reports whether an event fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.Processed++
-		fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	e.fire()
+	return true
 }
 
 // Run executes events until the queue is empty or the clock would pass
@@ -142,12 +206,13 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until time.Duration) uint64 {
 	e.stopped = false
 	start := e.Processed
-	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > until {
+	for !e.stopped && len(e.queue) > 0 {
+		// Cancelled events are removed eagerly, so the heap head is always
+		// live: one peek plus one pop per fired event, no second traversal.
+		if e.queue[0].at > until {
 			break
 		}
-		e.Step()
+		e.fire()
 	}
 	if !e.stopped && e.now < until {
 		// Advance the clock even if the queue drained early so that
@@ -172,25 +237,13 @@ func (e *Engine) RunUntilIdle() uint64 {
 // Stop aborts a Run in progress after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		if e.queue[0].cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return e.queue[0]
-	}
-	return nil
-}
-
 // NextEventTime returns the firing time of the next pending event and true,
 // or zero and false when the queue is empty.
 func (e *Engine) NextEventTime() (time.Duration, bool) {
-	ev := e.peek()
-	if ev == nil {
+	if len(e.queue) == 0 {
 		return 0, false
 	}
-	return ev.at, true
+	return e.queue[0].at, true
 }
 
 // Ticker repeatedly invokes fn every period until cancelled. The first tick
@@ -199,7 +252,7 @@ type Ticker struct {
 	engine  *Engine
 	period  time.Duration
 	fn      func()
-	next    *Event
+	next    Timer
 	stopped bool
 }
 
@@ -228,9 +281,7 @@ func (t *Ticker) schedule() {
 // Stop cancels the ticker. It is safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 }
 
 // SetPeriod changes the tick period for subsequent ticks. The currently
@@ -243,9 +294,7 @@ func (t *Ticker) SetPeriod(period time.Duration) {
 		t.period = period
 		return
 	}
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 	t.period = period
 	t.schedule()
 }

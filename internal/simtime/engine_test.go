@@ -227,3 +227,110 @@ func TestProcessedCounter(t *testing.T) {
 		t.Fatalf("Processed = %d, want 5", e.Processed)
 	}
 }
+
+func TestEventNodeRecycling(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.After(time.Millisecond, func() {})
+		e.RunUntilIdle()
+	}
+	if e.Recycled < 99 {
+		t.Fatalf("Recycled = %d, want >= 99 (free list not reusing nodes)", e.Recycled)
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(time.Second, func() { t.Fatal("cancelled event fired") })
+	e.At(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	tm.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after Cancel, want 1 (eager removal)", e.Pending())
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after Cancel")
+	}
+	e.RunUntilIdle()
+}
+
+func TestStaleTimerCancelIsSafe(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	// Fire and recycle the first node...
+	stale := e.At(time.Millisecond, func() { fired++ })
+	e.RunUntilIdle()
+	// ...then schedule a new event, which reuses the node.
+	e.At(2*time.Millisecond, func() { fired++ })
+	if e.Recycled != 1 {
+		t.Fatalf("Recycled = %d, want 1", e.Recycled)
+	}
+	// Cancelling the stale handle must not cancel the node's new occupant.
+	stale.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("stale Cancel removed the new event (pending = %d)", e.Pending())
+	}
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	timers := make([]Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		timers = append(timers, e.At(time.Duration(i+1)*time.Second, func() { order = append(order, i) }))
+	}
+	// Cancel a scattering of events, including the heap top.
+	for _, idx := range []int{0, 3, 7, 9} {
+		timers[idx].Cancel()
+	}
+	e.RunUntilIdle()
+	want := []int{1, 2, 4, 5, 6, 8}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimerPendingLifecycle(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(time.Second, func() {})
+	if !tm.Pending() {
+		t.Fatal("fresh timer not pending")
+	}
+	if tm.Time() != time.Second {
+		t.Fatalf("Time() = %v, want 1s", tm.Time())
+	}
+	e.RunUntilIdle()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancelled() {
+		t.Fatal("fired timer reports cancelled")
+	}
+	tm.Cancel() // no-op after firing
+	if !tm.Cancelled() {
+		t.Fatal("Cancelled() false after explicit Cancel")
+	}
+}
+
+// BenchmarkEngineScheduleFire measures the steady-state At→fire cycle; with
+// the free list it should run allocation-free.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}

@@ -44,18 +44,29 @@ var (
 	ErrTruncatedPayload = errors.New("telemetry: truncated payload")
 )
 
-// MarshalProbe encodes a probe payload into its wire format.
+// MarshalProbe encodes a probe payload into its wire format, allocating a
+// fresh buffer. Hot paths that encode repeatedly should use AppendProbe with
+// a reused buffer instead.
 func MarshalProbe(p *ProbePayload) ([]byte, error) {
+	return AppendProbe(make([]byte, 0, 64+len(p.Stack.Records)*48), p)
+}
+
+// AppendProbe encodes a probe payload into its wire format, appending to dst
+// (which may be nil, or a previously returned buffer resliced to [:0] for
+// reuse). It returns the extended buffer. On error dst is returned unchanged
+// in length, so a reused buffer stays valid.
+func AppendProbe(dst []byte, p *ProbePayload) ([]byte, error) {
 	if len(p.Origin) > math.MaxUint8 {
-		return nil, fmt.Errorf("telemetry: origin %q too long", p.Origin)
+		return dst, fmt.Errorf("telemetry: origin %q too long", p.Origin)
 	}
 	if len(p.Target) > math.MaxUint8 {
-		return nil, fmt.Errorf("telemetry: target %q too long", p.Target)
+		return dst, fmt.Errorf("telemetry: target %q too long", p.Target)
 	}
 	if len(p.Stack.Records) > math.MaxUint8 {
-		return nil, fmt.Errorf("telemetry: too many records (%d)", len(p.Stack.Records))
+		return dst, fmt.Errorf("telemetry: too many records (%d)", len(p.Stack.Records))
 	}
-	buf := make([]byte, 0, 64+len(p.Stack.Records)*48)
+	start := len(dst)
+	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, GeneveMarker)
 	buf = append(buf, codecVersion)
 	var flags byte
@@ -74,14 +85,14 @@ func MarshalProbe(p *ProbePayload) ([]byte, error) {
 	for i := range p.Stack.Records {
 		r := &p.Stack.Records[i]
 		if len(r.Device) > math.MaxUint8 {
-			return nil, fmt.Errorf("telemetry: device %q too long", r.Device)
+			return dst[:start], fmt.Errorf("telemetry: device %q too long", r.Device)
 		}
 		if r.IngressPort < 0 || r.IngressPort > math.MaxUint8 ||
 			r.EgressPort < 0 || r.EgressPort > math.MaxUint8 {
-			return nil, fmt.Errorf("telemetry: port out of range in record for %q", r.Device)
+			return dst[:start], fmt.Errorf("telemetry: port out of range in record for %q", r.Device)
 		}
 		if len(r.Queues) > math.MaxUint8 {
-			return nil, fmt.Errorf("telemetry: too many queue reports for %q", r.Device)
+			return dst[:start], fmt.Errorf("telemetry: too many queue reports for %q", r.Device)
 		}
 		buf = append(buf, byte(len(r.Device)))
 		buf = append(buf, r.Device...)
@@ -92,7 +103,7 @@ func MarshalProbe(p *ProbePayload) ([]byte, error) {
 		buf = append(buf, byte(len(r.Queues)))
 		for _, q := range r.Queues {
 			if q.Port < 0 || q.Port > math.MaxUint8 {
-				return nil, fmt.Errorf("telemetry: queue port %d out of range", q.Port)
+				return dst[:start], fmt.Errorf("telemetry: queue port %d out of range", q.Port)
 			}
 			mq := q.MaxQueue
 			if mq < 0 {
@@ -158,6 +169,15 @@ func (r *reader) u64() (uint64, error) {
 }
 
 func (r *reader) str() (string, error) {
+	return r.strReuse("")
+}
+
+// strReuse reads a length-prefixed string, returning prev instead of
+// allocating when the wire bytes match it — device and host names recur on
+// every probe of a steady telemetry stream, so reused decodes hit this path
+// almost always. The comparison below compiles to a byte compare without
+// allocating the conversion.
+func (r *reader) strReuse(prev string) (string, error) {
 	n, err := r.u8()
 	if err != nil {
 		return "", err
@@ -165,108 +185,142 @@ func (r *reader) str() (string, error) {
 	if err := r.need(int(n)); err != nil {
 		return "", err
 	}
-	s := string(r.b[r.off : r.off+int(n)])
+	raw := r.b[r.off : r.off+int(n)]
 	r.off += int(n)
-	return s, nil
+	if prev == string(raw) {
+		return prev, nil
+	}
+	return string(raw), nil
 }
 
-// UnmarshalProbe decodes a probe payload from its wire format.
+// UnmarshalProbe decodes a probe payload from its wire format into a fresh
+// payload. Hot paths that decode repeatedly should reuse one payload via
+// UnmarshalProbeInto instead.
 func UnmarshalProbe(b []byte) (*ProbePayload, error) {
+	p := &ProbePayload{}
+	if err := UnmarshalProbeInto(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalProbeInto decodes a probe payload from its wire format into p,
+// overwriting every field. The record and per-record queue slices already
+// present in p are reused (grown only when the incoming payload is larger
+// than any previously decoded one), and origin/target/device strings are
+// reused when unchanged, so decoding a steady telemetry stream allocates
+// nothing. On error p is left in an unspecified, partially overwritten
+// state and must not be read — only reused for a later UnmarshalProbeInto
+// call.
+func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 	r := &reader{b: b}
 	magic, err := r.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if magic != GeneveMarker {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	ver, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ver != codecVersion {
-		return nil, fmt.Errorf("telemetry: unsupported codec version %d", ver)
+		return fmt.Errorf("telemetry: unsupported codec version %d", ver)
 	}
 	flags, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	p := &ProbePayload{}
 	p.Stack.Truncated = flags&1 != 0
 	if p.Seq, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	sentAt, err := r.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.SentAt = time.Duration(sentAt)
 	lastHop, err := r.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.LastHopLatency = time.Duration(lastHop)
-	if p.Origin, err = r.str(); err != nil {
-		return nil, err
+	if p.Origin, err = r.strReuse(p.Origin); err != nil {
+		return err
 	}
-	if p.Target, err = r.str(); err != nil {
-		return nil, err
+	if p.Target, err = r.strReuse(p.Target); err != nil {
+		return err
 	}
 	n, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	p.Stack.Records = make([]Record, 0, n)
+	// Reuse previously decoded record storage (notably each slot's Queues
+	// backing array); every field is overwritten below. When growing, copy
+	// the old slots so their Queues arrays stay reusable.
+	recs := p.Stack.Records
+	if cap(recs) < int(n) {
+		grown := make([]Record, int(n))
+		copy(grown, recs[:cap(recs)])
+		recs = grown
+	}
+	recs = recs[:n]
 	for i := 0; i < int(n); i++ {
-		var rec Record
-		if rec.Device, err = r.str(); err != nil {
-			return nil, err
+		rec := &recs[i]
+		if rec.Device, err = r.strReuse(rec.Device); err != nil {
+			return err
 		}
 		in, err := r.u8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := r.u8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec.IngressPort, rec.EgressPort = int(in), int(out)
 		ll, err := r.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hl, err := r.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ts, err := r.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec.LinkLatency = time.Duration(ll)
 		rec.HopLatency = time.Duration(hl)
 		rec.EgressTS = time.Duration(ts)
 		nq, err := r.u8()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rec.Queues = make([]PortQueue, 0, nq)
+		queues := rec.Queues
+		if cap(queues) < int(nq) {
+			queues = make([]PortQueue, int(nq))
+		}
+		queues = queues[:nq]
 		for j := 0; j < int(nq); j++ {
 			port, err := r.u8()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mq, err := r.u16()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pk, err := r.u32()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rec.Queues = append(rec.Queues, PortQueue{Port: int(port), MaxQueue: int(mq), Packets: pk})
+			queues[j] = PortQueue{Port: int(port), MaxQueue: int(mq), Packets: pk}
 		}
-		p.Stack.Records = append(p.Stack.Records, rec)
+		rec.Queues = queues
 	}
-	return p, nil
+	p.Stack.Records = recs
+	return nil
 }

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -190,4 +192,171 @@ func absDur(ns int64) time.Duration {
 		ns = -ns
 	}
 	return time.Duration(ns)
+}
+
+// randomPayload builds a pseudo-random payload from a seed: varied record
+// counts, queue counts, and device-name lengths so successive decodes into
+// one reused payload exercise shrink and grow paths.
+func randomPayload(rng *rand.Rand) *ProbePayload {
+	p := &ProbePayload{
+		Origin:         fmt.Sprintf("n%d", rng.Intn(50)),
+		Target:         fmt.Sprintf("t%d", rng.Intn(50)),
+		Seq:            rng.Uint64(),
+		SentAt:         time.Duration(rng.Int63n(int64(time.Hour))),
+		LastHopLatency: time.Duration(rng.Int63n(int64(time.Second))),
+	}
+	p.Stack.Truncated = rng.Intn(4) == 0
+	nrec := rng.Intn(8)
+	for i := 0; i < nrec; i++ {
+		rec := Record{
+			Device:      fmt.Sprintf("sw-%0*d", rng.Intn(6)+1, rng.Intn(1000)),
+			IngressPort: rng.Intn(256),
+			EgressPort:  rng.Intn(256),
+			LinkLatency: time.Duration(rng.Int63n(int64(time.Second))),
+			HopLatency:  time.Duration(rng.Int63n(int64(time.Second))),
+			EgressTS:    time.Duration(rng.Int63n(int64(time.Hour))),
+		}
+		for q := rng.Intn(5); q > 0; q-- {
+			rec.Queues = append(rec.Queues, PortQueue{
+				Port:     rng.Intn(256),
+				MaxQueue: rng.Intn(65536),
+				Packets:  rng.Uint32(),
+			})
+		}
+		p.Stack.Append(rec)
+	}
+	return p
+}
+
+// TestUnmarshalProbeIntoDirtyReuse decodes a stream of random payloads into
+// one reused (dirty, previously populated) payload and checks every decode
+// matches a from-scratch UnmarshalProbe of the same bytes.
+func TestUnmarshalProbeIntoDirtyReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused ProbePayload
+	var buf []byte
+	for i := 0; i < 300; i++ {
+		want := randomPayload(rng)
+		var err error
+		buf, err = AppendProbe(buf[:0], want)
+		if err != nil {
+			t.Fatalf("iteration %d: AppendProbe: %v", i, err)
+		}
+		fresh, err := UnmarshalProbe(buf)
+		if err != nil {
+			t.Fatalf("iteration %d: UnmarshalProbe: %v", i, err)
+		}
+		if err := UnmarshalProbeInto(&reused, buf); err != nil {
+			t.Fatalf("iteration %d: UnmarshalProbeInto: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(&reused), normalize(fresh)) {
+			t.Fatalf("iteration %d: reuse mismatch:\n  fresh:  %+v\n  reused: %+v", i, fresh, &reused)
+		}
+	}
+}
+
+// TestUnmarshalProbeIntoBadInputs feeds truncated and corrupted payloads to
+// a dirty reused payload: every error from scratch must reproduce under
+// reuse, and a subsequent good decode must still succeed.
+func TestUnmarshalProbeIntoBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	good, err := MarshalProbe(randomPayload(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused ProbePayload
+	// Dirty the payload first.
+	if err := UnmarshalProbeInto(&reused, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation must error identically from scratch and under reuse.
+	for i := 0; i < len(good); i++ {
+		_, freshErr := UnmarshalProbe(good[:i])
+		reuseErr := UnmarshalProbeInto(&reused, good[:i])
+		if (freshErr == nil) != (reuseErr == nil) {
+			t.Fatalf("truncation at %d: fresh err %v, reuse err %v", i, freshErr, reuseErr)
+		}
+		if freshErr == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if err := UnmarshalProbeInto(&reused, bad); err != ErrBadMagic {
+		t.Fatalf("bad magic under reuse: %v", err)
+	}
+	// Bad version.
+	bad = append(bad[:0], good...)
+	bad[2] = 99
+	if err := UnmarshalProbeInto(&reused, bad); err == nil {
+		t.Fatal("bad version decoded under reuse")
+	}
+
+	// The payload must still be reusable after the failed decodes.
+	if err := UnmarshalProbeInto(&reused, good); err != nil {
+		t.Fatalf("good decode after failures: %v", err)
+	}
+	fresh, err := UnmarshalProbe(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(&reused), normalize(fresh)) {
+		t.Fatalf("post-failure decode mismatch:\n  fresh:  %+v\n  reused: %+v", fresh, &reused)
+	}
+}
+
+// TestAppendProbeExtends checks AppendProbe appends after existing bytes and
+// leaves the prefix intact on error.
+func TestAppendProbeExtends(t *testing.T) {
+	p := samplePayload()
+	whole, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xde, 0xad}
+	buf, err := AppendProbe(prefix, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:2], prefix) || !bytes.Equal(buf[2:], whole) {
+		t.Fatal("AppendProbe did not append after the existing prefix")
+	}
+
+	bad := samplePayload()
+	bad.Stack.Records[0].Queues[0].Port = 4096
+	out, err := AppendProbe(prefix, bad)
+	if err == nil {
+		t.Fatal("out-of-range port encoded")
+	}
+	if len(out) != len(prefix) {
+		t.Fatalf("error path returned %d bytes, want the %d-byte prefix", len(out), len(prefix))
+	}
+}
+
+// BenchmarkProbeCodecReuse measures the zero-allocation encode/decode pair
+// against the allocating wrappers (see also BenchmarkProbeCodec at the repo
+// root, which feeds the results table in EXPERIMENTS.md).
+func BenchmarkProbeCodecReuse(b *testing.B) {
+	p := samplePayload()
+	buf, err := MarshalProbe(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch ProbePayload
+	var enc []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		enc, err = AppendProbe(enc[:0], p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := UnmarshalProbeInto(&scratch, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -128,7 +128,7 @@ func (c *CBR) sendBurst() {
 }
 
 func (c *CBR) sendOne() {
-	pkt := c.stack.domain.net.NewPacket(netsim.KindDatagram, c.stack.host.ID, c.dst, c.cfg.PacketSize)
+	pkt := c.stack.domain.net.NewPacket(netsim.KindDatagram, c.stack.host.ID, c.dst, c.cfg.PacketSize).MarkTransient()
 	pkt.FlowID = c.flowID
 	pkt.Seq = int64(c.PacketsSent)
 	c.PacketsSent++

@@ -153,7 +153,7 @@ func (s *Stack) handle(pkt *netsim.Packet) {
 		}
 	case netsim.KindPingReq:
 		// Echo back to the source, preserving the sequence cookie.
-		resp := s.domain.net.NewPacket(netsim.KindPingResp, s.host.ID, pkt.Src, PingSize)
+		resp := s.domain.net.NewPacket(netsim.KindPingResp, s.host.ID, pkt.Src, PingSize).MarkTransient()
 		resp.Seq = pkt.Seq
 		_ = s.domain.net.Send(resp)
 	case netsim.KindPingResp:
@@ -201,7 +201,7 @@ const (
 type pendingControl struct {
 	pkt   *netsim.Packet
 	tries int
-	timer *simtime.Event
+	timer simtime.Timer
 }
 
 // SendControl sends a small control message to dst reliably: the packet is
@@ -226,7 +226,7 @@ func (s *Stack) sendControlAttempt(pend *pendingControl) {
 	pend.tries++
 	// Re-issue a fresh packet per attempt: the previous copy may still be
 	// queued somewhere in the network.
-	copyPkt := s.domain.net.NewPacket(netsim.KindControl, pend.pkt.Src, pend.pkt.Dst, pend.pkt.Size)
+	copyPkt := s.domain.net.NewPacket(netsim.KindControl, pend.pkt.Src, pend.pkt.Dst, pend.pkt.Size).MarkTransient()
 	copyPkt.Seq = pend.pkt.Seq
 	copyPkt.Payload = pend.pkt.Payload
 	_ = s.domain.net.Send(copyPkt)
@@ -248,7 +248,7 @@ func (s *Stack) sendControlAttempt(pend *pendingControl) {
 // acknowledges it (duplicates re-acknowledge in case the first ack was
 // lost).
 func (s *Stack) handleControlPacket(pkt *netsim.Packet) {
-	ack := s.domain.net.NewPacket(netsim.KindControlAck, s.host.ID, pkt.Src, AckSize)
+	ack := s.domain.net.NewPacket(netsim.KindControlAck, s.host.ID, pkt.Src, AckSize).MarkTransient()
 	ack.Seq = pkt.Seq
 	_ = s.domain.net.Send(ack)
 
@@ -269,16 +269,14 @@ func (s *Stack) handleControlPacket(pkt *netsim.Packet) {
 func (s *Stack) handleControlAck(pkt *netsim.Packet) {
 	if pend, ok := s.ctlPending[pkt.Seq]; ok {
 		delete(s.ctlPending, pkt.Seq)
-		if pend.timer != nil {
-			pend.timer.Cancel()
-		}
+		pend.timer.Cancel()
 	}
 }
 
 type pendingPing struct {
 	sentAt  time.Duration
 	cb      func(rtt time.Duration, ok bool)
-	timeout *simtime.Event
+	timeout simtime.Timer
 }
 
 // DefaultPingTimeout is how long a ping waits for its echo.
@@ -289,7 +287,7 @@ const DefaultPingTimeout = 2 * time.Second
 func (s *Stack) Ping(dst netsim.NodeID, cb func(rtt time.Duration, ok bool)) {
 	s.nextPing++
 	seq := s.nextPing
-	req := s.domain.net.NewPacket(netsim.KindPingReq, s.host.ID, dst, PingSize)
+	req := s.domain.net.NewPacket(netsim.KindPingReq, s.host.ID, dst, PingSize).MarkTransient()
 	req.Seq = seq
 	p := &pendingPing{sentAt: s.now(), cb: cb}
 	p.timeout = s.domain.engine.After(DefaultPingTimeout, func() {

@@ -101,7 +101,7 @@ type tcpSender struct {
 	srtt, rttvar time.Duration
 	hasSRTT      bool
 	rto          time.Duration
-	rtoTimer     *simtime.Event
+	rtoTimer     simtime.Timer
 
 	// sendTimes records first-transmission times for RTT sampling; an
 	// entry is removed on retransmission (Karn's algorithm).
@@ -158,7 +158,7 @@ func (t *tcpSender) pump() {
 
 func (t *tcpSender) sendSegment(seq int64, isRetransmit bool) {
 	payload := t.segSize(seq)
-	pkt := t.stack.domain.net.NewPacket(netsim.KindData, t.stack.host.ID, t.dst, payload+HeaderSize)
+	pkt := t.stack.domain.net.NewPacket(netsim.KindData, t.stack.host.ID, t.dst, payload+HeaderSize).MarkTransient()
 	pkt.FlowID = t.flowID
 	pkt.Seq = seq
 	if isRetransmit {
@@ -245,9 +245,7 @@ func (t *tcpSender) computeRTO() time.Duration {
 }
 
 func (t *tcpSender) armRTO() {
-	if t.rtoTimer != nil {
-		t.rtoTimer.Cancel()
-	}
+	t.rtoTimer.Cancel()
 	if t.done || t.sndUna >= t.nseg {
 		return
 	}
@@ -275,9 +273,7 @@ func (t *tcpSender) onTimeout() {
 func (t *tcpSender) finish() {
 	t.done = true
 	t.end = t.stack.now()
-	if t.rtoTimer != nil {
-		t.rtoTimer.Cancel()
-	}
+	t.rtoTimer.Cancel()
 	delete(t.stack.senders, t.flowID)
 	if t.onComplete != nil {
 		t.onComplete(t.stats())
@@ -321,7 +317,7 @@ func (r *tcpReceiver) onData(pkt *netsim.Packet) {
 	} else if seq > r.rcvNxt {
 		r.buffered[seq] = pkt.Size - HeaderSize
 	}
-	ack := r.stack.domain.net.NewPacket(netsim.KindAck, r.stack.host.ID, r.peer, AckSize)
+	ack := r.stack.domain.net.NewPacket(netsim.KindAck, r.stack.host.ID, r.peer, AckSize).MarkTransient()
 	ack.FlowID = r.flowID
 	ack.Seq = r.rcvNxt
 	_ = r.stack.domain.net.Send(ack)
