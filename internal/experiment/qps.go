@@ -12,6 +12,7 @@ import (
 	"intsched/internal/probe"
 	"intsched/internal/simtime"
 	"intsched/internal/transport"
+	"intsched/internal/wallclock"
 )
 
 // QPSConfig shapes the scheduler query-throughput experiment: a Fig 4
@@ -176,7 +177,7 @@ func QPS(cfg QPSConfig) (*QPSResult, error) {
 		if err != nil {
 			return QPSMode{}, err
 		}
-		start := time.Now()
+		start := wallclock.Now()
 		sinceProbe := 0
 		for i := 0; i < cfg.Queries; i++ {
 			if sinceProbe == cfg.QueriesPerProbe {
@@ -188,7 +189,7 @@ func QPS(cfg QPSConfig) (*QPSResult, error) {
 			}
 			sinceProbe++
 		}
-		elapsed := time.Since(start)
+		elapsed := wallclock.Since(start)
 		lat, _ := rig.Reg.FindHistogram("intsched_query_latency_seconds")
 		return QPSMode{
 			Label:        label,

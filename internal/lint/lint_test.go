@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"testing"
+
+	"intsched/internal/lint"
+	"intsched/internal/lint/linttest"
+)
+
+// The fixture packages live under testdata (invisible to go build) and are
+// loaded by the source loader with synthetic fixture/... import paths, so
+// they can import the real intsched packages whose contracts they violate.
+
+func TestSimDeterminism(t *testing.T) {
+	// The fixture registers itself as sim-side; production membership is
+	// the literal in SimSidePackages.
+	lint.SimSidePackages["fixture/simdet"] = true
+	linttest.Run(t, "internal/lint/testdata/src/simdet", "fixture/simdet", lint.SimDeterminismAnalyzer)
+}
+
+// TestTransientPacket includes the PR 3 regression: a handler retaining
+// delivered packets in a ring buffer while netsim recycles them.
+func TestTransientPacket(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/transient", "fixture/transient", lint.TransientPacketAnalyzer)
+}
+
+// TestRankCacheToken includes the PR 1 regression: discarding Lookup's
+// generation token and fabricating one at the Store site.
+func TestRankCacheToken(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/rankcache", "fixture/rankcache", lint.RankCacheTokenAnalyzer)
+}
+
+func TestObsNaming(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/obsname", "fixture/obsname", lint.ObsNamingAnalyzer)
+}
+
+func TestScratchAlias(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/scratch", "fixture/scratch", lint.ScratchAliasAnalyzer)
+}
+
+// TestModuleIsClean runs the full suite over the repository itself: the
+// production tree must stay free of violations (intentional wall-clock use
+// goes through internal/wallclock, and so on).
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	linttest.RunModule(t, lint.Analyzers())
+}

@@ -1,0 +1,188 @@
+// Package linttest is an analysistest-style harness for the intlint suite:
+// it loads a fixture package from testdata, runs analyzers over it, and
+// checks the diagnostics against `// want "regexp"` comments in the fixture
+// source. The comment syntax matches golang.org/x/tools/go/analysis/
+// analysistest for the subset used here (one or more quoted or backquoted
+// regexps per line, each consuming exactly one diagnostic on that line), so
+// the fixtures port unchanged if the upstream harness ever becomes
+// available.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"intsched/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader returns a process-wide loader rooted at the enclosing
+// module. Sharing it across tests means the standard library and the repo's
+// own packages are type-checked from source once, not once per fixture.
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := findModuleRoot(wd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads the fixture package in dir (relative to the module root) under
+// the given import path, applies the analyzers, and asserts the diagnostics
+// match the fixture's want comments exactly.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	lp, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(dir)), importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers(l.Fset, lp.Files, lp.Pkg, lp.Info, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	wants := collectWants(t, l.Fset, lp)
+	for _, f := range findings {
+		pos := l.Fset.Position(f.Pos)
+		k := lineKey{filepath.Base(pos.Filename), pos.Line}
+		if !consumeWant(wants[k], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, f.Message, f.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re.String())
+			}
+		}
+	}
+}
+
+// RunModule applies the analyzers to every package of the enclosing module
+// and fails on any finding: the production tree itself must be clean.
+func RunModule(t *testing.T, analyzers []*lint.Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, lp := range pkgs {
+		findings, err := lint.RunAnalyzers(l.Fset, lp.Files, lp.Pkg, lp.Info, analyzers)
+		if err != nil {
+			t.Fatalf("run analyzers on %s: %v", lp.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s (%s)", l.Fset.Position(f.Pos), f.Message, f.Analyzer)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// consumeWant marks the first unmatched want whose regexp matches msg.
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantComment extracts the expectation list from one comment.
+var wantComment = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+
+// wantLiteral matches one Go string literal (quoted or raw) in a want
+// comment's payload.
+var wantLiteral = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// collectWants parses // want comments out of the fixture's syntax.
+func collectWants(t *testing.T, fset *token.FileSet, lp *lint.LoadedPackage) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, file := range lp.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{filepath.Base(pos.Filename), pos.Line}
+				lits := wantLiteral.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, lit := range lits {
+					var pattern string
+					if strings.HasPrefix(lit, "`") {
+						pattern = strings.Trim(lit, "`")
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const rankCachePkg = "intsched/internal/core"
+
+// RankCacheTokenAnalyzer enforces the RankCache generation-token protocol.
+var RankCacheTokenAnalyzer = &Analyzer{
+	Name: "rankcachetoken",
+	Doc: `require every RankCache.Store to pass a generation token obtained from Lookup
+
+RankCache.Invalidate advances a generation counter so that a ranking
+computed from superseded inputs (an old capability set, a pre-invalidation
+snapshot) cannot be resurrected by an in-flight Store. That protection only
+works when Store's gen argument is the token Lookup returned before the
+computation began — the PR 1 review bug was a Store that fabricated its
+token. This analyzer requires the gen argument of every RankCache.Store
+call to be (a copy of) the third result of a Lookup on the same cache
+within the enclosing function, or a parameter of the enclosing function
+(the token threaded down a call chain). Literals, computed values, and
+tokens from a different cache are reported.`,
+	Run: runRankCacheToken,
+}
+
+func runRankCacheToken(pass *Pass) (any, error) {
+	for _, file := range pass.nonTestFiles() {
+		// Visit each function body independently: token provenance is
+		// per-function.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRankCacheTokens(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkRankCacheTokens verifies every RankCache.Store in one function.
+func checkRankCacheTokens(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+
+	// tokens maps a variable object to the cache path whose Lookup
+	// produced it (directly or through copies).
+	tokens := make(map[types.Object]string)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// ranked, ok, gen := cache.Lookup(...)
+		if len(assign.Rhs) == 1 && len(assign.Lhs) == 3 {
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+				if isMethodOf(pass.funcObj(call), rankCachePkg, "RankCache", "Lookup") {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						cachePath := exprPath(info, sel.X)
+						if id, ok := assign.Lhs[2].(*ast.Ident); ok && id.Name != "_" {
+							if obj := info.ObjectOf(id); obj != nil && cachePath != "" {
+								tokens[obj] = cachePath
+							}
+						}
+					}
+				}
+			}
+			return true
+		}
+		// gen = g (token copies keep their provenance)
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			src, ok := ast.Unparen(assign.Rhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			srcObj := info.ObjectOf(src)
+			if srcObj == nil {
+				continue
+			}
+			if cachePath, ok := tokens[srcObj]; ok {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						tokens[obj] = cachePath
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isMethodOf(pass.funcObj(call), rankCachePkg, "RankCache", "Store") || len(call.Args) != 4 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		cachePath := exprPath(info, sel.X)
+		genArg := ast.Unparen(call.Args[1])
+		id, ok := genArg.(*ast.Ident)
+		if !ok {
+			pass.Reportf(genArg.Pos(), "RankCache.Store generation token must be the third result of Lookup on the same cache (or a parameter threading it down), not a computed value: an Invalidate between Lookup and Store must be able to drop this entry")
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if params[obj] {
+			return true // token threaded in from the caller
+		}
+		src, isToken := tokens[obj]
+		if !isToken {
+			pass.Reportf(genArg.Pos(), "RankCache.Store generation token %q does not come from a Lookup on this cache in this function (or a parameter): fabricated tokens defeat Invalidate and can resurrect rankings computed from superseded inputs", id.Name)
+			return true
+		}
+		if cachePath != "" && src != cachePath {
+			pass.Reportf(genArg.Pos(), "RankCache.Store generation token %q was obtained from a Lookup on a different cache: generation counters are per-cache", id.Name)
+		}
+		return true
+	})
+}

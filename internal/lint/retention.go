@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared escape/retention engine behind transientpacket
+// and scratchalias. Both analyzers answer the same shape of question — "may
+// this value, which the current function does not own beyond the current
+// call, be retained past return?" — and differ only in what counts as
+// tainted and which stores are sanctioned.
+//
+// The analysis is intraprocedural with same-package transitive propagation:
+// when a tainted value is passed to a function or method declared in the
+// package under analysis, that callee is analyzed with the corresponding
+// parameter tainted. Calls that cross the package boundary are trusted —
+// the convention, documented on MarkTransient and UnmarshalProbeInto, is
+// that a synchronous callee copies anything it keeps. The engine is a
+// deliberate approximation: it trades completeness at package boundaries
+// for zero false positives on the ownership idioms the codebase actually
+// uses (scratch store-back, in-place mutation, copy-then-retain).
+
+// retentionMode selects how taint propagates.
+type retentionMode int
+
+const (
+	// taintPointer tracks only the tainted pointer value itself: reading a
+	// field through it yields an untainted value (copying fields out of a
+	// transient packet is the sanctioned pattern, and the Payload/Probe
+	// pointees survive recycling).
+	taintPointer retentionMode = iota
+	// taintAliasing tracks everything reachable: selections, indexing,
+	// slicing, and range elements alias the tainted backing arrays (the
+	// probe codec's reused Records/Queues scratch).
+	taintAliasing
+)
+
+// retentionConfig parameterizes one analyzer built on the engine.
+type retentionConfig struct {
+	mode retentionMode
+	// what names the tainted value in diagnostics.
+	what string
+	// allowParamFieldStores permits stores into fields of (non-receiver)
+	// parameters: caller-provided transient state that the caller consumes
+	// before the scratch is reused.
+	allowParamFieldStores bool
+}
+
+// funcParam identifies one (function, tainted parameter) work item.
+type funcParam struct {
+	fn    *types.Func
+	param *types.Var
+}
+
+// retentionChecker runs the engine over one package.
+type retentionChecker struct {
+	pass *Pass
+	cfg  retentionConfig
+
+	decls    map[*types.Func]*ast.FuncDecl
+	visited  map[funcParam]bool
+	queue    []funcParam
+	reported map[token.Pos]bool
+}
+
+func newRetentionChecker(pass *Pass, cfg retentionConfig) *retentionChecker {
+	c := &retentionChecker{
+		pass:     pass,
+		cfg:      cfg,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		visited:  make(map[funcParam]bool),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, file := range pass.nonTestFiles() {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *retentionChecker) reportf(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// enqueue schedules a same-package callee for analysis with param tainted.
+func (c *retentionChecker) enqueue(fn *types.Func, param *types.Var) {
+	if fn == nil || param == nil || c.decls[fn] == nil {
+		return
+	}
+	key := funcParam{fn, param}
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+	c.queue = append(c.queue, key)
+}
+
+// drain processes transitively discovered work items.
+func (c *retentionChecker) drain() {
+	for len(c.queue) > 0 {
+		item := c.queue[0]
+		c.queue = c.queue[1:]
+		decl := c.decls[item.fn]
+		c.analyzeFunc(decl.Type, decl.Recv, decl.Body, map[string]bool{objPath(item.param): true})
+	}
+}
+
+// objPath renders the taint-path key of a bare object; it must agree with
+// exprPath's rendering of a bare identifier.
+func objPath(obj types.Object) string { return fmt.Sprintf("%p", obj) }
+
+// analyzeFunc analyzes one function body (declared func/method or literal)
+// with the given seed taint paths. ftype/recv provide the parameter and
+// receiver lists.
+func (c *retentionChecker) analyzeFunc(ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt, seeds map[string]bool) {
+	st := &taintState{
+		c:       c,
+		tainted: make(map[string]bool),
+		params:  make(map[types.Object]bool),
+	}
+	for p := range seeds {
+		st.tainted[p] = true
+	}
+	if recv != nil && len(recv.List) > 0 && len(recv.List[0].Names) > 0 {
+		st.recv = c.pass.TypesInfo.Defs[recv.List[0].Names[0]]
+	}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					st.params[obj] = true
+				}
+			}
+		}
+	}
+	st.walk(body)
+}
+
+// taintState is the per-entry flow state.
+type taintState struct {
+	c *retentionChecker
+	// tainted is a set of exprPath strings. In aliasing mode a path is
+	// tainted when it extends a tainted path (derived view of scratch) or
+	// is extended by one (container holding an aliased part); in pointer
+	// mode only exact matches count.
+	tainted map[string]bool
+	params  map[types.Object]bool
+	recv    types.Object
+}
+
+func (st *taintState) pathTainted(path string) bool {
+	if path == "" {
+		return false
+	}
+	if st.tainted[path] {
+		return true
+	}
+	if st.c.cfg.mode == taintPointer {
+		return false
+	}
+	for t := range st.tainted {
+		if strings.HasPrefix(path, t+".") || strings.HasPrefix(t, path+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// taintedExpr reports whether e evaluates to (or contains) a tainted value.
+func (st *taintState) taintedExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	info := st.c.pass.TypesInfo
+	if path := exprPath(info, e); path != "" {
+		// In pointer mode a selection through the pointer copies data out
+		// and is clean; only the bare pointer chain itself is hot.
+		if st.c.cfg.mode == taintPointer {
+			if _, isIdent := ast.Unparen(e).(*ast.Ident); isIdent {
+				return st.pathTainted(path)
+			}
+			return false
+		}
+		return st.pathTainted(path)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return st.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return st.taintedExpr(e.X)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if st.taintedExpr(elt) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return st.taintedExpr(e.Value)
+	case *ast.CallExpr:
+		// Conversions and append propagate their operands; other call
+		// results are fresh values owned by the caller.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && st.taintedExpr(e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				for _, a := range e.Args {
+					if st.taintedExpr(a) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.SliceExpr:
+		return st.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		if st.c.cfg.mode == taintAliasing {
+			return st.taintedExpr(e.X)
+		}
+	case *ast.StarExpr:
+		if st.c.cfg.mode == taintAliasing {
+			return st.taintedExpr(e.X)
+		}
+	}
+	return false
+}
+
+// markTainted taints the path of e (used for LHS of sanctioned stores and
+// newly bound locals).
+func (st *taintState) markTainted(e ast.Expr) {
+	if path := exprPath(st.c.pass.TypesInfo, e); path != "" {
+		st.tainted[path] = true
+	}
+}
+
+// walk traverses a statement tree, tracking taint and reporting escapes.
+func (st *taintState) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.handleAssign(n)
+		case *ast.RangeStmt:
+			if st.c.cfg.mode == taintAliasing && st.taintedExpr(n.X) {
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					st.markTainted(id)
+				}
+			}
+		case *ast.SendStmt:
+			if st.taintedExpr(n.Value) {
+				st.c.reportf(n.Value.Pos(), "%s sent on a channel: the receiver outlives this call; send a copy instead", st.c.cfg.what)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if st.taintedExpr(res) {
+					st.c.reportf(res.Pos(), "%s returned to the caller: it escapes the scope that owns it; return a copy instead", st.c.cfg.what)
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if st.taintedExpr(arg) {
+					st.c.reportf(arg.Pos(), "%s passed to a goroutine: it outlives this call; pass a copy instead", st.c.cfg.what)
+				}
+			}
+		case *ast.CallExpr:
+			st.handleCall(n)
+		case *ast.FuncLit:
+			st.checkCapture(n)
+			return false // captures are the closure hazard; don't double-walk
+		}
+		return true
+	})
+}
+
+// handleAssign classifies every (lhs, rhs) store of a tainted value.
+func (st *taintState) handleAssign(n *ast.AssignStmt) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		return // tuple from a call: results are fresh values
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		rhs := n.Rhs[i]
+		if !st.taintedExpr(rhs) {
+			continue
+		}
+		st.checkStore(lhs, rhs)
+	}
+}
+
+// checkStore enforces the retention rules for one store lhs = rhs where rhs
+// is tainted.
+func (st *taintState) checkStore(lhs, rhs ast.Expr) {
+	info := st.c.pass.TypesInfo
+	what := st.c.cfg.what
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if isPackageLevel(obj) {
+			st.c.reportf(lhs.Pos(), "%s stored in package-level variable %s: it outlives the call that owns it; store a copy instead", what, id.Name)
+			return
+		}
+		st.markTainted(id) // local alias: legal, tracked
+		return
+	}
+	lhsPath := exprPath(info, lhs)
+	if st.c.cfg.mode == taintAliasing && st.pathTainted(lhsPath) {
+		return // in-place mutation of the scratch itself (rec.Queues = queues)
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	robj := info.ObjectOf(root)
+	switch {
+	case robj == nil:
+	case isPackageLevel(robj):
+		st.c.reportf(lhs.Pos(), "%s stored in package-level state %s: it outlives the call that owns it; store a copy instead", what, root.Name)
+	case robj == st.recv:
+		st.c.reportf(lhs.Pos(), "%s stored in receiver field %s: the receiver outlives this call; store a copy instead", what, renderLHS(lhs))
+	case st.params[robj]:
+		if !st.c.cfg.allowParamFieldStores {
+			st.c.reportf(lhs.Pos(), "%s stored in %s, reachable from a parameter that outlives this call; store a copy instead", what, renderLHS(lhs))
+		} else if lhsPath != "" {
+			st.tainted[lhsPath] = true
+		}
+	default:
+		// Local container. In aliasing mode the container inherits the
+		// taint (returning or re-storing it is caught later); in pointer
+		// mode any field/element store of the raw pointer is retention.
+		if st.c.cfg.mode == taintPointer {
+			st.c.reportf(lhs.Pos(), "%s stored in %s: struct fields, maps, and slices retain the pointer past return; store a copy instead", what, renderLHS(lhs))
+		} else if lhsPath != "" {
+			st.tainted[lhsPath] = true
+		}
+	}
+}
+
+// handleCall propagates taint into same-package callees and trusts calls
+// across the package boundary (callee-copies convention).
+func (st *taintState) handleCall(call *ast.CallExpr) {
+	info := st.c.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	fn := st.c.pass.funcObj(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() != st.c.pass.Pkg {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sig.Recv() != nil {
+		if st.taintedExpr(sel.X) {
+			st.c.enqueue(fn, sig.Recv())
+		}
+	}
+	for i, arg := range call.Args {
+		if !st.taintedExpr(arg) {
+			continue
+		}
+		idx := i
+		if sig.Variadic() && idx >= sig.Params().Len() {
+			idx = sig.Params().Len() - 1
+		}
+		if idx >= 0 && idx < sig.Params().Len() {
+			st.c.enqueue(fn, sig.Params().At(idx))
+		}
+	}
+}
+
+// checkCapture reports tainted values captured by a function literal: the
+// closure may run after the owner reclaims the value (timers, handlers).
+func (st *taintState) checkCapture(lit *ast.FuncLit) {
+	info := st.c.pass.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st.pathTainted(objPath(obj)) {
+			st.c.reportf(id.Pos(), "%s captured by a closure: the closure may run after the value is reclaimed; capture a copy instead", st.c.cfg.what)
+		}
+		return true
+	})
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// renderLHS prints a store target for diagnostics.
+func renderLHS(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderLHS(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return renderLHS(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return renderLHS(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderLHS(e.X)
+	case *ast.ParenExpr:
+		return renderLHS(e.X)
+	}
+	return "this location"
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// scratchAliasExemptPackages are skipped by scratchalias: telemetry
+// implements the codec, so returning and growing its own scratch is its
+// job, not a leak.
+var scratchAliasExemptPackages = map[string]bool{
+	"intsched/internal/telemetry": true,
+}
+
+// ScratchAliasAnalyzer enforces the probe-codec scratch-reuse contract.
+var ScratchAliasAnalyzer = &Analyzer{
+	Name: "scratchalias",
+	Doc: `forbid letting probe-codec scratch escape the decode loop
+
+telemetry.UnmarshalProbeInto decodes into a reusable payload whose Records
+and Queues slices are recycled on the next decode, and telemetry.AppendProbe
+returns (a regrowth of) the caller's scratch buffer. Everything reachable
+from the decode target, and the encoder's returned buffer, aliases that
+scratch: in the function performing the call (and same-package functions it
+forwards the scratch to) those values must not be stored into receiver
+fields, package variables, maps, or channels, must not be captured by
+closures or goroutines, and must not be returned. Sanctioned idioms stay
+legal: in-place mutation of the payload, growing the scratch back into the
+field it came from (p.encScratch = encoded), handing the value to a
+synchronous callee (which copies what it keeps, as the collector does), and
+filling caller-provided transient state such as a frame being marshalled
+before the next reuse.`,
+	Run: runScratchAlias,
+}
+
+func runScratchAlias(pass *Pass) (any, error) {
+	if scratchAliasExemptPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	checker := newRetentionChecker(pass, retentionConfig{
+		mode:                  taintAliasing,
+		what:                  "probe-codec scratch",
+		allowParamFieldStores: true,
+	})
+	for _, decl := range checker.decls {
+		seeds := scratchSeeds(pass, decl.Body)
+		if len(seeds) == 0 {
+			continue
+		}
+		checker.analyzeFunc(decl.Type, decl.Recv, decl.Body, seeds)
+	}
+	checker.drain()
+	return nil, nil
+}
+
+// scratchSeeds collects the taint roots of one function body: the decode
+// targets of UnmarshalProbeInto calls, and both the result and the dst
+// buffer of AppendProbe calls (seeding dst legalizes the store-back idiom:
+// a store into an already-tainted path is in-place scratch maintenance).
+func scratchSeeds(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	seeds := make(map[string]bool)
+	seed := func(e ast.Expr) {
+		if path := exprPath(pass.TypesInfo, e); path != "" {
+			seeds[path] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := pass.funcObj(n)
+			switch {
+			case isPkgFunc(fn, "intsched/internal/telemetry", "UnmarshalProbeInto"):
+				if len(n.Args) > 0 {
+					seed(n.Args[0])
+				}
+			case isPkgFunc(fn, "intsched/internal/telemetry", "AppendProbe"):
+				if len(n.Args) > 0 {
+					seed(n.Args[0])
+				}
+			}
+		case *ast.AssignStmt:
+			// Bind AppendProbe's returned buffer to its destination.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if isPkgFunc(pass.funcObj(call), "intsched/internal/telemetry", "AppendProbe") {
+						seed(n.Lhs[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(seeds) == 0 {
+		return nil
+	}
+	return seeds
+}

@@ -1,0 +1,41 @@
+// Package obsname is the obsnaming fixture: metric names registered with
+// internal/obs must follow the intsched_<snake_case> scheme with kind
+// suffixes, and must be statically checkable — including through the
+// registration-table idiom the daemons use.
+package obsname
+
+import "intsched/internal/obs"
+
+const queryCounter = "intsched_scheduler_queries_total"
+
+func Register(reg *obs.Registry) {
+	reg.Counter(obs.Opts{Name: "intsched_probes_received_total", Help: "ok"})
+	reg.Counter(obs.Opts{Name: queryCounter, Help: "named constant: ok"})
+	reg.Counter(obs.Opts{Name: "intsched_probes_received", Help: "x"}) // want `counter "intsched_probes_received" must end in _total`
+	reg.Counter(obs.Opts{Name: "intschedProbes_total", Help: "x"})     // want `does not follow the series scheme`
+	reg.Counter(obs.Opts{Name: "probes_received_total", Help: "x"})    // want `does not follow the series scheme`
+	reg.Counter(obs.Opts{Name: "intsched__probes_total", Help: "x"})   // want `does not follow the series scheme`
+	reg.Gauge(obs.Opts{Name: "intsched_queue_depth_packets", Help: "ok"})
+	reg.Gauge(obs.Opts{Name: "intsched_drops_total", Help: "x"}) // want `gauge "intsched_drops_total" must not end in _total`
+	reg.Gauge(obs.Opts{Name: "intsched_queue_count", Help: "x"}) // want `reserved for histogram exposition`
+	reg.Histogram(obs.Opts{Name: "intsched_query_latency_seconds", Help: "ok"}, nil)
+	reg.Histogram(obs.Opts{Name: "intsched_query_latency", Help: "x"}, nil) // want `histogram "intsched_query_latency" must end in a unit suffix`
+	reg.Counter(obs.Opts{Help: "no name"})                                  // want `obs\.Opts without a Name field`
+}
+
+// RegisterTable is the table-driven registration idiom: the analyzer
+// resolves the range variable back to the slice literal and checks every
+// constant element.
+func RegisterTable(reg *obs.Registry) {
+	for _, c := range []struct{ name, help string }{
+		{"intsched_probes_received_total", "ok"},
+		{name: "intsched_acks_sent_total", help: "keyed element: ok"},
+		{"intsched_probes_dropped", "bad"}, // want `counter "intsched_probes_dropped" must end in _total`
+	} {
+		reg.Counter(obs.Opts{Name: c.name, Help: c.help})
+	}
+}
+
+func RegisterDynamic(reg *obs.Registry, name string) {
+	reg.Counter(obs.Opts{Name: name}) // want `not statically checkable`
+}

@@ -1,0 +1,57 @@
+// Package rankcache is the rankcachetoken fixture. BadDiscarded reproduces
+// the PR 1 review bug: the generation token Lookup returned was discarded
+// and the Store fabricated its own, so an Invalidate between Lookup and
+// Store could no longer drop the stale entry.
+package rankcache
+
+import "intsched/internal/core"
+
+type sched struct {
+	cache *core.RankCache
+	other *core.RankCache
+}
+
+func (s *sched) Good(epoch uint64, key core.RankKey, rank func() []core.Candidate) []core.Candidate {
+	ranked, ok, gen := s.cache.Lookup(epoch, key)
+	if ok {
+		return ranked
+	}
+	ranked = rank()
+	s.cache.Store(epoch, gen, key, ranked)
+	return ranked
+}
+
+func (s *sched) GoodCopy(epoch uint64, key core.RankKey) {
+	_, _, g := s.cache.Lookup(epoch, key)
+	gen := g
+	s.cache.Store(epoch, gen, key, nil)
+}
+
+// GoodParam is the threaded-token shape: the caller did the Lookup and
+// passes the token down.
+func (s *sched) GoodParam(epoch, gen uint64, key core.RankKey) {
+	s.cache.Store(epoch, gen, key, nil)
+}
+
+func (s *sched) BadDiscarded(epoch uint64, key core.RankKey, rank func() []core.Candidate) {
+	_, ok, _ := s.cache.Lookup(epoch, key)
+	if ok {
+		return
+	}
+	s.cache.Store(epoch, 0, key, rank()) // want `must be the third result of Lookup`
+}
+
+func (s *sched) BadFabricated(epoch uint64, key core.RankKey) {
+	gen := uint64(1)
+	s.cache.Store(epoch, gen, key, nil) // want `fabricated tokens defeat Invalidate`
+}
+
+func (s *sched) BadComputed(epoch uint64, key core.RankKey) {
+	_, _, gen := s.cache.Lookup(epoch, key)
+	s.cache.Store(epoch, gen+1, key, nil) // want `must be the third result of Lookup`
+}
+
+func (s *sched) BadCrossCache(epoch uint64, key core.RankKey) {
+	_, _, gen := s.other.Lookup(epoch, key)
+	s.cache.Store(epoch, gen, key, nil) // want `obtained from a Lookup on a different cache`
+}

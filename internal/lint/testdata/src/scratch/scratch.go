@@ -1,0 +1,86 @@
+// Package scratch is the scratchalias fixture: values aliasing the probe
+// codec's reused decode/encode scratch must not outlive the call, while the
+// store-back, in-place-mutation, and synchronous-callee idioms stay clean.
+package scratch
+
+import "intsched/internal/telemetry"
+
+type daemon struct {
+	decodeScratch telemetry.ProbePayload
+	encScratch    []byte
+	lastRecords   []telemetry.Record
+	history       map[uint64]*telemetry.ProbePayload
+}
+
+// GoodEncode is the sanctioned encoder shape: regrow the scratch back into
+// the field it came from and hand the buffer to a synchronous callee.
+func (d *daemon) GoodEncode(p *telemetry.ProbePayload) {
+	encoded, err := telemetry.AppendProbe(d.encScratch[:0], p)
+	if err != nil {
+		return
+	}
+	d.encScratch = encoded
+	send(encoded)
+}
+
+func send(b []byte) { _ = len(b) }
+
+// GoodDecode decodes into the reusable scratch, mutates it in place, and
+// passes it to a synchronous same-package consumer.
+func (d *daemon) GoodDecode(raw []byte) {
+	payload := &d.decodeScratch
+	if err := telemetry.UnmarshalProbeInto(payload, raw); err != nil {
+		return
+	}
+	for i := range payload.Stack.Records {
+		payload.Stack.Records[i].Queues = payload.Stack.Records[i].Queues[:0]
+	}
+	consume(payload)
+}
+
+func consume(p *telemetry.ProbePayload) { _ = p.Origin }
+
+func (d *daemon) BadRetainRecords(raw []byte) {
+	payload := &d.decodeScratch
+	if err := telemetry.UnmarshalProbeInto(payload, raw); err != nil {
+		return
+	}
+	d.lastRecords = payload.Stack.Records // want `probe-codec scratch stored in receiver field d\.lastRecords`
+}
+
+func (d *daemon) BadHistory(raw []byte) {
+	payload := &d.decodeScratch
+	if err := telemetry.UnmarshalProbeInto(payload, raw); err != nil {
+		return
+	}
+	d.history[payload.Seq] = payload // want `probe-codec scratch stored in receiver field`
+}
+
+func (d *daemon) BadReturn(p *telemetry.ProbePayload) []byte {
+	encoded, err := telemetry.AppendProbe(d.encScratch[:0], p)
+	if err != nil {
+		return nil
+	}
+	d.encScratch = encoded
+	return encoded // want `probe-codec scratch returned to the caller`
+}
+
+var lastPayload *telemetry.ProbePayload
+
+func BadGlobal(raw []byte) {
+	var p telemetry.ProbePayload
+	if err := telemetry.UnmarshalProbeInto(&p, raw); err != nil {
+		return
+	}
+	lastPayload = &p // want `probe-codec scratch stored in package-level variable lastPayload`
+}
+
+var deferred []func()
+
+func BadCapture(raw []byte) {
+	var p telemetry.ProbePayload
+	if err := telemetry.UnmarshalProbeInto(&p, raw); err != nil {
+		return
+	}
+	deferred = append(deferred, func() { consume(&p) }) // want `probe-codec scratch captured by a closure`
+}

@@ -1,0 +1,61 @@
+// Package simdet is the simdeterminism fixture: wall clocks, the global
+// math/rand stream, and map-iteration-ordered output must be flagged, while
+// the sanctioned idioms (explicitly seeded rand, Duration arithmetic,
+// sort-then-emit) stay clean.
+package simdet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func Wallclock() time.Duration {
+	start := time.Now()          // want `call to time\.Now in sim-side package`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep in sim-side package`
+	return time.Since(start)     // want `call to time\.Since in sim-side package`
+}
+
+func Deadline(now time.Duration) time.Duration {
+	return now + 250*time.Millisecond // Duration arithmetic is fine
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `call to global math/rand\.Intn in sim-side package`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to global math/rand\.Shuffle`
+}
+
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit source: fine
+	return r.Intn(10)
+}
+
+func PrintMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a range over a map`
+	}
+}
+
+func BuildFromMap(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `Builder\.WriteString inside a range over a map`
+	}
+	return b.String()
+}
+
+func PrintSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collecting keys inside the range is fine
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // slice range: deterministic order
+	}
+}

@@ -1,0 +1,89 @@
+// Package transient is the transientpacket fixture. The ring-buffer
+// retention in HandleRing reproduces the PR 3 transient-retention bug: a
+// handler kept delivered packets in a ring while netsim recycled them, so
+// the ring's entries were rewritten under it by later NewPacket calls.
+package transient
+
+import (
+	"intsched/internal/netsim"
+	"intsched/internal/telemetry"
+)
+
+type sink struct {
+	last *netsim.Packet
+	ring []*netsim.Packet
+	seen map[uint64]*netsim.Packet
+	ch   chan *netsim.Packet
+}
+
+func (s *sink) HandleLast(pkt *netsim.Packet) {
+	s.last = pkt // want `transient packet stored in receiver field s\.last`
+}
+
+func (s *sink) HandleRing(pkt *netsim.Packet) {
+	s.ring = append(s.ring, pkt) // want `transient packet stored in receiver field s\.ring`
+}
+
+func (s *sink) HandleMap(pkt *netsim.Packet) {
+	s.seen[pkt.ID] = pkt // want `transient packet stored in receiver field`
+}
+
+func (s *sink) HandleChan(pkt *netsim.Packet) {
+	s.ch <- pkt // want `transient packet sent on a channel`
+}
+
+var lastSeen *netsim.Packet
+
+func HandleGlobal(pkt *netsim.Packet) {
+	lastSeen = pkt // want `transient packet stored in package-level variable lastSeen`
+}
+
+func HandleGo(pkt *netsim.Packet) {
+	go sinkhole("late", pkt) // want `transient packet passed to a goroutine`
+}
+
+var callbacks []func()
+
+func HandleClosure(pkt *netsim.Packet) {
+	callbacks = append(callbacks, func() { sinkhole("later", pkt) }) // want `transient packet captured by a closure`
+}
+
+// HandleForward hands the packet to same-package helpers: taint follows the
+// call and the leaks are reported inside the callees.
+func HandleForward(pkt *netsim.Packet) {
+	hold("tag", pkt)
+	_ = leak(pkt)
+}
+
+func hold(tag string, p *netsim.Packet) {
+	_ = tag
+	lastSeen = p // want `transient packet stored in package-level variable lastSeen`
+}
+
+func leak(p *netsim.Packet) *netsim.Packet {
+	return p // want `transient packet returned to the caller`
+}
+
+func sinkhole(tag string, p *netsim.Packet) {
+	_ = tag
+	_ = p
+}
+
+var (
+	total     int
+	lastProbe *telemetry.ProbePayload
+)
+
+// HandleRead shows the sanctioned patterns: field reads copy data out, the
+// Probe pointee survives recycling, and an explicit struct copy may be kept.
+func HandleRead(pkt *netsim.Packet) {
+	total += pkt.Size
+	lastProbe = pkt.Probe
+}
+
+var copies []netsim.Packet
+
+func HandleCopy(pkt *netsim.Packet) {
+	cp := *pkt
+	copies = append(copies, cp)
+}

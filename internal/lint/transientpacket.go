@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// transientPacketExemptPackages are skipped by transientpacket: netsim owns
+// the packet free list (its queues and recycling machinery hold packets by
+// design), so the relinquish contract binds its clients, not the owner.
+var transientPacketExemptPackages = map[string]bool{
+	"intsched/internal/netsim": true,
+}
+
+// TransientPacketAnalyzer enforces the MarkTransient relinquish contract on
+// packet handlers.
+var TransientPacketAnalyzer = &Analyzer{
+	Name: "transientpacket",
+	Doc: `forbid retaining a delivered packet past handler return
+
+netsim recycles transient packets (MarkTransient) through a free list the
+moment they are delivered or dropped, so any handler may receive a packet
+whose backing object is reused by the very next NewPacket call. Handlers —
+every function or method with the netsim handler shape func(*netsim.Packet),
+plus everything they forward the packet to inside the same package — must
+not retain the pointer past return: no stores into struct fields, package
+variables, maps, slices, or channels, no capture by closures, no handing it
+to goroutines, no returning it. Field reads (pkt.Seq, pkt.Payload,
+pkt.Probe) are fine: recycling only reuses the Packet struct itself, and
+the sanctioned way to keep a whole packet is an explicit copy or a fresh
+NewPacket. Calls that leave the package are trusted to follow the same
+documented convention.`,
+	Run: runTransientPacket,
+}
+
+func runTransientPacket(pass *Pass) (any, error) {
+	if transientPacketExemptPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	checker := newRetentionChecker(pass, retentionConfig{
+		mode: taintPointer,
+		what: "transient packet",
+	})
+	// Entries: every declared function or method with the handler shape.
+	for fn, decl := range checker.decls {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !isPacketHandlerSig(sig) {
+			continue
+		}
+		param := sig.Params().At(0)
+		checker.analyzeFunc(decl.Type, decl.Recv, decl.Body, map[string]bool{objPath(param): true})
+	}
+	// Entries: handler-shaped function literals (closures registered as
+	// ProbeHandler/DatagramHandler/INTSink or netsim.Handler).
+	for _, file := range pass.nonTestFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+			if !ok || !isPacketHandlerSig(sig) {
+				return true
+			}
+			if len(lit.Type.Params.List) == 1 && len(lit.Type.Params.List[0].Names) == 1 {
+				param := pass.TypesInfo.Defs[lit.Type.Params.List[0].Names[0]]
+				if param != nil {
+					checker.analyzeFunc(lit.Type, nil, lit.Body, map[string]bool{objPath(param): true})
+				}
+			}
+			return true
+		})
+	}
+	checker.drain()
+	return nil, nil
+}
+
+// isPacketHandlerSig reports whether sig is func(*netsim.Packet) — the
+// netsim.Handler shape shared by Stack.ProbeHandler, DatagramHandler, and
+// INTSink.
+func isPacketHandlerSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	named := namedOf(sig.Params().At(0).Type())
+	return named != nil && named.Obj().Name() == "Packet" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "intsched/internal/netsim"
+}

@@ -1,0 +1,24 @@
+// Package wallclock is the sanctioned wall-clock seam for sim-side code.
+//
+// The simulation packages are bit-reproducible per seed: simulated time
+// comes from simtime.Engine and the simdeterminism analyzer (internal/lint)
+// rejects direct time.Now/time.Sleep calls there. Benchmark harnesses still
+// need real elapsed time — measuring how fast the scheduler answers queries
+// is a statement about this machine, not about the simulated network — so
+// that one legitimate use goes through this package. The allowlist is
+// structural: wallclock is not a sim-side package, and a reading obtained
+// here is data (a time.Time / time.Duration value), which cannot feed back
+// into simulation decisions without tripping the analyzer at the call site
+// that tries to read the clock again.
+//
+// Keep this package free of anything but clock reads: the moment it grows
+// scheduling helpers, the structural boundary stops meaning anything.
+package wallclock
+
+import "time"
+
+// Now returns the current wall-clock reading.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since start.
+func Since(start time.Time) time.Duration { return time.Since(start) }
