@@ -6,7 +6,8 @@
 //	intbench -tasks 60 -fig3dur 30s   # scaled-down quick pass
 //	intbench -parallel 1      # force serial execution (output is byte-identical)
 //
-// Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation, qps.
+// Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation, faults,
+// qps.
 // The parbench experiment (not part of "all") measures the worker-pool
 // speedup and writes results/BENCH_parallel.json.
 package main
@@ -35,7 +36,7 @@ var (
 	seeds    = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
 	tasks    = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
 	fig3dur  = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
-	expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,qps,all (plus parbench, by name only)")
+	expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,faults,qps,all (plus parbench, by name only)")
 	queries  = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
 	parallel = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 )
@@ -71,6 +72,7 @@ func main() {
 	run("fig8", fig8)
 	run("fig9", fig9)
 	run("ablation", ablation)
+	run("faults", faults)
 	run("qps", qps)
 	// parbench re-runs the comparison grid at several pool sizes, so it
 	// only runs when asked for by name.
@@ -83,6 +85,27 @@ func main() {
 		}
 		fmt.Printf("(parbench took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// faults replays the same workload under a scripted failure schedule (edge
+// access link down, edge server crash, probe-loss burst) once per ranking
+// metric, classifying every placement against the simulator's ground-truth
+// routing state: the network-aware rankers stop mis-scheduling once probe
+// silence ages the failed branch out of the learned topology, while the
+// static nearest baseline schedules into the failure for the whole window.
+func faults() error {
+	res, err := pool.Faults(experiment.FaultsConfig{Seed: *seed, TaskCount: *tasks})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failure schedule (offsets from end of warmup, probe interval %v, detection budget %d intervals):\n",
+		res.Cfg.ProbeInterval, experiment.DetectBudgetIntervals)
+	for _, ev := range res.Events {
+		fmt.Printf("  %s\n", ev)
+	}
+	fmt.Println(res.Table())
+	fmt.Println("(mis = placements unusable at decision time; detect = within the detection budget of a fault start; steady = later in the fault window — zero means recovered)")
+	return nil
 }
 
 // qps compares scheduler query throughput with and without the

@@ -33,18 +33,22 @@ func main() {
 		rate     = flag.Int64("link-rate", 20_000_000, "assumed link capacity (bps) for bandwidth estimates")
 		window   = flag.Duration("queue-window", 0, "queue report freshness window (default: collector default)")
 		degraded = flag.Duration("degraded-after", 0, "probe silence per edge before /healthz degrades (default: 3 queue windows)")
+		adjTTL   = flag.Duration("adjacency-ttl", 0, "probe silence before a learned link ages out of the topology (default: 5 queue windows; negative disables aging)")
+		exclUnre = flag.Bool("exclude-unreachable", false, "recovery policy: drop candidates whose learned path aged out from answers")
 		report   = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
 	)
 	flag.Parse()
 
 	daemon, err := live.NewCollectorDaemon(*id, live.DaemonConfig{
-		UDPAddr:       *udp,
-		TCPAddr:       *tcp,
-		HTTPAddr:      *httpAddr,
-		K:             *k,
-		LinkRateBps:   *rate,
-		QueueWindow:   *window,
-		DegradedAfter: *degraded,
+		UDPAddr:            *udp,
+		TCPAddr:            *tcp,
+		HTTPAddr:           *httpAddr,
+		K:                  *k,
+		LinkRateBps:        *rate,
+		QueueWindow:        *window,
+		DegradedAfter:      *degraded,
+		AdjacencyTTL:       *adjTTL,
+		ExcludeUnreachable: *exclUnre,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "intsched: %v\n", err)

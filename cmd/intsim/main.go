@@ -6,6 +6,7 @@
 //	intsim -workload serverless -metric delay -tasks 200 -seed 42
 //	intsim -workload distributed -metric bandwidth -background random
 //	intsim -seeds 8 -parallel 8        # seed replication on a worker pool
+//	intsim -faults schedule.json       # scripted failures during the run
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"intsched/internal/core"
 	"intsched/internal/experiment"
+	"intsched/internal/fault"
 	"intsched/internal/stats"
 	"intsched/internal/workload"
 )
@@ -32,6 +34,8 @@ func main() {
 		class      = flag.String("class", "", "restrict to one task class: VS | S | M | L (default: all)")
 		slots      = flag.Int("slots", 0, "execution slots per server (0 = unlimited)")
 		topoFile   = flag.String("topo", "", "JSON topology spec file (default: the paper's Fig 4)")
+		faultsFile = flag.String("faults", "", "JSON fault schedule file: scripted link/node failures injected during the run (event times relative to the end of warmup)")
+		exclUnre   = flag.Bool("exclude-unreachable", false, "scheduler recovery policy: drop candidates whose learned path is gone (on automatically with -faults)")
 		hysteresis = flag.Float64("hysteresis", 0, "anti-jitter switching margin (0 disables)")
 		csvOut     = flag.String("csv", "", "write per-task results as CSV to this file")
 		verbose    = flag.Bool("v", false, "print per-task results")
@@ -58,6 +62,20 @@ func main() {
 			fatalf("%v", err)
 		}
 		sc.Topo = spec
+	}
+	sc.ExcludeUnreachable = *exclUnre
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		evs, err := fault.ParseSchedule(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc.Faults = evs
+		sc.ExcludeUnreachable = true
+		sc.RecordDecisions = true
 	}
 	switch *kind {
 	case "serverless":
@@ -135,6 +153,14 @@ func main() {
 	fmt.Println(tb.String())
 	fmt.Printf("overall: mean transfer %v, mean completion %v, incomplete %d\n",
 		res.MeanTransfer().Round(time.Millisecond), res.MeanCompletion().Round(time.Millisecond), res.Incomplete)
+
+	if len(sc.Faults) > 0 {
+		fmt.Printf("faults: %d events applied, %d reroutes, %d probes dropped; %d adjacency evictions, %d path remaps\n",
+			res.FaultStats.EventsApplied, res.FaultStats.Reroutes, res.FaultStats.ProbesDropped,
+			res.AdjacencyEvictions, res.PathRemaps)
+		fmt.Printf("decisions: %d total, %d mis-scheduled (placement unusable at decision time)\n",
+			len(res.Decisions), res.MisScheduled())
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

@@ -39,6 +39,15 @@ type Config struct {
 	// StaleAfter marks devices whose last report is older than this as
 	// stale in Coverage reports. Zero means DefaultStaleAfter.
 	StaleAfter time.Duration
+	// AdjacencyTTL is how long a learned adjacency survives without a
+	// probe re-confirming it before it is evicted from snapshots (the live
+	// re-mapping that lets the topology track link failures). Zero derives
+	// the TTL from the queue window — DefaultAdjacencyWindows × QueueWindow,
+	// tracking SetQueueWindow — mirroring the in-window queue-report expiry;
+	// NoAdjacencyAging disables eviction entirely (the historical
+	// learn-only behavior, needed when telemetry arrives on data packets
+	// with no periodic refresh).
+	AdjacencyTTL time.Duration
 }
 
 // Defaults for Config.
@@ -47,7 +56,17 @@ const (
 	DefaultDelayAlpha  = 0.3
 	DefaultLinkRate    = 20_000_000 // 20 Mbps, the paper's effective link rate
 	DefaultStaleAfter  = 2 * time.Second
+	// DefaultAdjacencyWindows scales the queue window into the default
+	// adjacency TTL. Five windows is ~10 probe intervals at the
+	// experiment's 2×interval window: long enough that a couple of lost
+	// probes cannot tear a live link out of the map, short enough that a
+	// dead link disappears within about a second of real failure.
+	DefaultAdjacencyWindows = 5
 )
+
+// NoAdjacencyAging disables adjacency eviction when set as
+// Config.AdjacencyTTL: learned edges live forever.
+const NoAdjacencyAging = time.Duration(-1)
 
 func (c Config) withDefaults() Config {
 	if c.QueueWindow <= 0 {
@@ -101,9 +120,23 @@ type Collector struct {
 	// adj maps device -> egress port -> neighbor, learned from record
 	// order; hosts appear as devices with a single implicit port 0.
 	adj map[string]map[int]string
+	// adjSeen maps each directed learned edge to the last time a probe
+	// confirmed it; edges silent longer than the adjacency TTL are evicted
+	// at the next snapshot build.
+	adjSeen map[edgeKey]time.Duration
+	// evicted tombstones edges removed by aging (edge -> eviction time),
+	// cleared when a probe relearns the edge. Health reporting lists these
+	// as the links the collector currently believes are gone.
+	evicted map[edgeKey]time.Duration
 	// isHost marks nodes known to be hosts (probe origins + the collector
 	// itself); everything else that reports INT records is a switch.
 	isHost map[string]bool
+	// pathScratch is the reusable buffer HandleProbe assembles the probe's
+	// hop sequence into (kept allocation-free on the steady path).
+	pathScratch []string
+	// onEviction, when set, observes each adjacency eviction with the
+	// edge's probe silence at eviction time (the detection latency).
+	onEviction func(from, to string, silence time.Duration)
 
 	linkDelay map[edgeKey]*linkState
 	linkRate  map[edgeKey]int64
@@ -127,6 +160,8 @@ type Collector struct {
 	probesReceived   uint64
 	probesOutOfOrder uint64
 	recordsParsed    uint64
+	adjEvictions     uint64
+	pathRemaps       uint64
 }
 
 // Stats is a snapshot of the collector's ingestion counters.
@@ -137,6 +172,11 @@ type Stats struct {
 	ProbesOutOfOrder uint64
 	// RecordsParsed counts INT records processed.
 	RecordsParsed uint64
+	// AdjacencyEvictions counts learned edges aged out of the topology.
+	AdjacencyEvictions uint64
+	// PathRemaps counts probe streams that arrived with a changed hop
+	// sequence (the route under the stream moved).
+	PathRemaps uint64
 }
 
 // Stats returns the ingestion counters.
@@ -144,15 +184,20 @@ func (c *Collector) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		ProbesReceived:   c.probesReceived,
-		ProbesOutOfOrder: c.probesOutOfOrder,
-		RecordsParsed:    c.recordsParsed,
+		ProbesReceived:     c.probesReceived,
+		ProbesOutOfOrder:   c.probesOutOfOrder,
+		RecordsParsed:      c.recordsParsed,
+		AdjacencyEvictions: c.adjEvictions,
+		PathRemaps:         c.pathRemaps,
 	}
 }
 
 type probeMeta struct {
 	seq uint64
 	at  time.Duration
+	// path is the hop sequence (origin, devices..., target) of the last
+	// accepted probe; a change means the route under the stream moved.
+	path []string
 }
 
 // ProbeStream reports the freshness of one probe stream — the (origin,
@@ -212,6 +257,8 @@ func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector 
 		clock:      clock,
 		cfg:        cfg.withDefaults(),
 		adj:        make(map[string]map[int]string),
+		adjSeen:    make(map[edgeKey]time.Duration),
+		evicted:    make(map[edgeKey]time.Duration),
 		isHost:     map[string]bool{string(self): true},
 		linkDelay:  make(map[edgeKey]*linkState),
 		linkRate:   make(map[edgeKey]int64),
@@ -300,8 +347,8 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	// Accepted probe: the learned state is about to change, invalidating
 	// cached snapshots and every rank result derived from them.
 	c.epoch.Add(1)
-	c.lastProbe[key] = probeMeta{seq: p.Seq, at: now}
 	c.isHost[p.Origin] = true
+	c.pathScratch = append(c.pathScratch[:0], p.Origin)
 
 	recs := p.Stack.Records
 	prev := p.Origin
@@ -310,12 +357,13 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 		rec := &recs[i]
 		c.recordsParsed++
 		c.lastReport[rec.Device] = now
+		c.pathScratch = append(c.pathScratch, rec.Device)
 
 		// Topology: prev --(prev's egress port)--> rec.Device, and the
 		// reverse direction leaves rec.Device via the probe's ingress
 		// port (ports are full duplex).
-		c.learnEdge(prev, prevEgress, rec.Device)
-		c.learnEdge(rec.Device, rec.IngressPort, prev)
+		c.learnEdge(prev, prevEgress, rec.Device, now)
+		c.learnEdge(rec.Device, rec.IngressPort, prev, now)
 
 		// Link latency of the hop the probe arrived on.
 		if rec.LinkLatency > 0 || i > 0 {
@@ -347,8 +395,8 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	c.isHost[target] = true
 	if len(recs) > 0 {
 		last := &recs[len(recs)-1]
-		c.learnEdge(prev, prevEgress, target)
-		c.learnEdge(target, 0, prev)
+		c.learnEdge(prev, prevEgress, target, now)
+		c.learnEdge(target, 0, prev, now)
 		lat := p.LastHopLatency
 		if target == c.self {
 			lat = now - last.EgressTS
@@ -360,18 +408,175 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	} else {
 		// Direct host-to-host probe (no switches): origin adjacent to the
 		// target.
-		c.learnEdge(p.Origin, 0, target)
-		c.learnEdge(target, 0, p.Origin)
+		c.learnEdge(p.Origin, 0, target, now)
+		c.learnEdge(target, 0, p.Origin, now)
 	}
+	c.pathScratch = append(c.pathScratch, target)
+
+	// Live re-mapping: if this stream's hop sequence changed, the route
+	// underneath it moved. Edges only the old path used are put on
+	// accelerated aging so the map converges to the new route within a
+	// couple of queue windows instead of a full TTL.
+	meta := probeMeta{seq: p.Seq, at: now}
+	if old := c.lastProbe[key].path; old != nil && pathEqual(old, c.pathScratch) {
+		meta.path = old // unchanged: reuse, no allocation
+	} else {
+		if old != nil {
+			c.pathRemaps++
+			c.accelerateAgingLocked(old, c.pathScratch, now)
+		}
+		meta.path = append([]string(nil), c.pathScratch...)
+	}
+	c.lastProbe[key] = meta
 }
 
-func (c *Collector) learnEdge(from string, port int, to string) {
+func pathEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Collector) learnEdge(from string, port int, to string, now time.Duration) {
 	m := c.adj[from]
 	if m == nil {
 		m = make(map[int]string)
 		c.adj[from] = m
 	}
 	m[port] = to
+	c.adjSeen[edgeKey{from, to}] = now
+	delete(c.evicted, edgeKey{from, to})
+}
+
+// accelerateAgingLocked backdates the last-seen time of every directed edge
+// that the old hop sequence used and the new one does not, so those edges
+// expire within two queue windows of now (never extending an edge's life).
+// An edge still carrying some other stream's probes is rescued by its next
+// confirmation before the accelerated deadline hits.
+func (c *Collector) accelerateAgingLocked(oldPath, newPath []string, now time.Duration) {
+	ttl := c.adjTTLLocked()
+	if ttl <= 0 {
+		return
+	}
+	kept := make(map[edgeKey]bool, 2*len(newPath))
+	for i := 0; i+1 < len(newPath); i++ {
+		kept[edgeKey{newPath[i], newPath[i+1]}] = true
+		kept[edgeKey{newPath[i+1], newPath[i]}] = true
+	}
+	deadline := now - ttl + 2*c.cfg.QueueWindow
+	for i := 0; i+1 < len(oldPath); i++ {
+		for _, key := range [2]edgeKey{{oldPath[i], oldPath[i+1]}, {oldPath[i+1], oldPath[i]}} {
+			if kept[key] {
+				continue
+			}
+			if seen, ok := c.adjSeen[key]; ok && seen > deadline {
+				c.adjSeen[key] = deadline
+			}
+		}
+	}
+}
+
+// adjTTLLocked resolves the effective adjacency TTL: explicit, disabled, or
+// derived from the current queue window.
+func (c *Collector) adjTTLLocked() time.Duration {
+	if c.cfg.AdjacencyTTL < 0 {
+		return 0
+	}
+	if c.cfg.AdjacencyTTL > 0 {
+		return c.cfg.AdjacencyTTL
+	}
+	return DefaultAdjacencyWindows * c.cfg.QueueWindow
+}
+
+// pruneAdjLocked evicts every learned edge whose last confirmation is older
+// than the adjacency TTL, tombstoning it and notifying the eviction hook
+// with its probe silence (the failure-detection latency). Eviction order is
+// sorted for deterministic hook invocation. Measured link-delay history is
+// deliberately kept: if the edge comes back, its EWMA resumes from the last
+// known estimate instead of cold-starting.
+func (c *Collector) pruneAdjLocked(now time.Duration) (earliestDeadline time.Duration) {
+	earliestDeadline = neverExpires
+	ttl := c.adjTTLLocked()
+	if ttl <= 0 {
+		return earliestDeadline
+	}
+	cutoff := now - ttl
+	var expired []edgeKey
+	for key, seen := range c.adjSeen {
+		if seen <= cutoff {
+			expired = append(expired, key)
+		} else if d := seen + ttl; d < earliestDeadline {
+			earliestDeadline = d
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].from != expired[j].from {
+			return expired[i].from < expired[j].from
+		}
+		return expired[i].to < expired[j].to
+	})
+	for _, key := range expired {
+		silence := now - c.adjSeen[key]
+		delete(c.adjSeen, key)
+		if ports := c.adj[key.from]; ports != nil {
+			for port, to := range ports {
+				if to == key.to {
+					delete(ports, port)
+				}
+			}
+			if len(ports) == 0 {
+				delete(c.adj, key.from)
+			}
+		}
+		c.adjEvictions++
+		c.evicted[key] = now
+		if c.onEviction != nil {
+			c.onEviction(key.from, key.to, silence)
+		}
+	}
+	return earliestDeadline
+}
+
+// SetEvictionHook installs a callback observing each adjacency eviction
+// (from, to, and the edge's probe silence at eviction — the detection
+// latency). Called with the collector lock held: the hook must not call
+// back into the collector.
+func (c *Collector) SetEvictionHook(fn func(from, to string, silence time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEviction = fn
+}
+
+// EvictedEdge is a tombstoned adjacency: a link the collector learned and
+// then aged out because probes stopped traversing it.
+type EvictedEdge struct {
+	From, To string
+	// Since is how long ago the edge was evicted.
+	Since time.Duration
+}
+
+// EvictedEdges lists current tombstones sorted by (From, To). A tombstone
+// clears when a probe relearns the edge.
+func (c *Collector) EvictedEdges() []EvictedEdge {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EvictedEdge, 0, len(c.evicted))
+	for key, at := range c.evicted {
+		out = append(out, EvictedEdge{From: key.from, To: key.to, Since: now - at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
 }
 
 func (c *Collector) updateDelay(k edgeKey, sample time.Duration, now time.Duration) {

@@ -109,9 +109,15 @@ func (c *Collector) Snapshot() *Topology {
 }
 
 // buildSnapshotLocked deep-copies the collector state into a fresh immutable
-// Topology. It returns the snapshot and the earliest time an in-window queue
-// report expires (neverExpires if none).
+// Topology. It returns the snapshot and the earliest time the snapshot's
+// view goes stale without new probes (neverExpires if never): the minimum of
+// the next in-window queue-report expiry and the next adjacency-TTL
+// deadline. Aged-out adjacencies are evicted here, right before the copy, so
+// an eviction becomes visible exactly when a snapshot is (re)built — and
+// because expiry-triggered rebuilds advance the epoch (see Snapshot), a
+// post-eviction snapshot is never published under a pre-eviction epoch.
 func (c *Collector) buildSnapshotLocked(now time.Duration, epoch uint64) (*Topology, time.Duration) {
+	adjDeadline := c.pruneAdjLocked(now)
 	t := &Topology{
 		hosts:       make(map[string]bool, len(c.isHost)),
 		neighbors:   make(map[string][]string, len(c.adj)),
@@ -156,7 +162,7 @@ func (c *Collector) buildSnapshotLocked(now time.Duration, epoch uint64) (*Topol
 	for k, rate := range c.linkRate {
 		t.linkRate[k] = rate
 	}
-	expireAt := neverExpires
+	expireAt := adjDeadline
 	for key, reports := range c.queues {
 		best, found, exp := c.windowedQueueMaxLocked(reports, now)
 		if exp < expireAt {

@@ -106,6 +106,15 @@ type ServiceConfig struct {
 	// similar sizes share entries, trading estimate exactness for hit
 	// rate. Nil keys on the exact size, which preserves exact estimates.
 	DataBytesBucket func(int64) int64
+	// ExcludeUnreachable is the fault-recovery policy: drop candidates
+	// whose learned-path lookup failed from responses whenever at least
+	// one reachable candidate exists, so servers behind evicted links stop
+	// receiving tasks as soon as the collector notices the failure. When
+	// every candidate is unreachable the full list is returned unchanged —
+	// the graceful fallback; stale estimates beat refusing to schedule.
+	// Off by default: without fault injection the historical behavior
+	// (unreachable candidates ranked last) is preserved.
+	ExcludeUnreachable bool
 }
 
 // Service is the scheduler: it owns the collector's learned topology,
@@ -227,6 +236,14 @@ func (s *Service) Instrument(reg *obs.Registry) {
 			return float64(read(s.cache.Stats()))
 		})
 	}
+	reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_adjacency_evictions_total",
+		Help: "Learned edges aged out of the topology after probe silence.",
+	}, func() float64 { return float64(s.coll.Stats().AdjacencyEvictions) })
+	reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_path_remaps_total",
+		Help: "Probe streams observed arriving over a changed hop sequence.",
+	}, func() float64 { return float64(s.coll.Stats().PathRemaps) })
 	s.queryLatency = make(map[Metric]*obs.Histogram, len(s.rankers))
 	for m := range s.rankers {
 		s.queryLatency[m] = reg.Histogram(obs.Opts{
@@ -339,10 +356,38 @@ func (s *Service) bucketBytes(b int64) int64 {
 	return b
 }
 
-// finishRanked applies the per-request response shaping: the paper's
-// option two (estimates in ID order for device-side selection) and the
-// count limit. ranked must be private to the caller.
+// ReachableOnly returns only the reachable candidates — unless none are, in
+// which case the input is returned unchanged (the graceful fallback when
+// every learned path is stale). The input is never mutated; when filtering
+// occurs a fresh slice is returned, so cached candidate lists can be passed
+// directly.
+func ReachableOnly(cands []Candidate) []Candidate {
+	reachable := 0
+	for _, c := range cands {
+		if c.Reachable {
+			reachable++
+		}
+	}
+	if reachable == 0 || reachable == len(cands) {
+		return cands
+	}
+	out := make([]Candidate, 0, reachable)
+	for _, c := range cands {
+		if c.Reachable {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// finishRanked applies the per-request response shaping: the recovery
+// policy's unreachable filter, the paper's option two (estimates in ID order
+// for device-side selection), and the count limit. ranked must be private to
+// the caller.
 func (s *Service) finishRanked(ranked []Candidate, req *QueryRequest) []Candidate {
+	if s.cfg.ExcludeUnreachable {
+		ranked = ReachableOnly(ranked)
+	}
 	if !req.Sorted && req.Metric != MetricRandom {
 		// Option two from the paper: return estimates unsorted (by ID) so
 		// the device can run its own selection.

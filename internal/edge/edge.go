@@ -86,6 +86,13 @@ type Node struct {
 	// OnResult, when set, receives every completed task's result.
 	OnResult func(TaskResult)
 
+	// OnDecision, when set, receives every task's placement the moment the
+	// server is chosen — before the transfer starts, so fault experiments
+	// can classify the decision against the network state at decision time
+	// (a task sent toward a failed link is mis-scheduled even if the link
+	// recovers before the transfer finishes).
+	OnDecision func(TaskResult)
+
 	// Selector, when set, enables the paper's second query option: the
 	// scheduler returns the full candidate list (with bandwidth and
 	// latency estimates, unsorted), and this device-side policy picks the
@@ -187,6 +194,9 @@ func (n *Node) SubmitJob(job workload.Job, metric core.Metric, onDone func()) {
 				// Option one: task i goes to the i-th ranked server
 				// (distributed jobs spread over the top three).
 				res.Server = resp.Candidates[i%len(resp.Candidates)].Node
+			}
+			if n.OnDecision != nil {
+				n.OnDecision(*res)
 			}
 			n.pending[task.ID] = res
 			n.startTransfer(res, task)

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/core"
+	"intsched/internal/fault"
+	"intsched/internal/stats"
+	"intsched/internal/workload"
+)
+
+// The faults experiment measures scheduler recovery on the Fig 4 deployment:
+// the same workload replays once per ranking metric while a scripted failure
+// schedule runs — an edge server's access link goes down, another edge server
+// crashes and restarts, and a probe-loss burst degrades telemetry delivery.
+// Every placement decision is classified against the simulator's ground-truth
+// routing state at decision time, so the report shows, per metric, how long
+// mis-scheduling persists after each failure. Network-aware rankers recover
+// once probe silence ages the failed branch out of the learned topology
+// (bounded by the adjacency TTL, i.e. a fixed number of probe intervals);
+// the static Nearest baseline keeps scheduling into the failure for the whole
+// fault window.
+
+// FaultsConfig shapes the fault-recovery experiment.
+type FaultsConfig struct {
+	// Seed drives workload generation and probe-loss draws.
+	Seed int64
+	// TaskCount is the number of tasks per metric cell (default 200).
+	TaskCount int
+	// ProbeInterval is the INT probing period (default 100 ms).
+	ProbeInterval time.Duration
+	// MeanInterarrival is the mean job inter-arrival time (default 600 ms —
+	// denser than the paper's 5 s so each fault window holds enough
+	// decisions to estimate mis-scheduling rates).
+	MeanInterarrival time.Duration
+	// Metrics are the strategies to compare (default delay, bandwidth,
+	// nearest, random).
+	Metrics []core.Metric
+}
+
+func (c FaultsConfig) normalize() FaultsConfig {
+	if c.TaskCount <= 0 {
+		c.TaskCount = 200
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 600 * time.Millisecond
+	}
+	if len(c.Metrics) == 0 {
+		c.Metrics = []core.Metric{core.MetricDelay, core.MetricBandwidth, core.MetricNearest, core.MetricRandom}
+	}
+	return c
+}
+
+// span is the expected workload duration the failure schedule is placed in.
+func (c FaultsConfig) span() time.Duration {
+	return time.Duration(c.TaskCount) * c.MeanInterarrival
+}
+
+// Schedule is the scripted failure sequence, with event times relative to
+// the end of the collector warmup (Scenario.Faults semantics). Names refer
+// to the Fig 4 topology:
+//
+//   - n3's access link (n3-s04) goes down at 15% of the workload span for
+//     25% of it — n3 stays unreachable for the whole window since an access
+//     link has no alternate path.
+//   - edge server n2 crashes at 55% for 20% — probes from n2 stop and
+//     traffic toward it is dropped until it restarts.
+//   - a 30% probe-loss burst runs at 80% for 10% — telemetry degradation
+//     without any connectivity change.
+func (c FaultsConfig) Schedule() []fault.Event {
+	s := c.span()
+	return []fault.Event{
+		{Kind: fault.LinkDown, At: s * 15 / 100, Duration: s * 25 / 100, A: "n3", B: "s04"},
+		{Kind: fault.NodeHalt, At: s * 55 / 100, Duration: s * 20 / 100, Node: "n2"},
+		{Kind: fault.ProbeLoss, At: s * 80 / 100, Duration: s * 10 / 100, Rate: 0.3},
+	}
+}
+
+// FaultsResult is the outcome of the fault-recovery experiment: one full run
+// per metric over the identical workload and failure schedule.
+type FaultsResult struct {
+	Cfg FaultsConfig
+	// Events is the shared schedule (times relative to the warmup end).
+	Events []fault.Event
+	// Warm is the warmup offset that places Events on the absolute clock.
+	Warm time.Duration
+	// Runs holds one result per Cfg.Metrics entry, in order.
+	Runs []*RunResult
+}
+
+// Faults runs the experiment serially; use Pool.Faults to spread the metric
+// cells across workers with identical output.
+func Faults(cfg FaultsConfig) (*FaultsResult, error) {
+	return (*Pool)(nil).Faults(cfg)
+}
+
+// Faults runs one cell per metric through the pool.
+func (p *Pool) Faults(cfg FaultsConfig) (*FaultsResult, error) {
+	cfg = cfg.normalize()
+	evs := cfg.Schedule()
+	cells := make([]Scenario, len(cfg.Metrics))
+	for i, m := range cfg.Metrics {
+		cells[i] = Scenario{
+			Seed:               cfg.Seed,
+			Workload:           workload.Serverless,
+			Metric:             m,
+			TaskCount:          cfg.TaskCount,
+			MeanInterarrival:   cfg.MeanInterarrival,
+			ProbeInterval:      cfg.ProbeInterval,
+			Faults:             evs,
+			ExcludeUnreachable: true,
+			RecordDecisions:    true,
+		}
+		if err := cells[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := p.RunScenarios(cells)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultsResult{
+		Cfg:    cfg,
+		Events: evs,
+		Warm:   cells[0].withDefaults().warmup(),
+		Runs:   runs,
+	}, nil
+}
+
+// DetectBudgetIntervals bounds, in probe intervals, how long the scheduler
+// may keep mis-scheduling after a failure before it counts as unrecovered:
+// the adjacency TTL (DefaultAdjacencyWindows x 2 probe intervals = 10) plus
+// slack for the failure-straddling probe round and in-flight queries.
+const DetectBudgetIntervals = 15
+
+// FaultsRow is the per-metric summary of the experiment.
+type FaultsRow struct {
+	Metric core.Metric
+	// Decisions / Mis count all placement decisions and the mis-scheduled
+	// ones (placements unusable at decision time).
+	Decisions, Mis int
+	// PreMis counts mis-scheduled decisions before the first fault.
+	PreMis int
+	// DetectMis counts mis-scheduled decisions inside a connectivity-fault
+	// window within the detection budget of its start — the unavoidable
+	// stale-view phase every collector-driven ranker pays.
+	DetectMis int
+	// SteadyMis counts mis-scheduled decisions inside a fault window past
+	// the detection budget: a recovered scheduler scores zero here.
+	SteadyMis int
+	// RecoveryIntervals is the worst case, over the connectivity faults, of
+	// the last mis-scheduled in-window decision's offset from the fault
+	// start, in probe intervals (-1 when the metric never mis-scheduled).
+	RecoveryIntervals float64
+	// MeanCompletion / Incomplete summarize task outcomes under faults.
+	MeanCompletion time.Duration
+	Incomplete     int
+	// Evictions / Remaps / Reroutes are the re-mapping and reconvergence
+	// counters from the run.
+	Evictions, Remaps uint64
+	Reroutes          int
+}
+
+// Recovered reports whether the metric stopped mis-scheduling within the
+// detection budget of every connectivity fault.
+func (r FaultsRow) Recovered() bool { return r.SteadyMis == 0 }
+
+// Rows computes the per-metric summary, in Cfg.Metrics order.
+func (f *FaultsResult) Rows() []FaultsRow {
+	type window struct{ start, end time.Duration }
+	var wins []window
+	for _, ev := range f.Events {
+		if ev.Kind == fault.ProbeLoss {
+			continue // no connectivity change to recover from
+		}
+		wins = append(wins, window{f.Warm + ev.At, f.Warm + ev.At + ev.Duration})
+	}
+	budget := DetectBudgetIntervals * f.Cfg.ProbeInterval
+	out := make([]FaultsRow, len(f.Runs))
+	for i, run := range f.Runs {
+		row := FaultsRow{
+			Metric:            f.Cfg.Metrics[i],
+			Decisions:         len(run.Decisions),
+			RecoveryIntervals: -1,
+			MeanCompletion:    run.MeanCompletion(),
+			Incomplete:        run.Incomplete,
+			Evictions:         run.AdjacencyEvictions,
+			Remaps:            run.PathRemaps,
+			Reroutes:          run.FaultStats.Reroutes,
+		}
+		firstFault := wins[0].start
+		for _, d := range run.Decisions {
+			if d.Usable {
+				continue
+			}
+			row.Mis++
+			if d.At < firstFault {
+				row.PreMis++
+			}
+			for _, w := range wins {
+				if d.At < w.start || d.At >= w.end {
+					continue
+				}
+				if d.At < w.start+budget {
+					row.DetectMis++
+				} else {
+					row.SteadyMis++
+				}
+				if off := float64(d.At-w.start) / float64(f.Cfg.ProbeInterval); off > row.RecoveryIntervals {
+					row.RecoveryIntervals = off
+				}
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Table renders the per-metric summary.
+func (f *FaultsResult) Table() string {
+	tb := stats.NewTable("metric", "decisions", "mis", "pre-fault", "detect", "steady",
+		"last mis (probe ivals)", "recovered", "mean completion", "incomplete", "evictions", "remaps", "reroutes")
+	for _, r := range f.Rows() {
+		last := "-"
+		if r.RecoveryIntervals >= 0 {
+			last = fmt.Sprintf("%.0f", r.RecoveryIntervals)
+		}
+		tb.AddRow(r.Metric.String(), r.Decisions, r.Mis, r.PreMis, r.DetectMis, r.SteadyMis,
+			last, r.Recovered(), r.MeanCompletion.Round(time.Millisecond), r.Incomplete,
+			r.Evictions, r.Remaps, r.Reroutes)
+	}
+	return tb.String()
+}

@@ -9,6 +9,7 @@ import (
 	"intsched/internal/core"
 	"intsched/internal/dataplane"
 	"intsched/internal/edge"
+	"intsched/internal/fault"
 	"intsched/internal/netsim"
 	"intsched/internal/probe"
 	"intsched/internal/simtime"
@@ -102,6 +103,21 @@ type Scenario struct {
 	// ClockSkew applies the given skew to odd-numbered switches' clocks
 	// (robustness ablation; zero = perfectly synced NTP).
 	ClockSkew time.Duration
+	// Faults is the failure schedule injected during the run. Event start
+	// times are relative to the end of the collector warmup (the epoch of
+	// the first possible job submission), so a schedule composes with any
+	// ProbeInterval without re-tuning.
+	Faults []fault.Event
+	// FaultOptions tunes the fault timeline (reroute/reconvergence delay).
+	FaultOptions fault.Options
+	// ExcludeUnreachable enables the scheduler's fault-recovery policy:
+	// candidates whose learned path is gone are dropped from responses.
+	ExcludeUnreachable bool
+	// RecordDecisions captures every placement decision at the moment it is
+	// made, classified against the simulator's ground-truth routing state
+	// (RunResult.Decisions). Needed by the fault experiments to measure
+	// mis-scheduling and recovery; off by default to keep hot runs lean.
+	RecordDecisions bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -131,11 +147,29 @@ func (s Scenario) warmup() time.Duration {
 	return w
 }
 
+// Decision records one placement decision at the moment it was made.
+type Decision struct {
+	// At is the virtual time of the decision (the ranking response).
+	At time.Duration
+	// TaskID identifies the task being placed.
+	TaskID uint64
+	// Device submitted the task; Server is the chosen placement.
+	Device, Server netsim.NodeID
+	// Usable reports whether the network could actually deliver traffic
+	// from Device to Server at decision time — ground truth from the
+	// simulator's routing state, not the collector's learned view. A
+	// decision with Usable == false is a mis-scheduling.
+	Usable bool
+}
+
 // RunResult is the outcome of one scenario run.
 type RunResult struct {
 	Scenario Scenario
 	// Results holds one entry per completed task, ordered by TaskID.
 	Results []edge.TaskResult
+	// Decisions holds one entry per placement decision, ordered by
+	// (At, TaskID). Populated only when Scenario.RecordDecisions is set.
+	Decisions []Decision
 	// Incomplete counts tasks that had not finished by the horizon.
 	Incomplete int
 	// VirtualDuration is the virtual time consumed.
@@ -150,6 +184,24 @@ type RunResult struct {
 	INTOverheadBytes uint64
 	// EventsProcessed counts simulator events (performance diagnostics).
 	EventsProcessed uint64
+	// FaultStats summarizes the fault timeline (zero without faults).
+	FaultStats fault.Stats
+	// AdjacencyEvictions / PathRemaps count the collector's live re-mapping
+	// activity (edges aged out on probe silence; streams whose hop sequence
+	// changed).
+	AdjacencyEvictions uint64
+	PathRemaps         uint64
+}
+
+// MisScheduled counts decisions whose placement was unusable when made.
+func (r *RunResult) MisScheduled() int {
+	n := 0
+	for i := range r.Decisions {
+		if !r.Decisions[i].Usable {
+			n++
+		}
+	}
+	return n
 }
 
 // MeanCompletion returns the mean task completion time across all tasks.
@@ -221,10 +273,17 @@ func Run(sc Scenario) (*RunResult, error) {
 	if sc.Topo != nil {
 		linkRate = sc.Topo.params().RateBps
 	}
-	coll := collector.New(topo.Scheduler, engine.Now, collector.Config{
+	collCfg := collector.Config{
 		QueueWindow:        2 * sc.ProbeInterval,
 		DefaultLinkRateBps: linkRate,
-	})
+	}
+	if sc.PerPacketINT {
+		// Classic INT only observes paths that carry traffic, so streams go
+		// silent for long stretches without anything having failed; probe-
+		// silence aging would evict live links.
+		collCfg.AdjacencyTTL = collector.NoAdjacencyAging
+	}
+	coll := collector.New(topo.Scheduler, engine.Now, collCfg)
 	coll.Bind(domain.Stack(topo.Scheduler))
 
 	// Edge nodes (device + server roles) on every host. The scheduler
@@ -238,7 +297,9 @@ func Run(sc Scenario) (*RunResult, error) {
 		nodes[h] = n
 	}
 
-	service := core.NewService(domain.Stack(topo.Scheduler), coll, core.ServiceConfig{})
+	service := core.NewService(domain.Stack(topo.Scheduler), coll, core.ServiceConfig{
+		ExcludeUnreachable: sc.ExcludeUnreachable,
+	})
 	wrap := func(r core.Ranker) core.Ranker {
 		if sc.Hysteresis > 0 {
 			return core.NewHysteresisRanker(r, sc.Hysteresis)
@@ -340,6 +401,17 @@ func Run(sc Scenario) (*RunResult, error) {
 				engine.Stop()
 			}
 		}
+		if sc.RecordDecisions {
+			n.OnDecision = func(res edge.TaskResult) {
+				out.Decisions = append(out.Decisions, Decision{
+					At:     res.RankedAt,
+					TaskID: res.TaskID,
+					Device: res.Device,
+					Server: res.Server,
+					Usable: nw.PathUsable(res.Device, res.Server),
+				})
+			}
+		}
 	}
 
 	// Per-packet INT has no probes: seed initial visibility with small
@@ -363,6 +435,24 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	// Schedule job submissions after the warmup.
 	warm := sc.warmup()
+
+	// Fault timeline: event times are authored relative to the end of the
+	// warmup, so shift them onto the engine's absolute clock here. The RNG
+	// is a named sub-stream so fault randomness (probe-loss draws) never
+	// perturbs the workload/traffic streams.
+	var timeline *fault.Timeline
+	if len(sc.Faults) > 0 {
+		shifted := make([]fault.Event, len(sc.Faults))
+		for i, ev := range sc.Faults {
+			ev.At += warm
+			shifted[i] = ev
+		}
+		timeline, err = fault.NewTimeline(nw, shifted, rng.Stream("fault"), sc.FaultOptions)
+		if err != nil {
+			return nil, err
+		}
+		timeline.Start()
+	}
 	var lastSubmit time.Duration
 	for _, job := range jobs {
 		j := job
@@ -391,7 +481,13 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	out.Incomplete = totalTasks - done
 	out.VirtualDuration = engine.Now()
-	out.ProbesReceived = coll.Stats().ProbesReceived
+	if timeline != nil {
+		out.FaultStats = timeline.Stats()
+	}
+	collStats := coll.Stats()
+	out.AdjacencyEvictions = collStats.AdjacencyEvictions
+	out.PathRemaps = collStats.PathRemaps
+	out.ProbesReceived = collStats.ProbesReceived
 	out.PacketsDropped = nw.Dropped
 	out.EventsProcessed = engine.Processed
 	for _, prog := range programs {
@@ -399,6 +495,13 @@ func Run(sc Scenario) (*RunResult, error) {
 	}
 
 	sortResults(out.Results)
+	sort.Slice(out.Decisions, func(i, j int) bool {
+		a, b := &out.Decisions[i], &out.Decisions[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.TaskID < b.TaskID
+	})
 	return out, nil
 }
 

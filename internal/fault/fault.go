@@ -1,0 +1,325 @@
+// Package fault schedules deterministic failures against a running netsim
+// network: links going down and recovering, links degrading in rate or
+// delay, nodes halting and restarting, and probe-loss bursts. A Timeline is
+// a pure function of (events, seed) on the virtual clock — the same schedule
+// against the same network produces byte-identical runs, which is what lets
+// the fault experiments compare schedulers under identical failures.
+//
+// The timeline also models control-plane reconvergence: after every
+// connectivity-changing event it re-runs ComputeRoutes once RerouteDelay has
+// elapsed, so there is a window where installed routes still point into the
+// failure (the black hole the scheduler-recovery experiments measure),
+// followed by a window where the network has rerouted but the collector's
+// learned map has not yet caught up.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// Kind enumerates fault event types.
+type Kind uint8
+
+const (
+	// LinkDown takes the link A-B down at At and (if Duration > 0) back up
+	// at At+Duration.
+	LinkDown Kind = iota
+	// LinkDegrade overrides the A-B link's rate (RateBps, both directions
+	// if nonzero) and/or propagation delay (Delay, if nonzero) for
+	// Duration, then restores the original values.
+	LinkDegrade
+	// NodeHalt halts Node at At and restarts it at At+Duration. Halting an
+	// edge server models a crash; halting a switch kills all transit
+	// through it.
+	NodeHalt
+	// ProbeLoss drops probe packets arriving at their destination with
+	// probability Rate for Duration — telemetry loss without touching data
+	// traffic. Overlapping bursts compound.
+	ProbeLoss
+)
+
+var kindNames = [...]string{"link-down", "link-degrade", "node-halt", "probe-loss"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Event is one scheduled fault. Duration <= 0 means the fault is permanent
+// (never auto-reverted).
+type Event struct {
+	Kind     Kind
+	At       time.Duration
+	Duration time.Duration
+
+	// A, B name the link endpoints for LinkDown and LinkDegrade.
+	A, B netsim.NodeID
+	// Node names the target for NodeHalt.
+	Node netsim.NodeID
+	// RateBps is the degraded rate for LinkDegrade (0 = keep current).
+	RateBps int64
+	// Delay is the degraded propagation delay for LinkDegrade (0 = keep).
+	Delay time.Duration
+	// Rate is the drop probability for ProbeLoss, in [0, 1].
+	Rate float64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeHalt:
+		return fmt.Sprintf("%s %s at %v for %v", e.Kind, e.Node, e.At, e.Duration)
+	case ProbeLoss:
+		return fmt.Sprintf("%s %.0f%% at %v for %v", e.Kind, e.Rate*100, e.At, e.Duration)
+	default:
+		return fmt.Sprintf("%s %s-%s at %v for %v", e.Kind, e.A, e.B, e.At, e.Duration)
+	}
+}
+
+// DefaultRerouteDelay is the control-plane reconvergence lag used when
+// Options.RerouteDelay is zero: the gap between a connectivity change and
+// the re-run of ComputeRoutes. Real SDN failover sits in the hundreds of
+// milliseconds; 500 ms keeps the black-hole window visible at the default
+// 100 ms probe interval without dominating it.
+const DefaultRerouteDelay = 500 * time.Millisecond
+
+// NoReroute disables route reconvergence entirely: routes keep pointing
+// into every failure until something else recomputes them.
+const NoReroute = time.Duration(-1)
+
+// Options tunes a Timeline.
+type Options struct {
+	// RerouteDelay is the lag between a connectivity-changing event (link
+	// down/up, node halt/restart) and the ComputeRoutes re-run that models
+	// reconvergence. Zero means DefaultRerouteDelay; NoReroute disables.
+	RerouteDelay time.Duration
+}
+
+// Stats counts what a timeline has done so far (virtual-time deterministic).
+type Stats struct {
+	// EventsApplied counts fault applications plus auto-reverts.
+	EventsApplied int
+	// Reroutes counts ComputeRoutes re-runs triggered by reconvergence.
+	Reroutes int
+	// ProbesDropped counts probe packets killed by ProbeLoss bursts.
+	ProbesDropped uint64
+}
+
+// Timeline owns a schedule of Events against one network. Create with
+// NewTimeline, arm with Start before running the engine.
+type Timeline struct {
+	nw     *netsim.Network
+	events []Event
+	rng    *simtime.Rand
+	opts   Options
+
+	// originals snapshots the pre-timeline config of every link a
+	// LinkDegrade event touches; reverts restore these baselines (so
+	// overlapping degrades of one link both restore the same values).
+	originals map[linkKey]linkBaseline
+
+	// activeLoss holds the drop rates of currently-open ProbeLoss bursts;
+	// overlaps compound as 1 - Π(1-rate).
+	activeLoss []float64
+
+	started bool
+	stats   Stats
+}
+
+// linkKey identifies a link by its endpoints in the A→B orientation the
+// event names them.
+type linkKey struct{ a, b netsim.NodeID }
+
+type linkBaseline struct {
+	rate, reverseRate int64
+	delay             time.Duration
+}
+
+// NewTimeline validates the schedule against the network and returns an
+// unarmed timeline. rng must be a dedicated sub-stream (the timeline draws
+// from it for probe-loss coin flips); pass any seeded stream when the
+// schedule has no ProbeLoss events.
+func NewTimeline(nw *netsim.Network, events []Event, rng *simtime.Rand, opts Options) (*Timeline, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("fault: nil network")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault: nil rng")
+	}
+	for i, ev := range events {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("fault: event %d (%s): negative start time", i, ev)
+		}
+		switch ev.Kind {
+		case LinkDown, LinkDegrade:
+			if nw.LinkBetween(ev.A, ev.B) == nil {
+				return nil, fmt.Errorf("fault: event %d (%s): no link between %s and %s", i, ev.Kind, ev.A, ev.B)
+			}
+			if ev.Kind == LinkDegrade {
+				if ev.RateBps < 0 || ev.Delay < 0 {
+					return nil, fmt.Errorf("fault: event %d (%s): negative rate or delay", i, ev)
+				}
+				if ev.RateBps == 0 && ev.Delay == 0 {
+					return nil, fmt.Errorf("fault: event %d (%s): degrade with neither rate nor delay", i, ev)
+				}
+			}
+		case NodeHalt:
+			if nw.Node(ev.Node) == nil {
+				return nil, fmt.Errorf("fault: event %d (%s): unknown node %s", i, ev.Kind, ev.Node)
+			}
+		case ProbeLoss:
+			if ev.Rate < 0 || ev.Rate > 1 {
+				return nil, fmt.Errorf("fault: event %d (%s): loss rate %v outside [0,1]", i, ev.Kind, ev.Rate)
+			}
+		default:
+			return nil, fmt.Errorf("fault: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	if opts.RerouteDelay == 0 {
+		opts.RerouteDelay = DefaultRerouteDelay
+	}
+	out := make([]Event, len(events))
+	copy(out, events)
+	originals := make(map[linkKey]linkBaseline)
+	for _, ev := range out {
+		if ev.Kind != LinkDegrade {
+			continue
+		}
+		key := linkKey{ev.A, ev.B}
+		if _, ok := originals[key]; ok {
+			continue
+		}
+		l := nw.LinkBetween(ev.A, ev.B)
+		cfg := l.Config
+		rate, rev := cfg.RateBps, cfg.ReverseRateBps
+		if l.B.Node().ID == ev.A {
+			// The event names the link in the opposite orientation to the
+			// one it was connected in; SetLinkRate(A, B, ·) will write the
+			// reverse direction, so swap the baseline to match.
+			rate, rev = rev, rate
+		}
+		originals[key] = linkBaseline{rate: rate, reverseRate: rev, delay: cfg.Delay}
+	}
+	return &Timeline{nw: nw, events: out, rng: rng, opts: opts, originals: originals}, nil
+}
+
+// Events returns a copy of the schedule.
+func (t *Timeline) Events() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Stats returns counters accumulated so far.
+func (t *Timeline) Stats() Stats { return t.stats }
+
+// Start installs the probe-loss injector (taking ownership of the network's
+// fault hook) and schedules every event on the engine. Events whose At has
+// already passed fire on the next engine step. Start is idempotent.
+func (t *Timeline) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.nw.SetFaultInjector(t.inject)
+	eng := t.nw.Engine()
+	for i := range t.events {
+		ev := t.events[i]
+		eng.At(ev.At, func() { t.apply(ev) })
+		if ev.Duration > 0 {
+			eng.At(ev.At+ev.Duration, func() { t.revert(ev) })
+		}
+	}
+}
+
+func (t *Timeline) apply(ev Event) {
+	t.stats.EventsApplied++
+	switch ev.Kind {
+	case LinkDown:
+		t.mustDo(t.nw.SetLinkUp(ev.A, ev.B, false))
+		t.scheduleReroute()
+	case LinkDegrade:
+		if ev.RateBps > 0 {
+			t.mustDo(t.nw.SetLinkRate(ev.A, ev.B, ev.RateBps))
+			t.mustDo(t.nw.SetLinkRate(ev.B, ev.A, ev.RateBps))
+		}
+		if ev.Delay > 0 {
+			t.mustDo(t.nw.SetLinkDelay(ev.A, ev.B, ev.Delay))
+		}
+	case NodeHalt:
+		t.mustDo(t.nw.SetNodeHalted(ev.Node, true))
+		t.scheduleReroute()
+	case ProbeLoss:
+		t.activeLoss = append(t.activeLoss, ev.Rate)
+	}
+}
+
+func (t *Timeline) revert(ev Event) {
+	t.stats.EventsApplied++
+	switch ev.Kind {
+	case LinkDown:
+		t.mustDo(t.nw.SetLinkUp(ev.A, ev.B, true))
+		t.scheduleReroute()
+	case LinkDegrade:
+		o := t.originals[linkKey{ev.A, ev.B}]
+		if ev.RateBps > 0 {
+			t.mustDo(t.nw.SetLinkRate(ev.A, ev.B, o.rate))
+			t.mustDo(t.nw.SetLinkRate(ev.B, ev.A, o.reverseRate))
+		}
+		if ev.Delay > 0 {
+			t.mustDo(t.nw.SetLinkDelay(ev.A, ev.B, o.delay))
+		}
+	case NodeHalt:
+		t.mustDo(t.nw.SetNodeHalted(ev.Node, false))
+		t.scheduleReroute()
+	case ProbeLoss:
+		for i, r := range t.activeLoss {
+			if r == ev.Rate {
+				t.activeLoss = append(t.activeLoss[:i], t.activeLoss[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (t *Timeline) scheduleReroute() {
+	if t.opts.RerouteDelay == NoReroute {
+		return
+	}
+	t.nw.Engine().After(t.opts.RerouteDelay, func() {
+		t.stats.Reroutes++
+		if err := t.nw.ComputeRoutes(); err != nil {
+			panic(fmt.Sprintf("fault: reroute failed: %v", err))
+		}
+	})
+}
+
+// inject is the netsim FaultFn: drop probe packets at their destination
+// while a loss burst is active.
+func (t *Timeline) inject(pkt *netsim.Packet, at *netsim.Node) bool {
+	if len(t.activeLoss) == 0 || pkt.Kind != netsim.KindProbe || at.ID != pkt.Dst {
+		return false
+	}
+	keep := 1.0
+	for _, r := range t.activeLoss {
+		keep *= 1 - r
+	}
+	if t.rng.Float64() >= keep {
+		t.stats.ProbesDropped++
+		return true
+	}
+	return false
+}
+
+func (t *Timeline) mustDo(err error) {
+	if err != nil {
+		// Every event was validated against the network at construction;
+		// a failure here means the topology changed under the timeline.
+		panic(fmt.Sprintf("fault: apply failed: %v", err))
+	}
+}

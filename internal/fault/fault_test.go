@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"intsched/internal/netsim"
+	"intsched/internal/simtime"
+)
+
+// buildDiamond returns h1-s1, s1-s2, s1-s3, s2-s4, s3-s4, s4-h2 with routes
+// installed.
+func buildDiamond(t *testing.T) (*netsim.Network, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine()
+	n := netsim.New(e)
+	n.AddHost("h1")
+	n.AddHost("h2")
+	for _, s := range []netsim.NodeID{"s1", "s2", "s3", "s4"} {
+		n.AddSwitch(s)
+	}
+	cfg := netsim.LinkConfig{RateBps: 12_000_000, Delay: time.Millisecond}
+	for _, pair := range [][2]netsim.NodeID{{"h1", "s1"}, {"s1", "s2"}, {"s1", "s3"}, {"s2", "s4"}, {"s3", "s4"}, {"s4", "h2"}} {
+		if _, err := n.Connect(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return n, e
+}
+
+func TestLinkDownAppliesAndReverts(t *testing.T) {
+	n, e := buildDiamond(t)
+	tl, err := NewTimeline(n, []Event{
+		{Kind: LinkDown, At: time.Second, Duration: 2 * time.Second, A: "s1", B: "s2"},
+	}, simtime.NewRand(1), Options{RerouteDelay: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Start()
+	tl.Start() // idempotent
+
+	e.Run(1100 * time.Millisecond) // fault applied, reroute pending
+	if n.LinkBetween("s1", "s2").Up() {
+		t.Fatal("link up after LinkDown event")
+	}
+	e.Run(1200 * time.Millisecond) // reroute done
+	path, err := n.PathBetween("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[2] != "s3" {
+		t.Fatalf("post-reroute path %v, want via s3", path)
+	}
+	e.Run(3200 * time.Millisecond) // revert + second reroute done
+	if !n.LinkBetween("s1", "s2").Up() {
+		t.Fatal("link still down after Duration elapsed")
+	}
+	path, _ = n.PathBetween("h1", "h2")
+	if path[2] != "s2" {
+		t.Fatalf("post-recovery path %v, want via s2", path)
+	}
+	st := tl.Stats()
+	if st.EventsApplied != 2 || st.Reroutes != 2 {
+		t.Fatalf("stats %+v, want 2 applications and 2 reroutes", st)
+	}
+}
+
+func TestNoRerouteLeavesBlackHole(t *testing.T) {
+	n, e := buildDiamond(t)
+	tl, err := NewTimeline(n, []Event{
+		{Kind: LinkDown, At: time.Second, A: "s1", B: "s2"}, // permanent
+	}, simtime.NewRand(1), Options{RerouteDelay: NoReroute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Start()
+	e.Run(10 * time.Second)
+	if n.PathUsable("h1", "h2") {
+		t.Fatal("path usable: reroute ran despite NoReroute")
+	}
+	if tl.Stats().Reroutes != 0 {
+		t.Fatalf("reroutes = %d, want 0", tl.Stats().Reroutes)
+	}
+}
+
+func TestNodeHaltAndRestart(t *testing.T) {
+	n, e := buildDiamond(t)
+	tl, err := NewTimeline(n, []Event{
+		{Kind: NodeHalt, At: time.Second, Duration: time.Second, Node: "s2"},
+	}, simtime.NewRand(1), Options{RerouteDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Start()
+	e.Run(1500 * time.Millisecond)
+	if !n.Node("s2").Halted() {
+		t.Fatal("s2 not halted")
+	}
+	if p, _ := n.PathBetween("h1", "h2"); len(p) == 0 || p[2] != "s3" {
+		t.Fatalf("path %v, want rerouted via s3", p)
+	}
+	e.Run(2500 * time.Millisecond)
+	if n.Node("s2").Halted() {
+		t.Fatal("s2 still halted after Duration")
+	}
+	if p, _ := n.PathBetween("h1", "h2"); len(p) == 0 || p[2] != "s2" {
+		t.Fatalf("path %v, want restored via s2", p)
+	}
+}
+
+func TestLinkDegradeRestoresBaseline(t *testing.T) {
+	n, e := buildDiamond(t)
+	tl, err := NewTimeline(n, []Event{
+		{Kind: LinkDegrade, At: time.Second, Duration: time.Second, A: "s2", B: "s1",
+			RateBps: 1_000_000, Delay: 50 * time.Millisecond},
+	}, simtime.NewRand(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Start()
+	e.Run(1100 * time.Millisecond)
+	l := n.LinkBetween("s1", "s2")
+	if l.Config.RateBps != 1_000_000 || l.Config.ReverseRateBps != 1_000_000 {
+		t.Fatalf("degraded rates %d/%d, want 1M/1M", l.Config.RateBps, l.Config.ReverseRateBps)
+	}
+	if l.Config.Delay != 50*time.Millisecond {
+		t.Fatalf("degraded delay %v", l.Config.Delay)
+	}
+	e.Run(2100 * time.Millisecond)
+	if l.Config.RateBps != 12_000_000 || l.Config.ReverseRateBps != 12_000_000 {
+		t.Fatalf("restored rates %d/%d, want 12M/12M", l.Config.RateBps, l.Config.ReverseRateBps)
+	}
+	if l.Config.Delay != time.Millisecond {
+		t.Fatalf("restored delay %v", l.Config.Delay)
+	}
+}
+
+func TestProbeLossBurstDeterministic(t *testing.T) {
+	run := func() (delivered int, injected uint64) {
+		n, e := buildDiamond(t)
+		tl, err := NewTimeline(n, []Event{
+			{Kind: ProbeLoss, At: time.Second, Duration: 4 * time.Second, Rate: 0.5},
+		}, simtime.NewRand(42).Stream("fault"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl.Start()
+		n.Node("h2").Handler = func(p *netsim.Packet) { delivered++ }
+		// One probe every 100 ms for 10 s: bursts cover probes 10..49.
+		tick := e.NewTicker(100*time.Millisecond, func() {
+			_ = n.Send(n.NewPacket(netsim.KindProbe, "h1", "h2", 200))
+		})
+		e.Run(10 * time.Second)
+		tick.Stop()
+		return delivered, tl.Stats().ProbesDropped
+	}
+	d1, i1 := run()
+	d2, i2 := run()
+	if d1 != d2 || i1 != i2 {
+		t.Fatalf("runs diverged: %d/%d vs %d/%d", d1, i1, d2, i2)
+	}
+	if i1 == 0 {
+		t.Fatal("no probes dropped during a 50% burst")
+	}
+	if d1+int(i1) == d1 {
+		t.Fatal("all probes delivered")
+	}
+	// Roughly half of the ~40 in-burst probes should drop; bound loosely.
+	if i1 < 10 || i1 > 35 {
+		t.Fatalf("injected drops %d, want roughly half of 40", i1)
+	}
+	// Data packets are never touched by probe loss.
+	n, e := buildDiamond(t)
+	tl, _ := NewTimeline(n, []Event{{Kind: ProbeLoss, At: 0, Duration: time.Hour, Rate: 1}},
+		simtime.NewRand(1), Options{})
+	tl.Start()
+	got := 0
+	n.Node("h2").Handler = func(p *netsim.Packet) { got++ }
+	_ = n.Send(n.NewPacket(netsim.KindData, "h1", "h2", 1500))
+	e.RunUntilIdle()
+	if got != 1 {
+		t.Fatal("data packet dropped by probe-loss burst")
+	}
+}
+
+func TestNewTimelineValidation(t *testing.T) {
+	n, _ := buildDiamond(t)
+	rng := simtime.NewRand(1)
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"negative at", []Event{{Kind: LinkDown, At: -time.Second, A: "s1", B: "s2"}}, "negative start"},
+		{"unknown link", []Event{{Kind: LinkDown, A: "s1", B: "s4"}}, "no link"},
+		{"unknown node", []Event{{Kind: NodeHalt, Node: "nope"}}, "unknown node"},
+		{"bad loss rate", []Event{{Kind: ProbeLoss, Rate: 1.5}}, "outside [0,1]"},
+		{"empty degrade", []Event{{Kind: LinkDegrade, A: "s1", B: "s2"}}, "neither rate nor delay"},
+		{"negative degrade", []Event{{Kind: LinkDegrade, A: "s1", B: "s2", RateBps: -1}}, "negative rate"},
+		{"unknown kind", []Event{{Kind: Kind(99)}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		if _, err := NewTimeline(n, tc.evs, rng, Options{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := NewTimeline(nil, nil, rng, Options{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewTimeline(n, nil, nil, Options{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	evs := []Event{
+		{Kind: LinkDown, At: time.Second, Duration: 2 * time.Second, A: "s1", B: "s2"},
+		{Kind: NodeHalt, At: time.Second, Node: "n3"},
+		{Kind: ProbeLoss, At: time.Second, Rate: 0.25},
+	}
+	for _, ev := range evs {
+		if ev.String() == "" {
+			t.Errorf("empty String for %v", ev.Kind)
+		}
+	}
+	if !strings.Contains(evs[0].String(), "s1-s2") {
+		t.Errorf("link event string %q", evs[0].String())
+	}
+	if !strings.Contains(evs[2].String(), "25%") {
+		t.Errorf("loss event string %q", evs[2].String())
+	}
+	if Kind(99).String() != "fault(99)" {
+		t.Errorf("unknown kind string %q", Kind(99).String())
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	data := []byte(`[
+	  {"kind": "link-down", "at": "30s", "duration": "20s", "a": "s01", "b": "s02"},
+	  {"kind": "link-degrade", "at": "1m", "duration": "30s", "a": "s04", "b": "s05", "rate_bps": 2000000, "delay": "50ms"},
+	  {"kind": "node-halt", "at": "90s", "duration": "15s", "node": "n3"},
+	  {"kind": "probe-loss", "at": "2m", "loss": 0.5}
+	]`)
+	evs, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("parsed %d events", len(evs))
+	}
+	want := []Event{
+		{Kind: LinkDown, At: 30 * time.Second, Duration: 20 * time.Second, A: "s01", B: "s02"},
+		{Kind: LinkDegrade, At: time.Minute, Duration: 30 * time.Second, A: "s04", B: "s05", RateBps: 2_000_000, Delay: 50 * time.Millisecond},
+		{Kind: NodeHalt, At: 90 * time.Second, Duration: 15 * time.Second, Node: "n3"},
+		{Kind: ProbeLoss, At: 2 * time.Minute, Rate: 0.5},
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+
+	bad := []string{
+		`{"not": "an array"}`,
+		`[{"kind": "volcano", "at": "1s"}]`,
+		`[{"kind": "link-down", "a": "x", "b": "y"}]`,          // missing at
+		`[{"kind": "link-down", "at": "soon"}]`,                // bad duration syntax
+		`[{"kind": "link-degrade", "at": "1s", "delay": "x"}]`, // bad delay
+	}
+	for _, s := range bad {
+		if _, err := ParseSchedule([]byte(s)); err == nil {
+			t.Errorf("accepted %s", s)
+		}
+	}
+}

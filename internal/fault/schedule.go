@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"intsched/internal/netsim"
+)
+
+// scheduleEvent is the JSON wire form of one Event, with durations written
+// as Go duration strings ("30s", "1m30s").
+type scheduleEvent struct {
+	Kind     string  `json:"kind"`
+	At       string  `json:"at"`
+	Duration string  `json:"duration,omitempty"`
+	A        string  `json:"a,omitempty"`
+	B        string  `json:"b,omitempty"`
+	Node     string  `json:"node,omitempty"`
+	RateBps  int64   `json:"rate_bps,omitempty"`
+	Delay    string  `json:"delay,omitempty"`
+	Loss     float64 `json:"loss,omitempty"`
+}
+
+// ParseSchedule decodes a JSON fault schedule — an array of events like
+//
+//	[
+//	  {"kind": "link-down", "at": "30s", "duration": "20s", "a": "s01", "b": "s02"},
+//	  {"kind": "link-degrade", "at": "1m", "duration": "30s", "a": "s04", "b": "s05",
+//	   "rate_bps": 2000000, "delay": "50ms"},
+//	  {"kind": "node-halt", "at": "90s", "duration": "15s", "node": "n3"},
+//	  {"kind": "probe-loss", "at": "2m", "duration": "10s", "loss": 0.5}
+//	]
+//
+// — into Events. Omitted durations mean the fault is permanent. Structural
+// validation (do the named links and nodes exist?) happens later, in
+// NewTimeline.
+func ParseSchedule(data []byte) ([]Event, error) {
+	var raw []scheduleEvent
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	events := make([]Event, 0, len(raw))
+	for i, se := range raw {
+		ev := Event{
+			A:       netsim.NodeID(se.A),
+			B:       netsim.NodeID(se.B),
+			Node:    netsim.NodeID(se.Node),
+			RateBps: se.RateBps,
+			Rate:    se.Loss,
+		}
+		switch se.Kind {
+		case "link-down":
+			ev.Kind = LinkDown
+		case "link-degrade":
+			ev.Kind = LinkDegrade
+		case "node-halt":
+			ev.Kind = NodeHalt
+		case "probe-loss":
+			ev.Kind = ProbeLoss
+		default:
+			return nil, fmt.Errorf("fault: parse schedule: event %d: unknown kind %q", i, se.Kind)
+		}
+		var err error
+		if ev.At, err = parseDur(se.At, "at"); err != nil {
+			return nil, fmt.Errorf("fault: parse schedule: event %d (%s): %w", i, se.Kind, err)
+		}
+		if se.Duration != "" {
+			if ev.Duration, err = parseDur(se.Duration, "duration"); err != nil {
+				return nil, fmt.Errorf("fault: parse schedule: event %d (%s): %w", i, se.Kind, err)
+			}
+		}
+		if se.Delay != "" {
+			if ev.Delay, err = parseDur(se.Delay, "delay"); err != nil {
+				return nil, fmt.Errorf("fault: parse schedule: event %d (%s): %w", i, se.Kind, err)
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func parseDur(s, field string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing %q", field)
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %w", field, err)
+	}
+	return d, nil
+}

@@ -18,6 +18,14 @@ func TestSimDeterminism(t *testing.T) {
 	linttest.Run(t, "internal/lint/testdata/src/simdet", "fixture/simdet", lint.SimDeterminismAnalyzer)
 }
 
+// TestSimDeterminismFault covers the fault-injection subsystem's hazards:
+// wall-clock event scheduling, global-rand probe-loss draws, and map-ordered
+// fault reports would all break byte-identical fault replays.
+func TestSimDeterminismFault(t *testing.T) {
+	lint.SimSidePackages["fixture/faultdet"] = true
+	linttest.Run(t, "internal/lint/testdata/src/faultdet", "fixture/faultdet", lint.SimDeterminismAnalyzer)
+}
+
 // TestTransientPacket includes the PR 3 regression: a handler retaining
 // delivered packets in a ring buffer while netsim recycles them.
 func TestTransientPacket(t *testing.T) {

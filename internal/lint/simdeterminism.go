@@ -26,6 +26,7 @@ var SimSidePackages = map[string]bool{
 	"intsched/internal/workload":   true,
 	"intsched/internal/edge":       true,
 	"intsched/internal/stats":      true,
+	"intsched/internal/fault":      true,
 }
 
 // forbiddenTimeFuncs are package time functions that read or wait on the

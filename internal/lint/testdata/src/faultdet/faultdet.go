@@ -1,0 +1,55 @@
+// Package faultdet is the simdeterminism fixture for the fault-injection
+// subsystem: a fault timeline must be replayable byte-for-byte per seed, so
+// event application may not read the wall clock, draw probe-loss decisions
+// from the global math/rand stream, or report applied events in map order.
+package faultdet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Event is a stand-in for a scripted failure.
+type Event struct {
+	At   time.Duration
+	Node string
+}
+
+func ScheduleOnWallClock(ev Event) time.Duration {
+	start := time.Now()              // want `call to time\.Now in sim-side package`
+	deadline := time.Until(start)    // want `call to time\.Until in sim-side package`
+	time.AfterFunc(ev.At, func() {}) // want `call to time\.AfterFunc in sim-side package`
+	return deadline + ev.At + time.Second
+}
+
+func VirtualDeadline(now time.Duration, ev Event) time.Duration {
+	return now + ev.At // Duration arithmetic on the virtual clock is fine
+}
+
+func GlobalProbeLoss(rate float64) bool {
+	return rand.Float64() < rate // want `call to global math/rand\.Float64 in sim-side package`
+}
+
+func SeededProbeLoss(seed int64, rate float64) bool {
+	r := rand.New(rand.NewSource(seed)) // explicit source: fine
+	return r.Float64() < rate
+}
+
+func ReportApplied(applied map[string]Event) {
+	for node := range applied {
+		fmt.Println("fault applied at", node) // want `fmt\.Println inside a range over a map`
+	}
+}
+
+func ReportAppliedSorted(applied map[string]Event) {
+	nodes := make([]string, 0, len(applied))
+	for node := range applied {
+		nodes = append(nodes, node) // collecting keys is fine
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		fmt.Println("fault applied at", node) // slice range: deterministic
+	}
+}

@@ -49,6 +49,21 @@ type CollectorDaemon struct {
 	payloadErrors  *obs.Counter
 	queryErrors    *obs.Counter
 	queryLatency   map[core.Metric]*obs.Histogram
+
+	// Fault observability: detection latency is the probe silence observed
+	// when a learned edge ages out; rerouted queries count answers whose
+	// best candidate changed from the same device's previous answer.
+	faultDetection  *obs.Histogram
+	queriesRerouted *obs.Counter
+	rerouteMu       sync.Mutex
+	lastTop         map[rerouteKey]netsim.NodeID
+	exclUnre        bool
+}
+
+// rerouteKey identifies a device's query stream for reroute tracking.
+type rerouteKey struct {
+	from   string
+	metric core.Metric
 }
 
 // DaemonConfig tunes the collector daemon.
@@ -73,6 +88,14 @@ type DaemonConfig struct {
 	// Hysteresis, when positive, suppresses candidate switching on
 	// estimate changes smaller than this relative margin.
 	Hysteresis float64
+	// AdjacencyTTL bounds how long a learned edge outlives its last
+	// supporting probe (collector default of 5 queue windows when zero;
+	// collector.NoAdjacencyAging disables aging).
+	AdjacencyTTL time.Duration
+	// ExcludeUnreachable enables the fault-recovery policy: candidates
+	// whose learned path aged out are dropped from answers, unless no
+	// candidate is reachable (graceful fallback to the full estimate list).
+	ExcludeUnreachable bool
 }
 
 // NewCollectorDaemon starts the daemon for scheduler node id.
@@ -115,7 +138,10 @@ func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
 	d.coll = collector.New(netsim.NodeID(id), d.clock, collector.Config{
 		QueueWindow:        cfg.QueueWindow,
 		DefaultLinkRateBps: cfg.LinkRateBps,
+		AdjacencyTTL:       cfg.AdjacencyTTL,
 	})
+	d.exclUnre = cfg.ExcludeUnreachable
+	d.lastTop = make(map[rerouteKey]netsim.NodeID)
 	d.initObs(cfg)
 	if cfg.HTTPAddr != "" {
 		ln, err := net.Listen("tcp", cfg.HTTPAddr)
@@ -194,6 +220,33 @@ func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
 		Name: "intsched_probe_streams",
 		Help: "Known probe streams (origin/target sequence spaces).",
 	}, func() float64 { return float64(len(d.coll.ProbeStreams())) })
+
+	// Fault detection and recovery. The eviction hook runs inside the
+	// collector's snapshot rebuild, so it must only touch the histogram's
+	// own atomics — never call back into the collector.
+	d.faultDetection = d.reg.Histogram(obs.Opts{
+		Name: "intsched_fault_detection_latency_seconds",
+		Help: "Probe silence observed when a learned edge aged out of the topology: how long a failure went unnoticed.",
+	}, nil)
+	d.coll.SetEvictionHook(func(from, to string, silence time.Duration) {
+		d.faultDetection.ObserveDuration(silence)
+	})
+	d.queriesRerouted = d.reg.Counter(obs.Opts{
+		Name: "intsched_queries_rerouted_total",
+		Help: "Answers whose best candidate changed from the same device's previous answer for the metric.",
+	})
+	d.reg.GaugeFunc(obs.Opts{
+		Name: "intsched_topology_evicted_edges",
+		Help: "Learned edges currently aged out and awaiting relearning.",
+	}, func() float64 { return float64(len(d.coll.EvictedEdges())) })
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_adjacency_evictions_total",
+		Help: "Learned edges aged out of the topology after probe silence.",
+	}, func() float64 { return float64(d.coll.Stats().AdjacencyEvictions) })
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_path_remaps_total",
+		Help: "Probe streams observed arriving over a changed hop sequence.",
+	}, func() float64 { return float64(d.coll.Stats().PathRemaps) })
 	for _, c := range []struct {
 		name, help string
 		read       func(core.RankCacheStats) uint64
@@ -253,6 +306,15 @@ func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
 					"no probes from edge %s for %v (%s queue windows)",
 					origin, age.Round(time.Millisecond), windows))
 			}
+		}
+		return reasons
+	})
+	d.health.Register("topology-evictions", func() []string {
+		var reasons []string
+		for _, e := range d.coll.EvictedEdges() {
+			reasons = append(reasons, fmt.Sprintf(
+				"learned link %s->%s aged out (silent for %v)",
+				e.From, e.To, e.Since.Round(time.Millisecond)))
 		}
 		return reasons
 	})
@@ -470,6 +532,12 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 			d.cache.Store(topo.Epoch(), gen, key, ranked)
 		}
 	}
+	if d.exclUnre {
+		// Recovery policy: drop candidates whose learned path aged out
+		// (ReachableOnly never mutates, so shared cached lists are safe).
+		ranked = core.ReachableOnly(ranked)
+	}
+	d.trackReroute(req.From, metric, ranked)
 	if req.Count > 0 && req.Count < len(ranked) {
 		ranked = ranked[:req.Count]
 	}
@@ -484,6 +552,24 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 		})
 	}
 	return resp
+}
+
+// trackReroute counts answers whose best candidate changed from the device's
+// previous answer for the same metric: after a failure is detected, the
+// first corrected answer per affected device surfaces here as a reroute.
+func (d *CollectorDaemon) trackReroute(from string, metric core.Metric, ranked []core.Candidate) {
+	if len(ranked) == 0 {
+		return
+	}
+	top := ranked[0].Node
+	key := rerouteKey{from: from, metric: metric}
+	d.rerouteMu.Lock()
+	prev, seen := d.lastTop[key]
+	d.lastTop[key] = top
+	d.rerouteMu.Unlock()
+	if seen && prev != top {
+		d.queriesRerouted.Inc()
+	}
 }
 
 // Query is the device-side client: it dials the daemon's TCP API, sends one

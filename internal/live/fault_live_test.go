@@ -1,0 +1,161 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"intsched/internal/telemetry"
+	"intsched/internal/wire"
+)
+
+// TestDaemonFaultObservability drives the daemon's fault-recovery surface end
+// to end on the wall clock: probes teach it a two-branch topology, one branch
+// goes silent past the adjacency TTL, and the failure must show up everywhere
+// at once — the detection-latency histogram, the evicted-edges gauge and
+// eviction counter, a /healthz reason, the ExcludeUnreachable answer policy,
+// and the rerouted-queries counter. Resuming the probes must roll all of it
+// back.
+func TestDaemonFaultObservability(t *testing.T) {
+	const (
+		window = 40 * time.Millisecond
+		ttl    = 200 * time.Millisecond
+	)
+	start := time.Now()
+	d, err := NewCollectorDaemon("sched", DaemonConfig{
+		QueueWindow:        window,
+		AdjacencyTTL:       ttl,
+		ExcludeUnreachable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	clock := func() time.Duration { return time.Since(start) }
+
+	// Every probe fakes an 80 ms final hop (s1 -> sched) by backdating the
+	// last record's egress timestamp, so the scheduler host itself never
+	// ranks closest. Wait until the daemon clock can express the offset.
+	time.Sleep(120 * time.Millisecond)
+	var seq uint64
+	probe := func(origin string, recs ...telemetry.Record) {
+		seq++
+		now := clock()
+		recs[len(recs)-1].EgressTS = now - 80*time.Millisecond
+		d.Collector().HandleProbe(&telemetry.ProbePayload{
+			Origin: origin,
+			Seq:    seq,
+			SentAt: now,
+			Stack:  telemetry.Stack{Records: recs},
+		})
+	}
+	// Topology: dev, e1 and the scheduler hang off s1; e2 sits behind a
+	// second switch. Latencies make e2 the best candidate for dev, e1 the
+	// runner-up, and the (backdated) scheduler host last.
+	probeDev := func() {
+		probe("dev", telemetry.Record{Device: "s1", IngressPort: 1, EgressPort: 4, LinkLatency: 40 * time.Millisecond})
+	}
+	probeE1 := func() {
+		probe("e1", telemetry.Record{Device: "s1", IngressPort: 2, EgressPort: 4, LinkLatency: 50 * time.Millisecond})
+	}
+	probeE2 := func() {
+		probe("e2",
+			telemetry.Record{Device: "s2", IngressPort: 1, EgressPort: 2, LinkLatency: time.Millisecond},
+			telemetry.Record{Device: "s1", IngressPort: 3, EgressPort: 4, LinkLatency: time.Millisecond})
+	}
+	query := func() *wire.QueryResponse {
+		t.Helper()
+		resp := d.Answer(&wire.QueryRequest{From: "dev", Metric: "delay", Sorted: true})
+		if resp.Error != "" {
+			t.Fatalf("query failed: %s", resp.Error)
+		}
+		return resp
+	}
+	metricValue := func(name string) float64 {
+		t.Helper()
+		for _, m := range d.Metrics().Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	agedOutReason := func() bool {
+		for _, r := range d.Health().Evaluate().Reasons {
+			if strings.Contains(r, "aged out") {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 1: everything alive. e2 wins on delay; the answer seeds the
+	// reroute tracker's per-device top candidate.
+	probeDev()
+	probeE1()
+	probeE2()
+	resp := query()
+	if len(resp.Candidates) != 3 || resp.Candidates[0].Node != "e2" {
+		t.Fatalf("baseline answer: %+v", resp.Candidates)
+	}
+	for _, c := range resp.Candidates {
+		if !c.Reachable {
+			t.Fatalf("candidate %s unreachable at baseline", c.Node)
+		}
+	}
+	if agedOutReason() {
+		t.Fatal("eviction health reason before any silence")
+	}
+
+	// Phase 2: e2's branch goes silent while dev and e1 keep probing. Once
+	// the silence exceeds the adjacency TTL, the next query's snapshot
+	// rebuild evicts the s2 edges.
+	deadline := time.Now().Add(ttl + 2*window)
+	for time.Now().Before(deadline) {
+		probeDev()
+		probeE1()
+		time.Sleep(window)
+	}
+	probeDev()
+	probeE1()
+	resp = query()
+	if len(resp.Candidates) != 2 || resp.Candidates[0].Node != "e1" {
+		t.Fatalf("answer during fault should drop e2 and promote e1: %+v", resp.Candidates)
+	}
+	if hist, ok := d.Metrics().FindHistogram("intsched_fault_detection_latency_seconds"); !ok || hist.Count == 0 {
+		t.Fatalf("no fault detection latency observed (found %v)", ok)
+	}
+	if v := metricValue("intsched_topology_evicted_edges"); v == 0 {
+		t.Fatal("evicted-edges gauge still zero during fault")
+	}
+	if v := metricValue("intsched_collector_adjacency_evictions_total"); v == 0 {
+		t.Fatal("adjacency eviction counter still zero during fault")
+	}
+	if v := metricValue("intsched_queries_rerouted_total"); v != 1 {
+		t.Fatalf("rerouted queries = %v after failover, want 1", v)
+	}
+	if !agedOutReason() {
+		t.Fatalf("health misses the eviction: %+v", d.Health().Evaluate())
+	}
+
+	// Phase 3: the branch comes back. Relearning clears the tombstones, the
+	// answer includes e2 again, and the top-candidate switch back counts as
+	// a second reroute.
+	probeDev()
+	probeE1()
+	probeE2()
+	resp = query()
+	if len(resp.Candidates) != 3 || resp.Candidates[0].Node != "e2" {
+		t.Fatalf("answer after recovery: %+v", resp.Candidates)
+	}
+	if v := metricValue("intsched_topology_evicted_edges"); v != 0 {
+		t.Fatalf("evicted-edges gauge = %v after recovery, want 0", v)
+	}
+	if v := metricValue("intsched_queries_rerouted_total"); v != 2 {
+		t.Fatalf("rerouted queries = %v after recovery, want 2", v)
+	}
+	if agedOutReason() {
+		t.Fatalf("stale eviction health reason after recovery: %+v", d.Health().Evaluate())
+	}
+}

@@ -69,6 +69,8 @@ type Node struct {
 	net *Network
 	// routes maps destination host -> egress port index.
 	routes map[NodeID]int
+	// halted nodes drop everything (see SetNodeHalted).
+	halted bool
 }
 
 // Network returns the network the node belongs to.
@@ -84,11 +86,24 @@ func (n *Node) PortTo(neighbor NodeID) int {
 	return -1
 }
 
-// Neighbors returns the IDs of directly connected nodes in port order.
+// Neighbors returns the IDs of directly connected nodes in port order,
+// regardless of link or node state (the physical wiring).
 func (n *Node) Neighbors() []NodeID {
 	out := make([]NodeID, 0, len(n.Ports))
 	for _, p := range n.Ports {
 		if p.peer != nil {
+			out = append(out, p.peer.node.ID)
+		}
+	}
+	return out
+}
+
+// activeNeighbors returns neighbors reachable over live links, excluding
+// halted peers — the view routing reconvergence sees.
+func (n *Node) activeNeighbors() []NodeID {
+	out := make([]NodeID, 0, len(n.Ports))
+	for _, p := range n.Ports {
+		if p.peer != nil && !p.link.down && !p.peer.node.halted {
 			out = append(out, p.peer.node.ID)
 		}
 	}
@@ -165,6 +180,12 @@ const DefaultQueueCap = 64
 type Link struct {
 	A, B   *Port
 	Config LinkConfig
+
+	// down links pass no traffic (see SetLinkUp). downGen increments on
+	// every up→down transition so callbacks scheduled before a flap can
+	// tell the link they captured is not the link they see.
+	down    bool
+	downGen uint64
 }
 
 // Ends returns the node IDs at the two ends.
@@ -180,6 +201,12 @@ const (
 	DropTTL
 	// DropNoRoute means the switch had no route to the destination.
 	DropNoRoute
+	// DropLinkDown means the packet was queued on, serializing onto, or
+	// propagating across a link that went down.
+	DropLinkDown
+	// DropHalted means the packet met a halted node (as source, transit,
+	// or destination).
+	DropHalted
 )
 
 func (r DropReason) String() string {
@@ -190,6 +217,10 @@ func (r DropReason) String() string {
 		return "ttl"
 	case DropNoRoute:
 		return "no-route"
+	case DropLinkDown:
+		return "link-down"
+	case DropHalted:
+		return "halted"
 	case DropInjected:
 		return "injected"
 	}
@@ -334,6 +365,12 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) (*Link, error) {
 // every host using BFS. Ties are broken deterministically by lexicographic
 // neighbor ID so the scheduler-side topology traversal can reproduce the
 // exact same paths from learned telemetry.
+//
+// Down links and halted nodes are invisible to the BFS, so re-running
+// ComputeRoutes after a fault models routing reconvergence: destinations cut
+// off by the fault simply get no route entry (senders see DropNoRoute).
+// Until it is re-run, routes keep pointing at dead links — the black-hole
+// window the fault experiments measure.
 func (n *Network) ComputeRoutes() error {
 	hosts := n.Hosts()
 	for _, src := range n.order {
@@ -343,6 +380,9 @@ func (n *Network) ComputeRoutes() error {
 	// BFS from each host backwards: compute, for each node, the next hop
 	// toward that host.
 	for _, dst := range hosts {
+		if n.nodes[dst].halted {
+			continue
+		}
 		// dist and parent via BFS over the undirected graph rooted at dst.
 		next := map[NodeID]NodeID{} // node -> neighbor one step closer to dst
 		visited := map[NodeID]bool{dst: true}
@@ -350,7 +390,7 @@ func (n *Network) ComputeRoutes() error {
 		for len(frontier) > 0 {
 			var nextFrontier []NodeID
 			for _, cur := range frontier {
-				neighbors := n.nodes[cur].Neighbors()
+				neighbors := n.nodes[cur].activeNeighbors()
 				sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 				for _, nb := range neighbors {
 					if visited[nb] {
@@ -467,6 +507,10 @@ func (n *Network) Send(pkt *Packet) error {
 	pkt.SentAt = n.engine.Now()
 	pkt.ingressAt = n.engine.Now()
 	n.emit(TraceSend, src.ID, -1, pkt, 0, 0)
+	if src.halted {
+		n.drop(pkt, src, DropHalted)
+		return nil
+	}
 	if pkt.Src == pkt.Dst {
 		// Local delivery without touching the network.
 		n.engine.After(0, func() { n.deliver(src, pkt) })
@@ -483,6 +527,11 @@ func (n *Network) Send(pkt *Packet) error {
 
 // enqueue places pkt on port's egress queue, starting transmission if idle.
 func (n *Network) enqueue(port *Port, pkt *Packet) {
+	if port.link.down {
+		port.Drops++
+		n.drop(pkt, port.node, DropLinkDown)
+		return
+	}
 	if len(port.queue) >= port.link.Config.QueueCap {
 		port.Drops++
 		n.drop(pkt, port.node, DropQueueFull)
@@ -501,7 +550,7 @@ func (n *Network) enqueue(port *Port, pkt *Packet) {
 
 // transmitNext pops the head of the queue and transmits it.
 func (n *Network) transmitNext(port *Port) {
-	if len(port.queue) == 0 {
+	if len(port.queue) == 0 || port.link.down || port.node.halted {
 		port.busy = false
 		return
 	}
@@ -527,16 +576,36 @@ func (n *Network) transmitNext(port *Port) {
 		pkt.StampEgress(n.engine.Now())
 	}
 
-	cfg := port.link.Config
 	txTime := time.Duration(float64(pkt.Size*8) / float64(port.rateBps) * float64(time.Second))
 	peer := port.peer
+	gen := port.link.downGen
 	n.engine.After(txTime, func() {
+		if port.link.down || gen != port.link.downGen || port.node.halted {
+			// The link flapped (or the node halted) while the packet was
+			// serializing: it never made it onto the wire intact.
+			port.Drops++
+			reason := DropLinkDown
+			if port.node.halted {
+				reason = DropHalted
+			}
+			n.drop(pkt, port.node, reason)
+			port.busy = false
+			// If the fault has already cleared, resume draining the queue.
+			n.kick(port)
+			return
+		}
 		port.TxPackets++
 		port.TxBytes += uint64(pkt.Size)
 		// Transmitter is free; start the next packet immediately.
 		n.transmitNext(port)
-		// Propagation to the far end.
-		n.engine.After(cfg.Delay, func() {
+		// Propagation to the far end. The delay is read at departure so a
+		// SetLinkDelay applies to transmissions starting after the change.
+		n.engine.After(port.link.Config.Delay, func() {
+			if port.link.down || gen != port.link.downGen {
+				// The link went down under the propagating packet.
+				n.drop(pkt, peer.node, DropLinkDown)
+				return
+			}
 			n.arrive(peer, pkt)
 		})
 	})
@@ -548,6 +617,10 @@ func (n *Network) arrive(port *Port, pkt *Packet) {
 	node := port.node
 	pkt.ingressAt = n.engine.Now()
 	n.emit(TraceArrive, node.ID, port.index, pkt, 0, 0)
+	if node.halted {
+		n.drop(pkt, node, DropHalted)
+		return
+	}
 	if n.fault != nil && n.fault(pkt, node) {
 		n.drop(pkt, node, DropInjected)
 		return

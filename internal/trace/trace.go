@@ -136,8 +136,11 @@ type FlowSummary struct {
 	Sent      int
 	Delivered int
 	Dropped   int
-	FirstSeen time.Duration
-	LastSeen  time.Duration
+	// DropInjected counts the subset of Dropped discarded by the fault
+	// injector (scripted probe loss) rather than by the network itself.
+	DropInjected int
+	FirstSeen    time.Duration
+	LastSeen     time.Duration
 }
 
 // Summarize aggregates held events per flow, ordered by flow ID.
@@ -157,6 +160,9 @@ func (r *Recorder) Summarize() []FlowSummary {
 			s.Delivered++
 		case netsim.TraceDrop:
 			s.Dropped++
+			if ev.DropReason == netsim.DropInjected {
+				s.DropInjected++
+			}
 		}
 	}
 	out := make([]FlowSummary, 0, len(byFlow))

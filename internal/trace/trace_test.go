@@ -138,6 +138,11 @@ func TestSummarizeAndDrops(t *testing.T) {
 			if s.LastSeen < s.FirstSeen {
 				t.Fatal("summary time range inverted")
 			}
+			// Every drop here came from the fault injector, and the
+			// summary must attribute them as such.
+			if s.DropInjected != s.Dropped {
+				t.Fatalf("injected drops %d != dropped %d", s.DropInjected, s.Dropped)
+			}
 		}
 	}
 	if !found {
