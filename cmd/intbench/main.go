@@ -9,7 +9,10 @@
 // Experiments: table1, fig3, fig5, fig6, fig7, fig8, fig9, ablation, faults,
 // qps.
 // The parbench experiment (not part of "all") measures the worker-pool
-// speedup and writes results/BENCH_parallel.json.
+// speedup and writes results/BENCH_parallel.json. The scale experiment
+// (also by name only) drives the sharded collector on generated Clos and
+// metro fabrics and writes results/BENCH_scale.json; -scale-smoke shrinks
+// its fabrics to CI size.
 package main
 
 import (
@@ -32,13 +35,14 @@ import (
 )
 
 var (
-	seed     = flag.Int64("seed", 42, "random seed")
-	seeds    = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
-	tasks    = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
-	fig3dur  = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
-	expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,faults,qps,all (plus parbench, by name only)")
-	queries  = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
-	parallel = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
+	seed       = flag.Int64("seed", 42, "random seed")
+	seeds      = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
+	tasks      = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
+	fig3dur    = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,faults,qps,all (plus parbench and scale, by name only)")
+	queries    = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
+	parallel   = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
+	scaleSmoke = flag.Bool("scale-smoke", false, "scale experiment: shrink the fabrics to CI size (small Clos + 2-region metro)")
 )
 
 // pool runs independent scenario cells; initialized in main from -parallel.
@@ -74,17 +78,99 @@ func main() {
 	run("ablation", ablation)
 	run("faults", faults)
 	run("qps", qps)
-	// parbench re-runs the comparison grid at several pool sizes, so it
-	// only runs when asked for by name.
-	if want["parbench"] {
+	// parbench re-runs the comparison grid at several pool sizes, and scale
+	// builds metro-size fabrics, so both only run when asked for by name.
+	for _, extra := range []struct {
+		name string
+		fn   func() error
+	}{{"parbench", parbench}, {"scale", scale}} {
+		if !want[extra.name] {
+			continue
+		}
 		start := time.Now()
-		fmt.Println("==== parbench ====")
-		if err := parbench(); err != nil {
-			fmt.Fprintf(os.Stderr, "intbench: parbench: %v\n", err)
+		fmt.Printf("==== %s ====\n", extra.name)
+		if err := extra.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "intbench: %s: %v\n", extra.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(parbench took %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", extra.name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// scale drives the sharded collector on generated fabrics — a >=200-switch
+// Clos and a >=1000-edge-server metro by default — sweeping the shard count
+// per topology, and writes results/BENCH_scale.json. The per-cell digest
+// (FNV-1a over every ranked answer) is the determinism contract: Scale
+// itself fails if any shard count diverges from the single-shard baseline,
+// and the printed digest lines are diffed across -parallel widths in CI.
+func scale() error {
+	res, err := pool.Scale(experiment.ScaleConfig{Seed: *seed, Smoke: *scaleSmoke})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("topology", "shards", "switches", "hosts", "queries/s", "snapshot p50", "snapshot p99", "ingest drops", "probes")
+	for _, c := range res.Cells {
+		tb.AddRow(c.Topo, c.Shards, c.Switches, c.Hosts, fmt.Sprintf("%.0f", c.QPS),
+			c.SnapshotP50.Round(time.Microsecond), c.SnapshotP99.Round(time.Microsecond),
+			c.IngestDrops, c.ProbesReceived)
+	}
+	fmt.Println(tb.String())
+	for _, c := range res.Cells {
+		fmt.Printf("scale digest %s shards=%d %s\n", c.Topo, c.Shards, c.Digest)
+	}
+	fmt.Println("(every shard count reproduced the single-shard digest; batched ranking via RankBatch, one snapshot per probe round)")
+
+	type cellJSON struct {
+		Topo           string  `json:"topo"`
+		Shards         int     `json:"shards"`
+		Partitions     int     `json:"partitions"`
+		Switches       int     `json:"switches"`
+		Hosts          int     `json:"hosts"`
+		Queries        int     `json:"queries"`
+		QPS            float64 `json:"qps"`
+		SnapshotP50Us  int64   `json:"snapshot_p50_us"`
+		SnapshotP99Us  int64   `json:"snapshot_p99_us"`
+		IngestDrops    uint64  `json:"ingest_drops"`
+		ProbesReceived uint64  `json:"probes_received"`
+		Digest         string  `json:"digest"`
+		Seconds        float64 `json:"seconds"`
+	}
+	report := struct {
+		Bench string     `json:"bench"`
+		Smoke bool       `json:"smoke"`
+		Seed  int64      `json:"seed"`
+		CPUs  int        `json:"cpus"`
+		Cores int        `json:"cores"`
+		Cells []cellJSON `json:"cells"`
+	}{
+		Bench: "scale",
+		Smoke: *scaleSmoke,
+		Seed:  *seed,
+		CPUs:  runtime.NumCPU(),
+		Cores: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range res.Cells {
+		report.Cells = append(report.Cells, cellJSON{
+			Topo: c.Topo, Shards: c.Shards, Partitions: c.Partitions,
+			Switches: c.Switches, Hosts: c.Hosts, Queries: c.Queries, QPS: c.QPS,
+			SnapshotP50Us: c.SnapshotP50.Microseconds(), SnapshotP99Us: c.SnapshotP99.Microseconds(),
+			IngestDrops: c.IngestDrops, ProbesReceived: c.ProbesReceived,
+			Digest: c.Digest, Seconds: c.Elapsed.Seconds(),
+		})
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("results/BENCH_scale.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote results/BENCH_scale.json")
+	return nil
 }
 
 // faults replays the same workload under a scripted failure schedule (edge
@@ -501,6 +587,7 @@ func parbench() error {
 		Seeds           int     `json:"seeds"`
 		Metrics         int     `json:"metrics"`
 		CPUs            int     `json:"cpus"`
+		Cores           int     `json:"cores"`
 		OutputIdentical bool    `json:"output_identical"`
 		Points          []point `json:"points"`
 	}{
@@ -509,7 +596,15 @@ func parbench() error {
 		Seeds:           len(seedList),
 		Metrics:         len(metrics),
 		CPUs:            runtime.NumCPU(),
+		Cores:           runtime.GOMAXPROCS(0),
 		OutputIdentical: true,
+	}
+	// Speedup numbers from a 1-core runtime describe the scheduler, not the
+	// pool; the cpus/cores fields above make the artifact self-describing,
+	// and the warning keeps a 1-CPU container from looking like a perf
+	// regression.
+	if report.Cores == 1 {
+		fmt.Println("warning: GOMAXPROCS=1 — pool cells run serially; speedup points measure overhead, not parallelism")
 	}
 
 	var serialExport []byte

@@ -36,6 +36,8 @@ func main() {
 		adjTTL   = flag.Duration("adjacency-ttl", 0, "probe silence before a learned link ages out of the topology (default: 5 queue windows; negative disables aging)")
 		exclUnre = flag.Bool("exclude-unreachable", false, "recovery policy: drop candidates whose learned path aged out from answers")
 		report   = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
+		shards   = flag.Int("shards", 1, "collector link-state shards; probes through disjoint partitions ingest concurrently")
+		ingestQ  = flag.Int("ingest-queue", 0, "per-shard async ingest queue depth (0 keeps ingest synchronous on the UDP receive loop)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,8 @@ func main() {
 		DegradedAfter:      *degraded,
 		AdjacencyTTL:       *adjTTL,
 		ExcludeUnreachable: *exclUnre,
+		Shards:             *shards,
+		IngestQueue:        *ingestQ,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "intsched: %v\n", err)
@@ -84,11 +88,14 @@ func main() {
 			if total := cs.Hits + cs.Misses; total > 0 {
 				hitRate = float64(cs.Hits) / float64(total)
 			}
-			fmt.Printf("intsched: health=%s probes=%d drops=%d/%d/%d stale=%d records=%d epoch=%d rank-cache hit=%.0f%% fresh=%v stale-devs=%v\n",
+			fmt.Printf("intsched: health=%s probes=%d drops=%d/%d/%d ingest-drops=%d stale=%d records=%d epoch=%d rank-cache hit=%.0f%% fresh=%v stale-devs=%v\n",
 				health.Status, ds.ProbesReceived,
 				ds.DatagramErrors, ds.UnexpectedKinds, ds.PayloadErrors,
-				st.ProbesOutOfOrder, st.RecordsParsed,
+				st.IngestDrops, st.ProbesOutOfOrder, st.RecordsParsed,
 				daemon.Collector().Epoch(), hitRate*100, cov.Fresh, cov.Stale)
+			if *shards > 1 {
+				fmt.Printf("intsched:   shard epochs %v\n", daemon.Collector().EpochVector())
+			}
 			for _, r := range health.Reasons {
 				fmt.Printf("intsched:   degraded: %s\n", r)
 			}

@@ -7,10 +7,26 @@
 // The collector is deliberately independent of the simulator's ground-truth
 // topology: everything the scheduler knows, it learned from probes — exactly
 // the information a real INT deployment would have.
+//
+// The link-state database is sharded: Config.Shards partitions the node ID
+// space (by an operator-supplied partition map or an FNV-1a hash) into
+// independent shards, each with its own mutex, queue-window state,
+// adjacency-aging state, and epoch counter, so probes crossing disjoint
+// partitions ingest without contending (shard.go, ingest.go, aging.go).
+// Snapshot() is a merge-on-read over cached per-shard views versioned by a
+// composite epoch vector (snapshot.go), and per-destination path trees are
+// maintained incrementally across snapshots (spt.go). With the default
+// single shard the observable behavior — epochs included — is identical to
+// the historical single-mutex collector.
+//
+// This file is the package's public API surface: configuration,
+// construction, ingest counters, configuration setters, point lookups, and
+// health/coverage reporting. Ingest lives in ingest.go, aging in aging.go,
+// view building and merging in snapshot.go, and the snapshot read API on
+// Topology in topology.go.
 package collector
 
 import (
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,6 +64,17 @@ type Config struct {
 	// learn-only behavior, needed when telemetry arrives on data packets
 	// with no periodic refresh).
 	AdjacencyTTL time.Duration
+	// Shards is the number of link-state partitions (clamped to
+	// [1, MaxShards]). Zero or one keeps the historical single-shard
+	// behavior; larger values let probes through disjoint partitions
+	// ingest concurrently and confine epoch invalidation to the touched
+	// partitions.
+	Shards int
+	// Partition maps a node ID to a shard index; results are reduced
+	// modulo Shards, so a topology's partition map (e.g. pod or region
+	// number) composes with any shard count. Nil means an FNV-1a hash of
+	// the node ID.
+	Partition func(node string) int
 }
 
 // Defaults for Config.
@@ -62,6 +89,11 @@ const (
 	// probes cannot tear a live link out of the map, short enough that a
 	// dead link disappears within about a second of real failure.
 	DefaultAdjacencyWindows = 5
+	// MaxShards bounds Config.Shards.
+	MaxShards = 64
+	// DefaultIngestQueue is the per-shard queue length used by
+	// StartIngestWorkers when none is given.
+	DefaultIngestQueue = 256
 )
 
 // NoAdjacencyAging disables adjacency eviction when set as
@@ -81,6 +113,12 @@ func (c Config) withDefaults() Config {
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = DefaultStaleAfter
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
 	return c
 }
 
@@ -97,16 +135,18 @@ type queueReport struct {
 	packets  uint32
 }
 
-type linkState struct {
-	ewma       time.Duration
-	lastSample time.Duration
-	samples    uint64
-	updatedAt  time.Duration
-	// Welford accumulators for jitter (sample standard deviation); the
-	// paper probes link latency periodically precisely "to capture jitter
-	// characteristics".
-	mean float64
-	m2   float64
+// probeKey identifies one probe stream: a host may probe several targets
+// (coverage-planned routes), each with its own sequence space.
+type probeKey struct {
+	origin, target string
+}
+
+type probeMeta struct {
+	seq uint64
+	at  time.Duration
+	// path is the hop sequence (origin, devices..., target) of the last
+	// accepted probe; a change means the route under the stream moved.
+	path []string
 }
 
 // Collector builds and maintains the scheduler's view of the network.
@@ -114,55 +154,123 @@ type Collector struct {
 	self  string
 	clock func() time.Duration
 	cfg   Config
+	// queueWindowNs is the mutable queue window (SetQueueWindow), read by
+	// shard operations without a global lock.
+	queueWindowNs atomic.Int64
 
-	mu sync.Mutex
+	shards    []*shard
+	partition func(string) int
 
-	// adj maps device -> egress port -> neighbor, learned from record
-	// order; hosts appear as devices with a single implicit port 0.
-	adj map[string]map[int]string
-	// adjSeen maps each directed learned edge to the last time a probe
-	// confirmed it; edges silent longer than the adjacency TTL are evicted
-	// at the next snapshot build.
-	adjSeen map[edgeKey]time.Duration
-	// evicted tombstones edges removed by aging (edge -> eviction time),
-	// cleared when a probe relearns the edge. Health reporting lists these
-	// as the links the collector currently believes are gone.
-	evicted map[edgeKey]time.Duration
-	// isHost marks nodes known to be hosts (probe origins + the collector
-	// itself); everything else that reports INT records is a switch.
-	isHost map[string]bool
-	// pathScratch is the reusable buffer HandleProbe assembles the probe's
-	// hop sequence into (kept allocation-free on the steady path).
-	pathScratch []string
-	// onEviction, when set, observes each adjacency eviction with the
-	// edge's probe silence at eviction time (the detection latency).
-	onEviction func(from, to string, silence time.Duration)
-
-	linkDelay map[edgeKey]*linkState
-	linkRate  map[edgeKey]int64
-
-	queues     map[portKey][]queueReport
-	lastReport map[string]time.Duration // device -> last INT record time
-	lastProbe  map[probeKey]probeMeta   // (origin, target) -> latest probe metadata
-
-	// epoch counts state-mutating updates (accepted probes, link-rate and
-	// queue-window changes). Snapshots are versioned by it: readers can
-	// tell "nothing changed since my snapshot" by comparing epochs without
-	// taking the lock. Incremented under mu, read lock-free.
-	epoch atomic.Uint64
-	// snap is the published cached snapshot (nil until first Snapshot).
-	snap atomic.Pointer[snapshotCache]
+	// snapMu serializes merged-snapshot rebuilds; snap is the published
+	// cached snapshot (nil until first Snapshot).
+	snapMu sync.Mutex
+	snap   atomic.Pointer[mergedSnap]
 	// noSnapCache forces Snapshot to rebuild on every call (the
 	// pre-caching behavior), for before/after benchmarking.
 	noSnapCache atomic.Bool
+	// spt is the shared incremental shortest-path-tree store.
+	spt *sptStore
 
-	// Stats (guarded by mu; read via Stats()).
-	probesReceived   uint64
-	probesOutOfOrder uint64
-	recordsParsed    uint64
-	adjEvictions     uint64
-	pathRemaps       uint64
+	// Ingest counters (atomic; see Stats).
+	probesReceived   atomic.Uint64
+	probesOutOfOrder atomic.Uint64
+	recordsParsed    atomic.Uint64
+	pathRemaps       atomic.Uint64
+	ingestDrops      atomic.Uint64
+
+	// Asynchronous ingest (live mode only; see StartIngestWorkers).
+	ingest   atomic.Pointer[[]chan *telemetry.ProbePayload]
+	ingestWG sync.WaitGroup
 }
+
+// New creates a collector for the scheduler host self. clock supplies the
+// current time (virtual in simulation, wall-clock in live mode).
+func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{
+		self:      string(self),
+		clock:     clock,
+		cfg:       cfg,
+		partition: cfg.Partition,
+		spt:       newSPTStore(),
+	}
+	c.queueWindowNs.Store(int64(cfg.QueueWindow))
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = newShard()
+	}
+	c.shardFor(c.self).isHost[c.self] = true
+	return c
+}
+
+// Self returns the collector's own host ID.
+func (c *Collector) Self() netsim.NodeID { return netsim.NodeID(c.self) }
+
+// shardOf maps a node ID to its owning shard index.
+func (c *Collector) shardOf(node string) int {
+	n := len(c.shards)
+	if c.partition != nil {
+		i := c.partition(node) % n
+		if i < 0 {
+			i += n
+		}
+		return i
+	}
+	if n == 1 {
+		return 0
+	}
+	return int(fnv32a(node) % uint32(n))
+}
+
+func (c *Collector) shardFor(node string) *shard { return c.shards[c.shardOf(node)] }
+
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// window returns the current queue window.
+func (c *Collector) window() time.Duration { return time.Duration(c.queueWindowNs.Load()) }
+
+// Epoch returns the collector's current state version: the sum of the
+// per-shard epoch vector. It advances on every accepted probe and
+// configuration change, and when a snapshot rebuild detects that a queue
+// report or adjacency aged out (state changed without a probe); equal
+// epochs guarantee that Snapshot returns the identical topology. See
+// EpochVector for the per-shard decomposition.
+func (c *Collector) Epoch() uint64 {
+	var sum uint64
+	for _, sh := range c.shards {
+		sum += sh.epoch.Load()
+	}
+	return sum
+}
+
+// EpochVector returns the current composite epoch vector, one entry per
+// shard. A mutation confined to one partition moves only that entry, which
+// is what lets sharded deployments attribute invalidations (and tests prove
+// isolation).
+func (c *Collector) EpochVector() []uint64 {
+	out := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.epoch.Load()
+	}
+	return out
+}
+
+// Shards returns the number of link-state partitions.
+func (c *Collector) Shards() int { return len(c.shards) }
+
+// SetSnapshotCaching toggles snapshot reuse. Caching is on by default;
+// disabling it forces every Snapshot call to rebuild a fresh deep copy (the
+// pre-epoch behavior), which exists for before/after benchmarking and
+// debugging only. With caching off, queue-window aging no longer advances
+// the epoch (two same-epoch snapshots can then differ), so pair it with
+// ServiceConfig.DisableRankCache as the qps experiment does.
+func (c *Collector) SetSnapshotCaching(enabled bool) { c.noSnapCache.Store(!enabled) }
 
 // Stats is a snapshot of the collector's ingestion counters.
 type Stats struct {
@@ -177,28 +285,31 @@ type Stats struct {
 	// PathRemaps counts probe streams that arrived with a changed hop
 	// sequence (the route under the stream moved).
 	PathRemaps uint64
+	// IngestDrops counts probes dropped at the asynchronous ingest queues
+	// (always zero on the synchronous path).
+	IngestDrops uint64
 }
 
 // Stats returns the ingestion counters.
 func (c *Collector) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		ProbesReceived:     c.probesReceived,
-		ProbesOutOfOrder:   c.probesOutOfOrder,
-		RecordsParsed:      c.recordsParsed,
-		AdjacencyEvictions: c.adjEvictions,
-		PathRemaps:         c.pathRemaps,
+	st := Stats{
+		ProbesReceived:   c.probesReceived.Load(),
+		ProbesOutOfOrder: c.probesOutOfOrder.Load(),
+		RecordsParsed:    c.recordsParsed.Load(),
+		PathRemaps:       c.pathRemaps.Load(),
+		IngestDrops:      c.ingestDrops.Load(),
 	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.AdjacencyEvictions += sh.adjEvictions
+		sh.mu.Unlock()
+	}
+	return st
 }
 
-type probeMeta struct {
-	seq uint64
-	at  time.Duration
-	// path is the hop sequence (origin, devices..., target) of the last
-	// accepted probe; a change means the route under the stream moved.
-	path []string
-}
+// IngestDrops returns the number of probes dropped at the asynchronous
+// ingest queues.
+func (c *Collector) IngestDrops() uint64 { return c.ingestDrops.Load() }
 
 // ProbeStream reports the freshness of one probe stream — the (origin,
 // target) sequence space a probing host maintains. Target is "" for streams
@@ -216,16 +327,18 @@ type ProbeStream struct {
 // (origin, target).
 func (c *Collector) ProbeStreams() []ProbeStream {
 	now := c.clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]ProbeStream, 0, len(c.lastProbe))
-	for key, meta := range c.lastProbe {
-		out = append(out, ProbeStream{
-			Origin: key.origin,
-			Target: key.target,
-			Seq:    meta.seq,
-			Age:    now - meta.at,
-		})
+	var out []ProbeStream
+	for _, sh := range c.shards {
+		sh.streamMu.Lock()
+		for key, meta := range sh.streams {
+			out = append(out, ProbeStream{
+				Origin: key.origin,
+				Target: key.target,
+				Seq:    meta.seq,
+				Age:    now - meta.at,
+			})
+		}
+		sh.streamMu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Origin != out[j].Origin {
@@ -237,75 +350,57 @@ func (c *Collector) ProbeStreams() []ProbeStream {
 }
 
 // QueueWindow returns the configured queue-report freshness window.
-func (c *Collector) QueueWindow() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cfg.QueueWindow
-}
-
-// probeKey identifies one probe stream: a host may probe several targets
-// (coverage-planned routes), each with its own sequence space.
-type probeKey struct {
-	origin, target string
-}
-
-// New creates a collector for the scheduler host self. clock supplies the
-// current time (virtual in simulation, wall-clock in live mode).
-func New(self netsim.NodeID, clock func() time.Duration, cfg Config) *Collector {
-	return &Collector{
-		self:       string(self),
-		clock:      clock,
-		cfg:        cfg.withDefaults(),
-		adj:        make(map[string]map[int]string),
-		adjSeen:    make(map[edgeKey]time.Duration),
-		evicted:    make(map[edgeKey]time.Duration),
-		isHost:     map[string]bool{string(self): true},
-		linkDelay:  make(map[edgeKey]*linkState),
-		linkRate:   make(map[edgeKey]int64),
-		queues:     make(map[portKey][]queueReport),
-		lastReport: make(map[string]time.Duration),
-		lastProbe:  make(map[probeKey]probeMeta),
-	}
-}
-
-// Self returns the collector's own host ID.
-func (c *Collector) Self() netsim.NodeID { return netsim.NodeID(c.self) }
-
-// Epoch returns the collector's current state version. It advances on every
-// accepted probe and configuration change, and when Snapshot detects that a
-// queue report aged out of the queue window (windowed maxima changed without
-// a probe); equal epochs guarantee that Snapshot returns the identical
-// topology.
-func (c *Collector) Epoch() uint64 { return c.epoch.Load() }
-
-// SetSnapshotCaching toggles snapshot reuse. Caching is on by default;
-// disabling it forces every Snapshot call to rebuild a fresh deep copy (the
-// pre-epoch behavior), which exists for before/after benchmarking and
-// debugging only. With caching off, queue-window aging no longer advances
-// the epoch (two same-epoch snapshots can then differ), so pair it with
-// ServiceConfig.DisableRankCache as the qps experiment does.
-func (c *Collector) SetSnapshotCaching(enabled bool) { c.noSnapCache.Store(!enabled) }
+func (c *Collector) QueueWindow() time.Duration { return c.window() }
 
 // SetQueueWindow adjusts the queue-report window, typically to track a
-// changed probing interval (Fig 9 sweeps).
+// changed probing interval (Fig 9 sweeps). Windowed maxima of every shard
+// depend on it, so every shard's epoch advances.
 func (c *Collector) SetQueueWindow(w time.Duration) {
 	if w <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cfg.QueueWindow = w
-	c.epoch.Add(1)
+	c.queueWindowNs.Store(int64(w))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.epoch.Add(1)
+		sh.mu.Unlock()
+	}
 }
 
 // SetLinkRate records the capacity of the directed link from->to. Both
-// directions are set (links are full duplex and symmetric in this system).
+// directions are set (links are full duplex and symmetric in this system);
+// only the owning shards' epochs advance.
 func (c *Collector) SetLinkRate(from, to netsim.NodeID, rateBps int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.linkRate[edgeKey{string(from), string(to)}] = rateBps
-	c.linkRate[edgeKey{string(to), string(from)}] = rateBps
-	c.epoch.Add(1)
+	i, j := c.shardOf(string(from)), c.shardOf(string(to))
+	if i > j {
+		i, j = j, i
+	}
+	c.shards[i].mu.Lock()
+	if j != i {
+		c.shards[j].mu.Lock()
+	}
+	c.shardFor(string(from)).linkRate[edgeKey{string(from), string(to)}] = rateBps
+	c.shardFor(string(to)).linkRate[edgeKey{string(to), string(from)}] = rateBps
+	c.shards[i].epoch.Add(1)
+	if j != i {
+		c.shards[j].epoch.Add(1)
+		c.shards[j].mu.Unlock()
+	}
+	c.shards[i].mu.Unlock()
+}
+
+// SetEvictionHook installs a callback observing each adjacency eviction
+// (from, to, and the edge's probe silence at eviction — the detection
+// latency). Called with the owning shard's lock held: the hook must not
+// call back into the collector. Within one shard, evictions of one prune
+// pass arrive sorted by (from, to); across shards they arrive in shard
+// order.
+func (c *Collector) SetEvictionHook(fn func(from, to string, silence time.Duration)) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.onEviction = fn
+		sh.mu.Unlock()
+	}
 }
 
 // Bind installs the collector as the probe handler of the scheduler host's
@@ -330,226 +425,41 @@ func (c *Collector) Bind(stack *transport.Stack) {
 	}
 }
 
-// HandleProbe ingests one probe payload.
-func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
+// MaxQueue returns the maximum queue occupancy reported for (device, port)
+// within the queue window, and whether any report exists in the window.
+func (c *Collector) MaxQueue(device string, port int) (int, bool) {
 	now := c.clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	c.probesReceived++
-	key := probeKey{origin: p.Origin, target: p.Target}
-	if meta, ok := c.lastProbe[key]; ok && p.Seq <= meta.seq {
-		// Reordered or duplicate probe: its registers were flushed before
-		// the one we already processed; ignore to keep freshness monotone.
-		c.probesOutOfOrder++
-		return
-	}
-	// Accepted probe: the learned state is about to change, invalidating
-	// cached snapshots and every rank result derived from them.
-	c.epoch.Add(1)
-	c.isHost[p.Origin] = true
-	c.pathScratch = append(c.pathScratch[:0], p.Origin)
-
-	recs := p.Stack.Records
-	prev := p.Origin
-	prevEgress := 0 // hosts have a single port
-	for i := range recs {
-		rec := &recs[i]
-		c.recordsParsed++
-		c.lastReport[rec.Device] = now
-		c.pathScratch = append(c.pathScratch, rec.Device)
-
-		// Topology: prev --(prev's egress port)--> rec.Device, and the
-		// reverse direction leaves rec.Device via the probe's ingress
-		// port (ports are full duplex).
-		c.learnEdge(prev, prevEgress, rec.Device, now)
-		c.learnEdge(rec.Device, rec.IngressPort, prev, now)
-
-		// Link latency of the hop the probe arrived on.
-		if rec.LinkLatency > 0 || i > 0 {
-			c.updateDelay(edgeKey{prev, rec.Device}, rec.LinkLatency, now)
-			// Symmetric links: seed the reverse direction too (a probe
-			// may never traverse it).
-			c.updateDelay(edgeKey{rec.Device, prev}, rec.LinkLatency, now)
-		}
-
-		// Queue registers flushed by this device.
-		for _, q := range rec.Queues {
-			key := portKey{rec.Device, q.Port}
-			c.queues[key] = append(c.queues[key], queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
-		}
-		c.pruneQueuesLocked(rec.Device, now)
-
-		prev = rec.Device
-		prevEgress = rec.EgressPort
-	}
-
-	// Final hop: last device -> the probe's target host. Coverage-planned
-	// probes may terminate at another edge host that relays the payload;
-	// the collector itself measures the latency only when it is the
-	// target (otherwise the relay measured it).
-	target := p.Target
-	if target == "" {
-		target = c.self
-	}
-	c.isHost[target] = true
-	if len(recs) > 0 {
-		last := &recs[len(recs)-1]
-		c.learnEdge(prev, prevEgress, target, now)
-		c.learnEdge(target, 0, prev, now)
-		lat := p.LastHopLatency
-		if target == c.self {
-			lat = now - last.EgressTS
-		}
-		if lat > 0 {
-			c.updateDelay(edgeKey{prev, target}, lat, now)
-			c.updateDelay(edgeKey{target, prev}, lat, now)
-		}
-	} else {
-		// Direct host-to-host probe (no switches): origin adjacent to the
-		// target.
-		c.learnEdge(p.Origin, 0, target, now)
-		c.learnEdge(target, 0, p.Origin, now)
-	}
-	c.pathScratch = append(c.pathScratch, target)
-
-	// Live re-mapping: if this stream's hop sequence changed, the route
-	// underneath it moved. Edges only the old path used are put on
-	// accelerated aging so the map converges to the new route within a
-	// couple of queue windows instead of a full TTL.
-	meta := probeMeta{seq: p.Seq, at: now}
-	if old := c.lastProbe[key].path; old != nil && pathEqual(old, c.pathScratch) {
-		meta.path = old // unchanged: reuse, no allocation
-	} else {
-		if old != nil {
-			c.pathRemaps++
-			c.accelerateAgingLocked(old, c.pathScratch, now)
-		}
-		meta.path = append([]string(nil), c.pathScratch...)
-	}
-	c.lastProbe[key] = meta
+	sh := c.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	best, found, _ := windowedQueueMax(sh.queues[device][port], now, c.window())
+	return best, found
 }
 
-func pathEqual(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
+// LinkDelay returns the EWMA latency estimate for the directed link
+// from->to, and whether any measurement exists.
+func (c *Collector) LinkDelay(from, to string) (time.Duration, bool) {
+	sh := c.shardFor(from)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.linkDelay[edgeKey{from, to}]
+	if st == nil {
+		return 0, false
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return st.ewma, true
 }
 
-func (c *Collector) learnEdge(from string, port int, to string, now time.Duration) {
-	m := c.adj[from]
-	if m == nil {
-		m = make(map[int]string)
-		c.adj[from] = m
+// LinkJitter returns the standard deviation of latency samples for the
+// directed link from->to, and whether at least two samples exist.
+func (c *Collector) LinkJitter(from, to string) (time.Duration, bool) {
+	sh := c.shardFor(from)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.linkDelay[edgeKey{from, to}]
+	if st == nil || st.samples < 2 {
+		return 0, false
 	}
-	m[port] = to
-	c.adjSeen[edgeKey{from, to}] = now
-	delete(c.evicted, edgeKey{from, to})
-}
-
-// accelerateAgingLocked backdates the last-seen time of every directed edge
-// that the old hop sequence used and the new one does not, so those edges
-// expire within two queue windows of now (never extending an edge's life).
-// An edge still carrying some other stream's probes is rescued by its next
-// confirmation before the accelerated deadline hits.
-func (c *Collector) accelerateAgingLocked(oldPath, newPath []string, now time.Duration) {
-	ttl := c.adjTTLLocked()
-	if ttl <= 0 {
-		return
-	}
-	kept := make(map[edgeKey]bool, 2*len(newPath))
-	for i := 0; i+1 < len(newPath); i++ {
-		kept[edgeKey{newPath[i], newPath[i+1]}] = true
-		kept[edgeKey{newPath[i+1], newPath[i]}] = true
-	}
-	deadline := now - ttl + 2*c.cfg.QueueWindow
-	for i := 0; i+1 < len(oldPath); i++ {
-		for _, key := range [2]edgeKey{{oldPath[i], oldPath[i+1]}, {oldPath[i+1], oldPath[i]}} {
-			if kept[key] {
-				continue
-			}
-			if seen, ok := c.adjSeen[key]; ok && seen > deadline {
-				c.adjSeen[key] = deadline
-			}
-		}
-	}
-}
-
-// adjTTLLocked resolves the effective adjacency TTL: explicit, disabled, or
-// derived from the current queue window.
-func (c *Collector) adjTTLLocked() time.Duration {
-	if c.cfg.AdjacencyTTL < 0 {
-		return 0
-	}
-	if c.cfg.AdjacencyTTL > 0 {
-		return c.cfg.AdjacencyTTL
-	}
-	return DefaultAdjacencyWindows * c.cfg.QueueWindow
-}
-
-// pruneAdjLocked evicts every learned edge whose last confirmation is older
-// than the adjacency TTL, tombstoning it and notifying the eviction hook
-// with its probe silence (the failure-detection latency). Eviction order is
-// sorted for deterministic hook invocation. Measured link-delay history is
-// deliberately kept: if the edge comes back, its EWMA resumes from the last
-// known estimate instead of cold-starting.
-func (c *Collector) pruneAdjLocked(now time.Duration) (earliestDeadline time.Duration) {
-	earliestDeadline = neverExpires
-	ttl := c.adjTTLLocked()
-	if ttl <= 0 {
-		return earliestDeadline
-	}
-	cutoff := now - ttl
-	var expired []edgeKey
-	for key, seen := range c.adjSeen {
-		if seen <= cutoff {
-			expired = append(expired, key)
-		} else if d := seen + ttl; d < earliestDeadline {
-			earliestDeadline = d
-		}
-	}
-	sort.Slice(expired, func(i, j int) bool {
-		if expired[i].from != expired[j].from {
-			return expired[i].from < expired[j].from
-		}
-		return expired[i].to < expired[j].to
-	})
-	for _, key := range expired {
-		silence := now - c.adjSeen[key]
-		delete(c.adjSeen, key)
-		if ports := c.adj[key.from]; ports != nil {
-			for port, to := range ports {
-				if to == key.to {
-					delete(ports, port)
-				}
-			}
-			if len(ports) == 0 {
-				delete(c.adj, key.from)
-			}
-		}
-		c.adjEvictions++
-		c.evicted[key] = now
-		if c.onEviction != nil {
-			c.onEviction(key.from, key.to, silence)
-		}
-	}
-	return earliestDeadline
-}
-
-// SetEvictionHook installs a callback observing each adjacency eviction
-// (from, to, and the edge's probe silence at eviction — the detection
-// latency). Called with the collector lock held: the hook must not call
-// back into the collector.
-func (c *Collector) SetEvictionHook(fn func(from, to string, silence time.Duration)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.onEviction = fn
+	return st.jitter(), true
 }
 
 // EvictedEdge is a tombstoned adjacency: a link the collector learned and
@@ -564,11 +474,13 @@ type EvictedEdge struct {
 // clears when a probe relearns the edge.
 func (c *Collector) EvictedEdges() []EvictedEdge {
 	now := c.clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]EvictedEdge, 0, len(c.evicted))
-	for key, at := range c.evicted {
-		out = append(out, EvictedEdge{From: key.from, To: key.to, Since: now - at})
+	var out []EvictedEdge
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for key, at := range sh.evicted {
+			out = append(out, EvictedEdge{From: key.from, To: key.to, Since: now - at})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
@@ -577,113 +489,6 @@ func (c *Collector) EvictedEdges() []EvictedEdge {
 		return out[i].To < out[j].To
 	})
 	return out
-}
-
-func (c *Collector) updateDelay(k edgeKey, sample time.Duration, now time.Duration) {
-	if sample <= 0 {
-		return
-	}
-	st := c.linkDelay[k]
-	if st == nil {
-		st = &linkState{ewma: sample}
-		c.linkDelay[k] = st
-	} else {
-		a := c.cfg.DelayAlpha
-		st.ewma = time.Duration(a*float64(sample) + (1-a)*float64(st.ewma))
-	}
-	st.lastSample = sample
-	st.samples++
-	st.updatedAt = now
-	delta := float64(sample) - st.mean
-	st.mean += delta / float64(st.samples)
-	st.m2 += delta * (float64(sample) - st.mean)
-}
-
-// jitterLocked returns the sample standard deviation of link latency.
-func (st *linkState) jitterLocked() time.Duration {
-	if st.samples < 2 {
-		return 0
-	}
-	return time.Duration(math.Sqrt(st.m2 / float64(st.samples-1)))
-}
-
-// LinkJitter returns the standard deviation of latency samples for the
-// directed link from->to, and whether at least two samples exist.
-func (c *Collector) LinkJitter(from, to string) (time.Duration, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.linkDelay[edgeKey{from, to}]
-	if st == nil || st.samples < 2 {
-		return 0, false
-	}
-	return st.jitterLocked(), true
-}
-
-func (c *Collector) pruneQueuesLocked(device string, now time.Duration) {
-	cutoff := now - c.cfg.QueueWindow
-	for key, reports := range c.queues {
-		if key.device != device {
-			continue
-		}
-		i := 0
-		for i < len(reports) && reports[i].at < cutoff {
-			i++
-		}
-		if i > 0 {
-			c.queues[key] = append(reports[:0:0], reports[i:]...)
-		}
-	}
-}
-
-// MaxQueue returns the maximum queue occupancy reported for (device, port)
-// within the queue window, and whether any report exists in the window.
-func (c *Collector) MaxQueue(device string, port int) (int, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.maxQueueLocked(device, port, c.clock())
-}
-
-func (c *Collector) maxQueueLocked(device string, port int, now time.Duration) (int, bool) {
-	best, found, _ := c.windowedQueueMaxLocked(c.queues[portKey{device, port}], now)
-	return best, found
-}
-
-// windowedQueueMaxLocked scans one port's reports and returns the maximum
-// queue occupancy among in-window reports, whether any report is in the
-// window, and the earliest time an in-window report ages out of the window
-// (neverExpires if none) — the moment a cached snapshot built from these
-// reports must be rebuilt. It is the single definition of the queue-window
-// cutoff/boundary rule, shared by point lookups and snapshot builds.
-func (c *Collector) windowedQueueMaxLocked(reports []queueReport, now time.Duration) (best int, found bool, expireAt time.Duration) {
-	expireAt = neverExpires
-	cutoff := now - c.cfg.QueueWindow
-	for i := range reports {
-		if reports[i].at < cutoff {
-			continue
-		}
-		found = true
-		if reports[i].maxQueue > best {
-			best = reports[i].maxQueue
-		}
-		// This report stays in-window while now' <= at + window; the
-		// earliest such boundary is when cached results must be recomputed.
-		if e := reports[i].at + c.cfg.QueueWindow; e < expireAt {
-			expireAt = e
-		}
-	}
-	return best, found, expireAt
-}
-
-// LinkDelay returns the EWMA latency estimate for the directed link
-// from->to, and whether any measurement exists.
-func (c *Collector) LinkDelay(from, to string) (time.Duration, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.linkDelay[edgeKey{from, to}]
-	if st == nil {
-		return 0, false
-	}
-	return st.ewma, true
 }
 
 // CoverageReport describes telemetry freshness across known devices.
@@ -700,16 +505,18 @@ type CoverageReport struct {
 // Coverage reports which devices have fresh telemetry.
 func (c *Collector) Coverage() CoverageReport {
 	now := c.clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rep := CoverageReport{LastSeen: make(map[string]time.Duration, len(c.lastReport))}
-	for dev, at := range c.lastReport {
-		rep.LastSeen[dev] = at
-		if now-at <= c.cfg.StaleAfter {
-			rep.Fresh = append(rep.Fresh, dev)
-		} else {
-			rep.Stale = append(rep.Stale, dev)
+	rep := CoverageReport{LastSeen: make(map[string]time.Duration)}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for dev, at := range sh.lastReport {
+			rep.LastSeen[dev] = at
+			if now-at <= c.cfg.StaleAfter {
+				rep.Fresh = append(rep.Fresh, dev)
+			} else {
+				rep.Stale = append(rep.Stale, dev)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sortStrings(rep.Fresh)
 	sortStrings(rep.Stale)

@@ -1,0 +1,172 @@
+package collector
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shard is one partition of the collector's link-state database. Ownership
+// is by key, not by probe: the directed edge (from, to) — adjacency,
+// last-seen time, tombstone, delay EWMA, and rate override — lives in the
+// shard owning from; per-device state (queue reports, last-report time)
+// lives in the shard owning the device; host flags live in the shard owning
+// the node; probe-stream metadata lives in the shard owning the origin.
+// A probe that traverses several partitions therefore touches several
+// shards, and HandleProbe locks exactly the owners of the nodes on the hop
+// sequence (in ascending shard order) so concurrent probes through disjoint
+// partitions never contend.
+type shard struct {
+	// mu guards all owned link-state below (everything except the stream
+	// fields, which streamMu guards).
+	mu sync.Mutex
+
+	// adj maps device -> egress port -> neighbor for owned from-nodes.
+	adj map[string]map[int]string
+	// adjSeen maps each owned directed edge to its last confirmation time.
+	adjSeen map[edgeKey]time.Duration
+	// evicted tombstones owned edges removed by aging.
+	evicted map[edgeKey]time.Duration
+	// isHost marks owned nodes known to be hosts.
+	isHost map[string]bool
+	// linkDelay and linkRate hold per-edge measurement state for owned
+	// edges (keyed by the edge's from node).
+	linkDelay map[edgeKey]*linkState
+	linkRate  map[edgeKey]int64
+	// queues holds per-device, per-port queue reports for owned devices;
+	// keying by device first keeps per-record pruning proportional to one
+	// device's ports, not the whole fabric's.
+	queues map[string]map[int][]queueReport
+	// lastReport maps owned devices to their last INT record time.
+	lastReport map[string]time.Duration
+	// onEviction observes adjacency evictions of owned edges.
+	onEviction   func(from, to string, silence time.Duration)
+	adjEvictions uint64
+
+	// epoch versions this shard's owned state. Bumped (under mu) on every
+	// accepted probe touching the shard, on configuration changes, and on
+	// expiry-triggered view rebuilds. The collector's composite epoch
+	// vector is the per-shard epochs side by side.
+	epoch atomic.Uint64
+	// view is the shard's cached immutable state view, rebuilt lazily when
+	// the epoch moves or the view expires (see snapshot.go).
+	view atomic.Pointer[shardView]
+
+	// streamMu guards probe-stream state for origins owned by this shard.
+	// It is always acquired before any shard's mu and never while holding
+	// one, and HandleProbe holds at most one streamMu, so the two-level
+	// locking cannot deadlock.
+	streamMu sync.Mutex
+	streams  map[probeKey]probeMeta
+	// pathScratch and lockScratch are reusable HandleProbe buffers,
+	// guarded by streamMu (one probe per origin shard at a time).
+	pathScratch []string
+	lockScratch []int
+}
+
+func newShard() *shard {
+	return &shard{
+		adj:        make(map[string]map[int]string),
+		adjSeen:    make(map[edgeKey]time.Duration),
+		evicted:    make(map[edgeKey]time.Duration),
+		isHost:     make(map[string]bool),
+		linkDelay:  make(map[edgeKey]*linkState),
+		linkRate:   make(map[edgeKey]int64),
+		queues:     make(map[string]map[int][]queueReport),
+		lastReport: make(map[string]time.Duration),
+		streams:    make(map[probeKey]probeMeta),
+	}
+}
+
+// learnEdgeLocked records the directed adjacency from --(port)--> to.
+func (sh *shard) learnEdgeLocked(from string, port int, to string, now time.Duration) {
+	m := sh.adj[from]
+	if m == nil {
+		m = make(map[int]string)
+		sh.adj[from] = m
+	}
+	m[port] = to
+	sh.adjSeen[edgeKey{from, to}] = now
+	delete(sh.evicted, edgeKey{from, to})
+}
+
+// updateDelayLocked folds one latency sample into the edge's EWMA and
+// Welford jitter accumulators.
+func (sh *shard) updateDelayLocked(k edgeKey, sample time.Duration, now time.Duration, alpha float64) {
+	if sample <= 0 {
+		return
+	}
+	st := sh.linkDelay[k]
+	if st == nil {
+		st = &linkState{ewma: sample}
+		sh.linkDelay[k] = st
+	} else {
+		st.ewma = time.Duration(alpha*float64(sample) + (1-alpha)*float64(st.ewma))
+	}
+	st.lastSample = sample
+	st.samples++
+	st.updatedAt = now
+	delta := float64(sample) - st.mean
+	st.mean += delta / float64(st.samples)
+	st.m2 += delta * (float64(sample) - st.mean)
+}
+
+// pruneQueuesLocked drops queue reports of one device that aged out of the
+// queue window.
+func (sh *shard) pruneQueuesLocked(device string, now, window time.Duration) {
+	cutoff := now - window
+	for port, reports := range sh.queues[device] {
+		i := 0
+		for i < len(reports) && reports[i].at < cutoff {
+			i++
+		}
+		if i > 0 {
+			sh.queues[device][port] = append(reports[:0:0], reports[i:]...)
+		}
+	}
+}
+
+// windowedQueueMax scans one port's reports and returns the maximum queue
+// occupancy among in-window reports, whether any report is in the window,
+// and the earliest time an in-window report ages out (neverExpires if none)
+// — the moment a cached view built from these reports must be rebuilt. It is
+// the single definition of the queue-window cutoff/boundary rule, shared by
+// point lookups and view builds.
+func windowedQueueMax(reports []queueReport, now, window time.Duration) (best int, found bool, expireAt time.Duration) {
+	expireAt = neverExpires
+	cutoff := now - window
+	for i := range reports {
+		if reports[i].at < cutoff {
+			continue
+		}
+		found = true
+		if reports[i].maxQueue > best {
+			best = reports[i].maxQueue
+		}
+		if e := reports[i].at + window; e < expireAt {
+			expireAt = e
+		}
+	}
+	return best, found, expireAt
+}
+
+type linkState struct {
+	ewma       time.Duration
+	lastSample time.Duration
+	samples    uint64
+	updatedAt  time.Duration
+	// Welford accumulators for jitter (sample standard deviation); the
+	// paper probes link latency periodically precisely "to capture jitter
+	// characteristics".
+	mean float64
+	m2   float64
+}
+
+// jitter returns the sample standard deviation of link latency.
+func (st *linkState) jitter() time.Duration {
+	if st.samples < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(st.m2 / float64(st.samples-1)))
+}

@@ -1,0 +1,297 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"intsched/internal/telemetry"
+)
+
+// Tests for the sharded link-state database: composite epoch vector
+// isolation, sharded/single-shard content equivalence, and concurrent
+// cross-shard ingest under the race detector.
+
+// twoPartition maps the "a-side" nodes (n1, s1, sched) to shard 0 and the
+// "b-side" nodes (n2, s2, m2) to shard 1.
+func twoPartition(node string) int {
+	switch node {
+	case "n2", "s2", "m2":
+		return 1
+	}
+	return 0
+}
+
+// TestCompositeEpochVectorIsolation: a link evict/restore confined to one
+// partition must move only that shard's epoch vector entry.
+func TestCompositeEpochVectorIsolation(t *testing.T) {
+	clk := &fakeClock{now: time.Second}
+	c := New("sched", clk.Now, Config{
+		QueueWindow: 200 * time.Millisecond, // derived TTL: 1 s
+		Shards:      2,
+		Partition:   twoPartition,
+	})
+	// Stream A stays inside shard 0 (n1 -> s1 -> sched); stream B stays
+	// inside shard 1 (n2 -> s2 -> m2, a relayed coverage probe).
+	probeA := func(seq uint64) {
+		c.HandleProbe(probeFrom("n1", seq, 5*time.Millisecond,
+			devSpec{id: "s1", in: 0, out: 1, egressTS: clk.now}))
+	}
+	probeB := func(seq uint64) {
+		p := probeFrom("n2", seq, 5*time.Millisecond,
+			devSpec{id: "s2", in: 0, out: 1, egressTS: clk.now})
+		p.Target = "m2"
+		p.LastHopLatency = 3 * time.Millisecond
+		c.HandleProbe(p)
+	}
+	probeA(1)
+	probeB(1)
+
+	// A probe confined to shard 1 moves only vector entry 1.
+	before := c.EpochVector()
+	clk.now += 100 * time.Millisecond
+	probeB(2)
+	after := c.EpochVector()
+	if after[0] != before[0] {
+		t.Fatalf("shard-1 probe moved shard-0 epoch: %v -> %v", before, after)
+	}
+	if after[1] != before[1]+1 {
+		t.Fatalf("shard-1 probe epoch delta: %v -> %v", before, after)
+	}
+
+	// Keep stream A alive, let stream B go silent past its TTL. The
+	// eviction rides shard 1's expiry-triggered view rebuild; shard 0's
+	// view rebuilds too (stream A advanced its epoch) but must not take
+	// an extra expiry bump.
+	clk.now += 300 * time.Millisecond // 1.4s
+	probeA(2)
+	c.Snapshot() // cache both shard views at the current epochs
+	before = c.EpochVector()
+	clk.now += 750 * time.Millisecond // 2.15s: B's edges (seen 1.1s) are past TTL
+	topo := c.Snapshot()
+	after = c.EpochVector()
+	if after[0] != before[0] {
+		t.Fatalf("shard-1 eviction moved shard-0 epoch: %v -> %v", before, after)
+	}
+	if after[1] != before[1]+1 {
+		t.Fatalf("eviction epoch delta on shard 1: %v -> %v", before, after)
+	}
+	if _, err := topo.Path("n2", "m2"); err == nil {
+		t.Fatal("evicted branch still routable")
+	}
+	if _, err := topo.Path("n1", "sched"); err != nil {
+		t.Fatalf("live branch lost: %v", err)
+	}
+	if got := topo.EpochVector(); !vectorEqual(got, after) {
+		t.Fatalf("snapshot vector %v, collector vector %v", got, after)
+	}
+
+	// Restore: relearning the branch is again confined to shard 1.
+	before = after
+	probeB(3)
+	after = c.EpochVector()
+	if after[0] != before[0] || after[1] != before[1]+1 {
+		t.Fatalf("restore epoch delta: %v -> %v", before, after)
+	}
+	if _, err := c.Snapshot().Path("n2", "m2"); err != nil {
+		t.Fatalf("restored branch unroutable: %v", err)
+	}
+}
+
+// feedScript drives one collector through a scripted mix of probes, queue
+// reports, remaps, config changes, and aging, using its own clock.
+func feedScript(c *Collector, clk *fakeClock) {
+	probe := func(origin string, seq uint64, lat time.Duration, devs ...devSpec) {
+		c.HandleProbe(probeFrom(origin, seq, lat, devs...))
+	}
+	probe("n1", 1, 10*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 2, 2: 8}, egressTS: clk.now},
+		devSpec{id: "s2", in: 0, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 0, out: 2, egressTS: clk.now})
+	clk.now += 10 * time.Millisecond
+	probe("n1", 2, 10*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 2, queues: map[int]int{1: 3}, egressTS: clk.now},
+		devSpec{id: "s3", in: 0, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 1, out: 2, egressTS: clk.now})
+	clk.now += 10 * time.Millisecond
+	probe("n2", 1, 7*time.Millisecond,
+		devSpec{id: "s3", in: 2, out: 1, queues: map[int]int{1: 5}, egressTS: clk.now},
+		devSpec{id: "s4", in: 1, out: 2, egressTS: clk.now})
+	c.SetLinkRate("n1", "s1", 100_000_000)
+	// Remap stream n2 onto s2 and let the abandoned s3 edges age out.
+	clk.now += 100 * time.Millisecond
+	probe("n2", 2, 7*time.Millisecond,
+		devSpec{id: "s2", in: 2, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 0, out: 2, egressTS: clk.now})
+	clk.now += 450 * time.Millisecond
+	probe("n1", 3, 12*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 6}, egressTS: clk.now},
+		devSpec{id: "s2", in: 0, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 0, out: 2, egressTS: clk.now})
+	probe("n2", 3, 7*time.Millisecond,
+		devSpec{id: "s2", in: 2, out: 1, egressTS: clk.now},
+		devSpec{id: "s4", in: 0, out: 2, egressTS: clk.now})
+}
+
+// TestShardedSnapshotMatchesSingleShard: the same probe script must produce
+// content-identical snapshots at any shard count — sharding is a
+// concurrency/invalidations structure, never a semantic one.
+func TestShardedSnapshotMatchesSingleShard(t *testing.T) {
+	build := func(shards int) *Topology {
+		clk := &fakeClock{now: time.Second}
+		c := New("sched", clk.Now, Config{QueueWindow: 200 * time.Millisecond, Shards: shards})
+		feedScript(c, clk)
+		return c.Snapshot()
+	}
+	ref := build(1)
+	for _, shards := range []int{2, 3, 8} {
+		got := build(shards)
+		if !stringsEqual(ref.Nodes, got.Nodes) {
+			t.Fatalf("shards=%d nodes %v != %v", shards, got.Nodes, ref.Nodes)
+		}
+		if !stringsEqual(ref.Hosts(), got.Hosts()) {
+			t.Fatalf("shards=%d hosts %v != %v", shards, got.Hosts(), ref.Hosts())
+		}
+		for _, a := range ref.Nodes {
+			if !stringsEqual(ref.Neighbors(a), got.Neighbors(a)) {
+				t.Fatalf("shards=%d neighbors(%s) %v != %v", shards, a, got.Neighbors(a), ref.Neighbors(a))
+			}
+			for _, b := range ref.Nodes {
+				rd, rok := ref.LinkDelay(a, b)
+				gd, gok := got.LinkDelay(a, b)
+				if rd != gd || rok != gok {
+					t.Fatalf("shards=%d delay(%s,%s) %v,%v != %v,%v", shards, a, b, gd, gok, rd, rok)
+				}
+				if ref.LinkJitter(a, b) != got.LinkJitter(a, b) {
+					t.Fatalf("shards=%d jitter(%s,%s) differs", shards, a, b)
+				}
+				if ref.LinkRate(a, b) != got.LinkRate(a, b) {
+					t.Fatalf("shards=%d rate(%s,%s) differs", shards, a, b)
+				}
+				rq, rok2 := ref.QueueMax(a, b)
+				gq, gok2 := got.QueueMax(a, b)
+				if rq != gq || rok2 != gok2 {
+					t.Fatalf("shards=%d queue(%s,%s) %d,%v != %d,%v", shards, a, b, gq, gok2, rq, rok2)
+				}
+				rp, rerr := ref.Path(a, b)
+				gp, gerr := got.Path(a, b)
+				if (rerr == nil) != (gerr == nil) || (rerr == nil && !stringsEqual(rp, gp)) {
+					t.Fatalf("shards=%d path(%s,%s) %v,%v != %v,%v", shards, a, b, gp, gerr, rp, rerr)
+				}
+			}
+		}
+	}
+}
+
+// TestShardMergeRaceUnderConcurrentIngest: cross-shard probes from many
+// goroutines while readers snapshot, walk paths, and read every reporting
+// surface. Run under -race (the CI pool-race job does).
+func TestShardMergeRaceUnderConcurrentIngest(t *testing.T) {
+	var nowNs atomic.Int64
+	nowNs.Store(int64(time.Second))
+	c := New("sched", func() time.Duration { return time.Duration(nowNs.Load()) },
+		Config{QueueWindow: 200 * time.Millisecond, Shards: 4})
+	now := func() time.Duration { return time.Duration(nowNs.Load()) }
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			origin := fmt.Sprintf("n%d", w)
+			// All writers traverse the shared core s0, so lock sets
+			// constantly cross shards.
+			for i := 0; i < 300; i++ {
+				nowNs.Add(int64(time.Millisecond))
+				c.HandleProbe(probeFrom(origin, uint64(i+1), 5*time.Millisecond,
+					devSpec{id: fmt.Sprintf("s%d", w+1), in: 0, out: 1, queues: map[int]int{1: i % 7}, egressTS: now()},
+					devSpec{id: "s0", in: w, out: 9, egressTS: now()}))
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				topo := c.Snapshot()
+				for _, h := range topo.Hosts() {
+					if h == "sched" {
+						continue
+					}
+					_, _ = topo.Path(h, "sched")
+				}
+				topo.QueueMax("s0", "sched")
+				topo.EpochVector()
+				c.Stats()
+				c.EvictedEdges()
+				c.ProbeStreams()
+				c.Coverage()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	topo := c.Snapshot()
+	for w := 0; w < writers; w++ {
+		if _, err := topo.Path(fmt.Sprintf("n%d", w), "sched"); err != nil {
+			t.Fatalf("writer %d path: %v", w, err)
+		}
+	}
+	if got := c.Stats().ProbesReceived; got != writers*300 {
+		t.Fatalf("probes received %d, want %d", got, writers*300)
+	}
+}
+
+// TestAsyncIngestWorkers: the per-shard ingest queues must preserve stream
+// order, clone payloads (callers reuse them), and count drops instead of
+// blocking when a queue fills.
+func TestAsyncIngestWorkers(t *testing.T) {
+	var nowNs atomic.Int64
+	nowNs.Store(int64(time.Second))
+	c := New("sched", func() time.Duration { return time.Duration(nowNs.Load()) },
+		Config{QueueWindow: time.Hour, Shards: 2})
+	c.StartIngestWorkers(64)
+
+	// Reuse one payload object across sends, as the live datagram loop does.
+	var reused telemetry.ProbePayload
+	for i := 0; i < 50; i++ {
+		reused = telemetry.ProbePayload{Origin: "n1", Seq: uint64(i + 1)}
+		reused.Stack.Append(telemetry.Record{Device: "s1", EgressPort: 1,
+			LinkLatency: 5 * time.Millisecond,
+			Queues:      []telemetry.PortQueue{{Port: 1, MaxQueue: i, Packets: 1}}})
+		c.EnqueueProbe(&reused)
+	}
+	c.StopIngestWorkers()
+	if got := c.Stats().ProbesReceived; got != 50 {
+		t.Fatalf("async ingest received %d, want 50", got)
+	}
+	if got := c.Stats().ProbesOutOfOrder; got != 0 {
+		t.Fatalf("async ingest reordered a single stream: %d", got)
+	}
+	if q, ok := c.MaxQueue("s1", 1); !ok || q != 49 {
+		t.Fatalf("windowed max %d,%v want 49 (payload clone corrupted?)", q, ok)
+	}
+	// After StopIngestWorkers, EnqueueProbe falls back to synchronous.
+	p := telemetry.ProbePayload{Origin: "n1", Seq: 51}
+	p.Stack.Append(telemetry.Record{Device: "s1", EgressPort: 1, LinkLatency: time.Millisecond})
+	if !c.EnqueueProbe(&p) {
+		t.Fatal("synchronous fallback dropped a probe")
+	}
+	if got := c.Stats().ProbesReceived; got != 51 {
+		t.Fatalf("fallback not ingested: %d", got)
+	}
+}

@@ -1,0 +1,302 @@
+package collector
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Snapshot construction. Each shard lazily materializes an immutable
+// shardView of its owned state, cached per shard and rebuilt only when that
+// shard's epoch moved or the view expired (a queue report aged out of the
+// window, or an adjacency hit its TTL). The global Snapshot() is a
+// merge-on-read: it composes the per-shard views into one Topology, copying
+// only the merged node/host index (the heavy per-edge maps stay inside the
+// views and lookups delegate to the owning view). A snapshot is versioned
+// by the composite epoch vector — one counter per shard — so a mutation in
+// one partition invalidates only that shard's view; the other shards' views
+// are reused as-is.
+
+// neverExpires marks views with no in-window queue reports and no adjacency
+// deadline; they stay valid until the epoch advances.
+const neverExpires = time.Duration(math.MaxInt64)
+
+// shardView is one shard's immutable state view.
+type shardView struct {
+	// epoch is the shard epoch the view was built at.
+	epoch uint64
+	// expireAt is the earliest time the view goes stale without new probes
+	// (queue-report or adjacency-TTL expiry; neverExpires if none).
+	expireAt time.Duration
+	// present lists every node appearing in the shard's owned adjacency
+	// (from- and to-sides), sorted.
+	present []string
+	// neighbors maps owned from-nodes to their sorted neighbor IDs.
+	neighbors map[string][]string
+	// egressPort maps owned (from, to) -> from's egress port toward to.
+	egressPort map[edgeKey]int
+	// linkDelay / linkJitter map owned (from, to) -> latency estimate and
+	// latency standard deviation.
+	linkDelay  map[edgeKey]time.Duration
+	linkJitter map[edgeKey]time.Duration
+	// queueMax / queueSeen map owned (device, port) -> windowed max queue
+	// occupancy and report presence.
+	queueMax  map[portKey]int
+	queueSeen map[portKey]bool
+	// linkRate maps owned (from, to) -> configured capacity in bps.
+	linkRate map[edgeKey]int64
+	// hostList lists owned hosts, sorted.
+	hostList []string
+}
+
+// mergedSnap is the atomically published merged snapshot together with its
+// validity bounds.
+type mergedSnap struct {
+	topo     *Topology
+	vector   []uint64
+	expireAt time.Duration
+}
+
+// Snapshot returns the current learned topology and link state. The
+// returned Topology is immutable and shared: repeated calls return the
+// identical pointer until a state-mutating probe/report advances some
+// shard's epoch. An in-window queue report or adjacency aging out also
+// triggers a rebuild of the affected shard's view — the windowed maxima or
+// adjacency changed without a new probe — and advances that shard's epoch
+// itself, so a rebuilt snapshot is never published under the epoch vector
+// of a superseded one. The fast path is lock-free, so any number of
+// concurrent readers can query while probes are being ingested.
+func (c *Collector) Snapshot() *Topology {
+	now := c.clock()
+	if c.noSnapCache.Load() {
+		return c.buildUncached(now)
+	}
+	if s := c.snap.Load(); s != nil && now <= s.expireAt && c.vectorCurrent(s.vector) {
+		return s.topo
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	views := make([]*shardView, len(c.shards))
+	vector := make([]uint64, len(c.shards))
+	expireAt := neverExpires
+	for i, sh := range c.shards {
+		v := sh.freshView(c, now)
+		views[i] = v
+		vector[i] = v.epoch
+		if v.expireAt < expireAt {
+			expireAt = v.expireAt
+		}
+	}
+	// Double-check under the lock: another goroutine may have merged the
+	// same vector already.
+	if s := c.snap.Load(); s != nil && vectorEqual(s.vector, vector) {
+		return s.topo
+	}
+	topo := c.merge(views, vector, now, c.spt)
+	c.snap.Store(&mergedSnap{topo: topo, vector: vector, expireAt: expireAt})
+	return topo
+}
+
+// buildUncached rebuilds fresh per-shard views and a fresh merged Topology
+// on every call (the pre-caching behavior; see SetSnapshotCaching). Expiry
+// does not advance epochs in this mode, and path trees are memoized per
+// returned Topology rather than in the shared incremental store.
+func (c *Collector) buildUncached(now time.Duration) *Topology {
+	views := make([]*shardView, len(c.shards))
+	vector := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		views[i] = sh.buildViewLocked(c, now, sh.epoch.Load())
+		sh.mu.Unlock()
+		vector[i] = views[i].epoch
+	}
+	return c.merge(views, vector, now, nil)
+}
+
+// vectorCurrent reports whether vec matches every shard's live epoch.
+func (c *Collector) vectorCurrent(vec []uint64) bool {
+	for i, sh := range c.shards {
+		if sh.epoch.Load() != vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func vectorEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// freshView returns the shard's current view, rebuilding it if the shard's
+// epoch moved or the cached view expired. An expiry-only rebuild (queue
+// report aged out, adjacency TTL hit, with no probe in between) advances
+// the shard's epoch so the rebuilt view is distinguishable from the expired
+// one and epoch-keyed caches downstream (core.RankCache) invalidate instead
+// of serving rankings computed from the stale state.
+func (sh *shard) freshView(c *Collector, now time.Duration) *shardView {
+	if v := sh.view.Load(); v != nil && v.epoch == sh.epoch.Load() && now <= v.expireAt {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	epoch := sh.epoch.Load()
+	if v := sh.view.Load(); v != nil && v.epoch == epoch {
+		if now <= v.expireAt {
+			return v
+		}
+		epoch = sh.epoch.Add(1)
+	}
+	v := sh.buildViewLocked(c, now, epoch)
+	sh.view.Store(v)
+	return v
+}
+
+// buildViewLocked deep-copies the shard's owned state into a fresh
+// immutable view. Aged-out adjacencies are evicted here, right before the
+// copy, so an eviction becomes visible exactly when a view is (re)built —
+// and because expiry-triggered rebuilds advance the shard epoch (see
+// freshView), a post-eviction view is never published under a pre-eviction
+// epoch.
+func (sh *shard) buildViewLocked(c *Collector, now time.Duration, epoch uint64) *shardView {
+	window := c.window()
+	adjDeadline := sh.pruneAdjLocked(now, c.adjTTL())
+	v := &shardView{
+		epoch:      epoch,
+		neighbors:  make(map[string][]string, len(sh.adj)),
+		egressPort: make(map[edgeKey]int),
+		linkDelay:  make(map[edgeKey]time.Duration, len(sh.linkDelay)),
+		linkJitter: make(map[edgeKey]time.Duration, len(sh.linkDelay)),
+		queueMax:   make(map[portKey]int),
+		queueSeen:  make(map[portKey]bool),
+		linkRate:   make(map[edgeKey]int64, len(sh.linkRate)),
+	}
+	nodeSet := make(map[string]bool)
+	for from, ports := range sh.adj {
+		nodeSet[from] = true
+		seen := make(map[string]bool)
+		for port, to := range ports {
+			nodeSet[to] = true
+			v.egressPort[edgeKey{from, to}] = port
+			if !seen[to] {
+				seen[to] = true
+				v.neighbors[from] = append(v.neighbors[from], to)
+			}
+		}
+	}
+	for n := range nodeSet {
+		v.present = append(v.present, n)
+		sort.Strings(v.neighbors[n])
+	}
+	sort.Strings(v.present)
+	for h := range sh.isHost {
+		v.hostList = append(v.hostList, h)
+	}
+	sort.Strings(v.hostList)
+	for k, st := range sh.linkDelay {
+		v.linkDelay[k] = st.ewma
+		v.linkJitter[k] = st.jitter()
+	}
+	for k, rate := range sh.linkRate {
+		v.linkRate[k] = rate
+	}
+	expireAt := adjDeadline
+	for dev, ports := range sh.queues {
+		for port, reports := range ports {
+			best, found, exp := windowedQueueMax(reports, now, window)
+			if exp < expireAt {
+				expireAt = exp
+			}
+			if found {
+				v.queueMax[portKey{dev, port}] = best
+				v.queueSeen[portKey{dev, port}] = true
+			}
+		}
+	}
+	v.expireAt = expireAt
+	return v
+}
+
+// merge composes per-shard views into one immutable Topology: the merged
+// sorted node/host index plus the neighbor index arrays the path trees run
+// on. Per-edge and per-port state is not copied — lookups delegate to the
+// owning shard's view. When store is non-nil the merged structure is
+// registered with the incremental SPT store (diffed against the previous
+// merge to version path trees); nil keeps trees private to the snapshot.
+func (c *Collector) merge(views []*shardView, vector []uint64, now time.Duration, store *sptStore) *Topology {
+	total, hostTotal := 0, 0
+	for _, v := range views {
+		total += len(v.present)
+		hostTotal += len(v.hostList)
+	}
+	nodes := make([]string, 0, total)
+	hosts := make([]string, 0, hostTotal)
+	for _, v := range views {
+		nodes = append(nodes, v.present...)
+		hosts = append(hosts, v.hostList...)
+	}
+	sort.Strings(nodes)
+	nodes = dedupSorted(nodes)
+	sort.Strings(hosts)
+	hosts = dedupSorted(hosts)
+
+	t := &Topology{
+		Nodes:       nodes,
+		hostList:    hosts,
+		views:       views,
+		shardOf:     c.shardOf,
+		defaultRate: c.cfg.DefaultLinkRateBps,
+		TakenAt:     now,
+		vector:      vector,
+		store:       store,
+	}
+	for _, e := range vector {
+		t.epoch += e
+	}
+	t.nodeIndex = make(map[string]int32, len(nodes))
+	for i, n := range nodes {
+		t.nodeIndex[n] = int32(i)
+	}
+	t.nbrIdx = make([][]int32, len(nodes))
+	t.hostFlag = make([]bool, len(nodes))
+	for i, n := range nodes {
+		t.hostFlag[i] = containsSorted(hosts, n)
+		ns := views[c.shardOf(n)].neighbors[n]
+		if len(ns) == 0 {
+			continue
+		}
+		row := make([]int32, len(ns))
+		for j, nb := range ns {
+			row[j] = t.nodeIndex[nb]
+		}
+		t.nbrIdx[i] = row
+	}
+	if store != nil {
+		t.seq = store.advance(nodes, t.nbrIdx, t.hostFlag)
+	}
+	return t
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice, in place.
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether sorted xs contains x.
+func containsSorted(xs []string, x string) bool {
+	i := sort.SearchStrings(xs, x)
+	return i < len(xs) && xs[i] == x
+}

@@ -1,0 +1,310 @@
+package collector
+
+import "sync"
+
+// Incremental shortest-path-tree maintenance. The historical collector
+// memoized one BFS tree per destination inside each snapshot, so every
+// epoch advance — even a single flapped link — threw away every
+// destination's tree. The sptStore versions the merged topology structure
+// with a sequence number and a bounded delta log of edge additions/removals
+// between consecutive merges; a cached destination tree whose sequence lags
+// the current structure is caught up in place when no logged delta can
+// affect it (the common case: a link flap in one partition leaves the vast
+// majority of destination trees provably intact) and rebuilt from scratch
+// only when a delta actually touches it.
+//
+// Trees are index-based: node i is Nodes[i] of the merged snapshot, and
+// because the merged node list is sorted, index order equals lexicographic
+// order, preserving the deterministic BFS tie-break rule shared with
+// netsim.ComputeRoutes. The delta classifier's soundness rests on that BFS:
+//
+//   - a removed directed edge (u, v) can only change the tree toward dst if
+//     it was v's discovery edge (next[v] == u): any other edge into v loses
+//     the first-discoverer race, so deleting it replays identically;
+//   - an added directed edge (u, v) cannot change the tree if u is
+//     unreachable (BFS never expands u), if u is a non-destination host
+//     (hosts are discovered but never expanded), or if dist[v] <= dist[u]
+//     (v is already visited by the time u expands — the level barrier);
+//     otherwise (dist[v] > dist[u], or v unreachable) the tree is
+//     conservatively rebuilt, which also covers same-level parent-order
+//     changes.
+//
+// A change to the node set or host flags shifts indices or expansion rules,
+// so it conservatively clears every cached tree.
+
+// sptDeltaLogCap bounds the delta log; trees lagging further behind than
+// the log reaches are rebuilt.
+const sptDeltaLogCap = 64
+
+type sptEdge struct{ u, v int32 }
+
+type sptDelta struct {
+	seq uint64
+	// nodesChanged marks a merge where the node list or host flags
+	// changed; added/removed are empty then (indices are not comparable).
+	nodesChanged   bool
+	added, removed []sptEdge
+}
+
+// destTree is the BFS shortest-path tree toward one destination, indexed by
+// merged node index: next[i] is the next hop of node i toward the
+// destination (-1 when unreachable), dist[i] the hop count (-1 when
+// unreachable).
+type destTree struct {
+	seq  uint64
+	next []int32
+	dist []int32
+}
+
+// sptStore versions merged topology structure and caches per-destination
+// trees across snapshots.
+type sptStore struct {
+	mu  sync.RWMutex
+	seq uint64
+	// prev* hold the structure of the latest merge, for diffing.
+	prevNodes []string
+	prevNbr   [][]int32
+	prevHost  []bool
+	// deltas is the recent history, ascending by seq.
+	deltas []sptDelta
+	trees  map[string]*destTree
+}
+
+func newSPTStore() *sptStore {
+	return &sptStore{trees: make(map[string]*destTree)}
+}
+
+// advance registers the structure of a fresh merge and returns its sequence
+// number. Identical structure keeps the current sequence (trees stay valid
+// as-is); a changed neighbor structure appends a delta; a changed node list
+// or host-flag set clears all cached trees.
+func (s *sptStore) advance(nodes []string, nbr [][]int32, hostFlag []bool) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prevNodes == nil && s.seq == 0 {
+		s.seq = 1
+		s.prevNodes, s.prevNbr, s.prevHost = nodes, nbr, hostFlag
+		return s.seq
+	}
+	nodesChanged := !stringsEqual(s.prevNodes, nodes) || !boolsEqual(s.prevHost, hostFlag)
+	var added, removed []sptEdge
+	if !nodesChanged {
+		for i := range nbr {
+			a, r := diffSortedEdges(int32(i), s.prevNbr[i], nbr[i])
+			added = append(added, a...)
+			removed = append(removed, r...)
+		}
+		if len(added) == 0 && len(removed) == 0 {
+			return s.seq // structure unchanged: same sequence, trees valid
+		}
+	}
+	s.seq++
+	s.prevNodes, s.prevNbr, s.prevHost = nodes, nbr, hostFlag
+	if nodesChanged {
+		s.trees = make(map[string]*destTree)
+		s.deltas = s.deltas[:0]
+		s.deltas = append(s.deltas, sptDelta{seq: s.seq, nodesChanged: true})
+		return s.seq
+	}
+	s.deltas = append(s.deltas, sptDelta{seq: s.seq, added: added, removed: removed})
+	if len(s.deltas) > sptDeltaLogCap {
+		s.deltas = append(s.deltas[:0:0], s.deltas[len(s.deltas)-sptDeltaLogCap:]...)
+	}
+	return s.seq
+}
+
+// diffSortedEdges diffs two ascending neighbor rows of node u into added
+// and removed directed edges (u, v).
+func diffSortedEdges(u int32, old, cur []int32) (added, removed []sptEdge) {
+	i, j := 0, 0
+	for i < len(old) || j < len(cur) {
+		switch {
+		case i == len(old):
+			added = append(added, sptEdge{u, cur[j]})
+			j++
+		case j == len(cur):
+			removed = append(removed, sptEdge{u, old[i]})
+			i++
+		case old[i] == cur[j]:
+			i++
+			j++
+		case old[i] < cur[j]:
+			removed = append(removed, sptEdge{u, old[i]})
+			i++
+		default:
+			added = append(added, sptEdge{u, cur[j]})
+			j++
+		}
+	}
+	return added, removed
+}
+
+// treeFor returns the shortest-path tree toward dst for topology t, using
+// the shared store when t is the store's current structure (catching up or
+// rebuilding the cached tree as the delta log dictates) and a per-topology
+// scratch memo otherwise (superseded snapshots keep working, they just
+// don't share). Returns nil when dst is unknown.
+func (t *Topology) treeFor(dst string) *destTree {
+	idst, ok := t.nodeIndex[dst]
+	if !ok {
+		return nil
+	}
+	if s := t.store; s != nil {
+		s.mu.RLock()
+		if s.seq == t.seq {
+			if tree := s.trees[dst]; tree != nil && tree.seq == t.seq {
+				s.mu.RUnlock()
+				return tree
+			}
+		}
+		s.mu.RUnlock()
+		s.mu.Lock()
+		if s.seq == t.seq {
+			tree := s.trees[dst]
+			if tree != nil && tree.seq != t.seq {
+				if s.catchUpLocked(tree, t, idst) {
+					tree.seq = t.seq
+				} else {
+					tree = nil
+				}
+			}
+			if tree == nil {
+				tree = buildDestTree(t, idst)
+				tree.seq = t.seq
+				s.trees[dst] = tree
+			}
+			s.mu.Unlock()
+			return tree
+		}
+		s.mu.Unlock()
+		// The store advanced past this snapshot: fall through to scratch.
+	}
+	return t.scratchTree(dst, idst)
+}
+
+// catchUpLocked reports whether tree (built at tree.seq against the same
+// node ordering) is provably unaffected by every delta in
+// (tree.seq, t.seq]. Deltas outside the log, node-set changes, and any
+// possibly-affecting edge change all return false (rebuild).
+func (s *sptStore) catchUpLocked(tree *destTree, t *Topology, idst int32) bool {
+	if tree.seq > t.seq {
+		return false
+	}
+	// The log must cover every sequence in (tree.seq, t.seq].
+	for want := tree.seq + 1; want <= t.seq; want++ {
+		d, ok := s.deltaLocked(want)
+		if !ok || d.nodesChanged {
+			return false
+		}
+		if sptDeltaAffects(d, tree, t.hostFlag, idst) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sptStore) deltaLocked(seq uint64) (*sptDelta, bool) {
+	if len(s.deltas) == 0 {
+		return nil, false
+	}
+	first := s.deltas[0].seq
+	if seq < first || seq > s.deltas[len(s.deltas)-1].seq {
+		return nil, false
+	}
+	return &s.deltas[seq-first], true
+}
+
+// sptDeltaAffects applies the soundness rules from the package comment.
+func sptDeltaAffects(d *sptDelta, tree *destTree, hostFlag []bool, idst int32) bool {
+	for _, e := range d.removed {
+		if tree.next[e.v] == e.u {
+			return true // discovery edge of v toward dst: tree invalid
+		}
+	}
+	for _, e := range d.added {
+		if tree.dist[e.u] == -1 {
+			continue // u unreachable: BFS never expands it
+		}
+		if hostFlag[e.u] && e.u != idst {
+			continue // non-destination hosts are never expanded
+		}
+		if dv := tree.dist[e.v]; dv == -1 || dv > tree.dist[e.u] {
+			return true // v newly reachable, closer, or parent order may shift
+		}
+	}
+	return false
+}
+
+// scratchTree memoizes trees privately on the Topology (used when the
+// snapshot is superseded or snapshot caching is off).
+func (t *Topology) scratchTree(dst string, idst int32) *destTree {
+	t.scratchMu.Lock()
+	defer t.scratchMu.Unlock()
+	if tree, ok := t.scratch[dst]; ok {
+		return tree
+	}
+	tree := buildDestTree(t, idst)
+	if t.scratch == nil {
+		t.scratch = make(map[string]*destTree)
+	}
+	t.scratch[dst] = tree
+	return tree
+}
+
+// buildDestTree runs the deterministic frontier BFS from the destination
+// over the merged index arrays: sorted-neighbor expansion (index order is
+// name order), first-discoverer-wins, level barrier between frontiers, and
+// hosts discovered but never expanded — the same rule as
+// netsim.ComputeRoutes and the pre-sharding collector.
+func buildDestTree(t *Topology, idst int32) *destTree {
+	n := len(t.Nodes)
+	tree := &destTree{next: make([]int32, n), dist: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		tree.next[i] = -1
+		tree.dist[i] = -1
+	}
+	tree.dist[idst] = 0
+	frontier := []int32{idst}
+	var nextFrontier []int32
+	for len(frontier) > 0 {
+		nextFrontier = nextFrontier[:0]
+		for _, cur := range frontier {
+			for _, nb := range t.nbrIdx[cur] {
+				if tree.dist[nb] != -1 {
+					continue
+				}
+				tree.dist[nb] = tree.dist[cur] + 1
+				tree.next[nb] = cur
+				if !(t.hostFlag[nb] && nb != idst) {
+					nextFrontier = append(nextFrontier, nb)
+				}
+			}
+		}
+		frontier, nextFrontier = nextFrontier, frontier
+	}
+	return tree
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Tests for incremental shortest-path-tree maintenance: a randomized
+// property check against an independent from-scratch BFS, and a targeted
+// test that an edge flap in one region catches trees of unaffected
+// destinations up in place instead of rebuilding them.
+
+// refNextHops is the independent reference: a from-scratch BFS toward dst
+// over the snapshot's public accessors, replicating the deterministic rule
+// (sorted frontier, sorted neighbors, first-discoverer-wins, level barrier,
+// hosts discovered but never expanded).
+func refNextHops(topo *Topology, dst string) map[string]string {
+	next := map[string]string{}
+	dist := map[string]int{dst: 0}
+	frontier := []string{dst}
+	for len(frontier) > 0 {
+		var nextFrontier []string
+		for _, cur := range frontier {
+			for _, nb := range topo.Neighbors(cur) {
+				if _, ok := dist[nb]; ok {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				next[nb] = cur
+				if !(topo.IsHost(nb) && nb != dst) {
+					nextFrontier = append(nextFrontier, nb)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	return next
+}
+
+// refPath walks the reference next-hop map from src to dst; nil means
+// unreachable.
+func refPath(topo *Topology, next map[string]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	if len(topo.Neighbors(src)) == 0 {
+		return nil // Path treats adjacency-less nodes as unknown
+	}
+	path := []string{src}
+	for cur := src; cur != dst; {
+		nxt, ok := next[cur]
+		if !ok {
+			return nil
+		}
+		// Hosts do not forward: a path transiting one is invalid (the BFS
+		// never produces this, which the comparison below verifies).
+		if cur != src && topo.IsHost(cur) {
+			return nil
+		}
+		path = append(path, nxt)
+		cur = nxt
+	}
+	return path
+}
+
+// TestIncrementalSPTMatchesFromScratchBFS drives a collector through a
+// randomized sequence of probe-path learnings, reroutes (remaps with
+// accelerated aging), and silence-driven evictions, and after every
+// mutation compares every (src, dst) path served by the incremental store
+// against the reference BFS on the same snapshot.
+func TestIncrementalSPTMatchesFromScratchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clk := &fakeClock{now: time.Second}
+	c := New("sched", clk.Now, Config{QueueWindow: 200 * time.Millisecond, Shards: 4})
+
+	origins := []string{"h0", "h1", "h2", "h3"}
+	targets := []string{"", "h4"} // "" probes the collector itself
+	switches := []string{"w0", "w1", "w2", "w3", "w4", "w5"}
+	type streamKey struct{ origin, target string }
+	seqs := map[streamKey]uint64{}
+
+	randomPath := func() []devSpec {
+		n := 1 + rng.Intn(3)
+		perm := rng.Perm(len(switches))
+		devs := make([]devSpec, n)
+		for i := 0; i < n; i++ {
+			devs[i] = devSpec{id: switches[perm[i]], in: rng.Intn(4), out: rng.Intn(4), egressTS: clk.now}
+		}
+		return devs
+	}
+
+	check := func(iter int) {
+		topo := c.Snapshot()
+		for _, dst := range topo.Nodes {
+			next := refNextHops(topo, dst)
+			for _, src := range topo.Nodes {
+				want := refPath(topo, next, src, dst)
+				got, err := topo.Path(src, dst)
+				if want == nil {
+					if err == nil {
+						t.Fatalf("iter %d: Path(%s,%s)=%v, reference says unreachable", iter, src, dst, got)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("iter %d: Path(%s,%s) error %v, reference %v", iter, src, dst, err, want)
+				}
+				if !stringsEqual(got, want) {
+					t.Fatalf("iter %d: Path(%s,%s)=%v, reference %v", iter, src, dst, got, want)
+				}
+			}
+		}
+	}
+
+	for iter := 0; iter < 400; iter++ {
+		key := streamKey{origins[rng.Intn(len(origins))], targets[rng.Intn(len(targets))]}
+		seqs[key]++
+		p := probeFrom(key.origin, seqs[key], time.Duration(1+rng.Intn(10))*time.Millisecond, randomPath()...)
+		p.Target = key.target
+		if key.target != "" {
+			p.LastHopLatency = time.Duration(1+rng.Intn(5)) * time.Millisecond
+		}
+		c.HandleProbe(p)
+		if rng.Intn(12) == 0 {
+			clk.now += 600 * time.Millisecond // long silence: age abandoned edges out
+		} else {
+			clk.now += time.Duration(20+rng.Intn(120)) * time.Millisecond
+		}
+		check(iter)
+	}
+}
+
+// TestIncrementalSPTReusesUnaffectedTrees: evicting one link must catch up
+// destination trees it provably cannot touch (same *destTree, no rebuild)
+// while rebuilding trees it does.
+func TestIncrementalSPTReusesUnaffectedTrees(t *testing.T) {
+	clk := &fakeClock{now: time.Second}
+	c := New("sched", clk.Now, Config{QueueWindow: 200 * time.Millisecond}) // TTL 1 s
+	probe := func(origin, target string, seq uint64, devs ...devSpec) {
+		for i := range devs {
+			devs[i].egressTS = clk.now
+		}
+		p := probeFrom(origin, seq, 2*time.Millisecond, devs...)
+		p.Target = target
+		if target != "" {
+			p.LastHopLatency = time.Millisecond
+		}
+		c.HandleProbe(p)
+	}
+	// Fabric: hosts b, c, d on switches w1, w2, w3; w2 uplinks to the
+	// scheduler; the w1–w3 link is carried ONLY by the b->c stream (every
+	// other edge is shared with a surviving stream), so silencing that
+	// stream evicts exactly w1<->w3 and leaves the node set unchanged.
+	// Ports are consistent per physical link (hosts use port 0).
+	feed := func(seq uint64, withS2 bool) {
+		probe("b", "", seq,
+			devSpec{id: "w1", in: 1, out: 2}, devSpec{id: "w2", in: 1, out: 2})
+		probe("d", "", seq,
+			devSpec{id: "w3", in: 3, out: 2}, devSpec{id: "w2", in: 3, out: 2})
+		probe("c", "", seq, devSpec{id: "w2", in: 4, out: 2})
+		if withS2 {
+			probe("b", "c", seq,
+				devSpec{id: "w1", in: 1, out: 3},
+				devSpec{id: "w3", in: 1, out: 2},
+				devSpec{id: "w2", in: 3, out: 4})
+		}
+	}
+	feed(1, true)
+	for s := uint64(2); s <= 4; s++ {
+		clk.now += 300 * time.Millisecond
+		feed(s, false)
+	}
+	// Warm the store's trees at the pre-flap structure (t=1.9s; the b->c
+	// stream's edges were last confirmed at t=1.0s).
+	topo := c.Snapshot()
+	if p, err := topo.Path("b", "sched"); err != nil || !stringsEqual(p, []string{"b", "w1", "w2", "sched"}) {
+		t.Fatalf("warm path b->sched %v %v", p, err)
+	}
+	if p, err := topo.Path("b", "w3"); err != nil || !stringsEqual(p, []string{"b", "w1", "w3"}) {
+		t.Fatalf("warm path b->w3 %v %v", p, err)
+	}
+	c.spt.mu.RLock()
+	treeSched, treeW3 := c.spt.trees["sched"], c.spt.trees["w3"]
+	c.spt.mu.RUnlock()
+	if treeSched == nil || treeW3 == nil {
+		t.Fatal("trees not memoized in shared store")
+	}
+
+	// Flap: the b->c stream ages out (cutoff passes t=1.0s), every other
+	// stream stays fresh, so exactly w1<->w3 is evicted.
+	clk.now += 400 * time.Millisecond // 2.3s
+	feed(5, false)
+	clk.now += 50 * time.Millisecond // 2.35s: cutoff 1.35s
+	topo = c.Snapshot()
+	if evicted := c.EvictedEdges(); len(evicted) != 2 {
+		t.Fatalf("want exactly the w1<->w3 eviction pair, got %v", evicted)
+	}
+	if _, err := topo.Path("b", "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Path("b", "w3"); err != nil {
+		t.Fatal(err)
+	}
+	c.spt.mu.RLock()
+	treeSched2, treeW32 := c.spt.trees["sched"], c.spt.trees["w3"]
+	c.spt.mu.RUnlock()
+	// The w1–w3 link is on no shortest path toward sched (both switches
+	// are discovered via w2), so the delta classifier must catch the
+	// sched tree up in place.
+	if treeSched2 != treeSched {
+		t.Fatal("unaffected tree toward sched was rebuilt instead of caught up")
+	}
+	if treeSched2.seq != topo.seq {
+		t.Fatalf("caught-up tree seq %d, topology seq %d", treeSched2.seq, topo.seq)
+	}
+	// w1's discovery edge toward w3 was exactly the evicted link, so that
+	// tree must have been rebuilt.
+	if treeW32 == treeW3 {
+		t.Fatal("affected tree toward w3 was reused despite losing its discovery edge")
+	}
+	// And the rebuilt route detours: b–w1 now reaches w3 via w2.
+	if p, _ := topo.Path("w1", "w3"); !stringsEqual(p, []string{"w1", "w2", "w3"}) {
+		t.Fatalf("post-flap path w1->w3 = %v", p)
+	}
+}
+
+// TestSPTStructureUnchangedKeepsSequence: probes that only refresh existing
+// state (queue reports, delay samples) advance epochs but not the SPT
+// sequence, so every cached tree stays valid without any catch-up walk.
+func TestSPTStructureUnchangedKeepsSequence(t *testing.T) {
+	clk := &fakeClock{now: time.Second}
+	c := newTestCollector(clk)
+	c.HandleProbe(probeFrom("n1", 1, 5*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 3}, egressTS: clk.now}))
+	t1 := c.Snapshot()
+	if _, err := t1.Path("n1", "sched"); err != nil {
+		t.Fatal(err)
+	}
+	clk.now += 50 * time.Millisecond
+	c.HandleProbe(probeFrom("n1", 2, 6*time.Millisecond,
+		devSpec{id: "s1", in: 0, out: 1, queues: map[int]int{1: 9}, egressTS: clk.now}))
+	t2 := c.Snapshot()
+	if t2 == t1 {
+		t.Fatal("epoch should have advanced the snapshot")
+	}
+	if t2.seq != t1.seq {
+		t.Fatalf("structure unchanged but seq moved: %d -> %d", t1.seq, t2.seq)
+	}
+	c.spt.mu.RLock()
+	tree := c.spt.trees["sched"]
+	c.spt.mu.RUnlock()
+	before := fmt.Sprintf("%p", tree)
+	if _, err := t2.Path("n1", "sched"); err != nil {
+		t.Fatal(err)
+	}
+	c.spt.mu.RLock()
+	after := fmt.Sprintf("%p", c.spt.trees["sched"])
+	c.spt.mu.RUnlock()
+	if before != after {
+		t.Fatal("tree rebuilt despite unchanged structure")
+	}
+}

@@ -2,7 +2,6 @@ package collector
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
@@ -13,177 +12,74 @@ import (
 // ranking pass sees one consistent picture. Snapshots are epoch-versioned
 // and shared: the collector returns the same *Topology pointer to every
 // caller until its state actually changes, so snapshots must be safe for
-// concurrent readers. The only internal mutability is the lazily built
-// per-destination shortest-path tree cache, which is guarded by its own
-// lock.
+// concurrent readers.
+//
+// A Topology is a merge-on-read composition of per-shard views: the merged
+// sorted node list, the host index, and the neighbor index arrays (the
+// structure path trees run on) are materialized at merge time; the heavy
+// per-edge and per-port maps stay inside the per-shard views and lookups
+// delegate to the owning view. The only internal mutability is the
+// shortest-path tree state, which is guarded by its own locks (the shared
+// incremental store, or the private scratch memo for superseded snapshots).
 type Topology struct {
-	// Nodes lists every known node ID (hosts and switches), sorted.
+	// Nodes lists every known node ID (hosts and switches), sorted; its
+	// index order is the coordinate system of nbrIdx, hostFlag, and the
+	// path trees (index order == lexicographic order).
 	Nodes []string
-	// hosts marks which nodes are hosts.
-	hosts map[string]bool
-	// hostList caches the sorted host IDs (Hosts returns a copy).
+	// nodeIndex maps node ID -> index in Nodes.
+	nodeIndex map[string]int32
+	// nbrIdx maps node index -> ascending neighbor indices (equivalently:
+	// lexicographically sorted neighbors).
+	nbrIdx [][]int32
+	// hostFlag marks which node indices are hosts.
+	hostFlag []bool
+	// hostList caches the sorted host IDs (Hosts returns a copy). It can
+	// include hosts with no current adjacency (absent from Nodes).
 	hostList []string
-	// neighbors maps node -> sorted neighbor IDs.
-	neighbors map[string][]string
-	// egressPort maps (from, to) -> from's egress port toward to.
-	egressPort map[edgeKey]int
-	// linkDelay maps (from, to) -> EWMA latency estimate.
-	linkDelay map[edgeKey]time.Duration
-	// linkJitter maps (from, to) -> latency standard deviation.
-	linkJitter map[edgeKey]time.Duration
-	// queueMax maps (device, port) -> max queue within the window.
-	queueMax map[portKey]int
-	// queueSeen marks (device, port) pairs with at least one in-window
-	// report.
-	queueSeen map[portKey]bool
-	// linkRate maps (from, to) -> capacity in bps.
-	linkRate    map[edgeKey]int64
+	// views are the per-shard state views this snapshot composes; shardOf
+	// routes a node ID to its owning view. Both are nil in hand-crafted
+	// test topologies, where delegated lookups simply miss.
+	views   []*shardView
+	shardOf func(string) int
+	// defaultRate is the assumed capacity of unconfigured links.
 	defaultRate int64
 	// TakenAt is the time the snapshot was built. With snapshot caching it
 	// is the time of the last rebuild, not the time of the Snapshot() call
 	// that returned it.
 	TakenAt time.Duration
-	// epoch is the collector epoch this snapshot was built at.
-	epoch uint64
+	// epoch is the sum of the composite epoch vector — monotone, and
+	// strictly increasing across any state change, so downstream
+	// epoch-keyed caches keep the PR 1 invalidation contract. vector holds
+	// the per-shard epochs this snapshot was built at.
+	epoch  uint64
+	vector []uint64
 
-	// spt memoizes per-destination shortest-path trees: one BFS from the
-	// destination serves Path/HopCount for every source. Built lazily on
-	// first use; safe for concurrent readers.
-	sptMu sync.RWMutex
-	spt   map[string]map[string]string // dst -> node -> next hop toward dst
+	// seq and store version the merged structure for incremental
+	// shortest-path-tree maintenance (see spt.go); store is nil for
+	// uncached and hand-crafted topologies.
+	seq   uint64
+	store *sptStore
+	// scratch memoizes per-destination trees privately when store is nil
+	// or has advanced past seq.
+	scratchMu sync.Mutex
+	scratch   map[string]*destTree
 }
 
-// snapshotCache is the atomically published cached snapshot together with
-// its validity bounds: the epoch it was built at and the earliest time at
-// which a cached in-window queue report would age out of the queue window
-// (after which queue maxima must be recomputed even without new probes).
-type snapshotCache struct {
-	topo     *Topology
-	epoch    uint64
-	expireAt time.Duration
-}
-
-// neverExpires marks snapshots with no in-window queue reports; they stay
-// valid until the epoch advances.
-const neverExpires = time.Duration(math.MaxInt64)
-
-// Snapshot returns the current learned topology and link state. The
-// returned Topology is immutable and shared: repeated calls return the
-// identical pointer until a state-mutating probe/report advances the
-// collector's epoch. An in-window queue report aging out of the queue
-// window also triggers a rebuild — the windowed maxima changed without a
-// new probe — and advances the epoch itself, so a rebuilt snapshot is never
-// published under the epoch of a superseded one. The fast path is
-// lock-free, so any number of concurrent readers can query while probes are
-// being ingested.
-func (c *Collector) Snapshot() *Topology {
-	now := c.clock()
-	if c.noSnapCache.Load() {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		t, _ := c.buildSnapshotLocked(now, c.epoch.Load())
-		return t
-	}
-	if cached := c.snap.Load(); cached != nil && cached.epoch == c.epoch.Load() && now <= cached.expireAt {
-		return cached.topo
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// Double-check under the lock: another goroutine may have rebuilt.
-	epoch := c.epoch.Load()
-	if cached := c.snap.Load(); cached != nil && cached.epoch == epoch {
-		if now <= cached.expireAt {
-			return cached.topo
-		}
-		// A queue report aged out of the window with no probe arriving:
-		// the windowed maxima changed, so this is a state change like any
-		// other. Advance the epoch so the rebuilt snapshot is
-		// distinguishable from the expired one and epoch-keyed caches
-		// downstream (core.RankCache) invalidate instead of serving
-		// rankings computed from the stale maxima.
-		epoch = c.epoch.Add(1)
-	}
-	t, expireAt := c.buildSnapshotLocked(now, epoch)
-	c.snap.Store(&snapshotCache{topo: t, epoch: epoch, expireAt: expireAt})
-	return t
-}
-
-// buildSnapshotLocked deep-copies the collector state into a fresh immutable
-// Topology. It returns the snapshot and the earliest time the snapshot's
-// view goes stale without new probes (neverExpires if never): the minimum of
-// the next in-window queue-report expiry and the next adjacency-TTL
-// deadline. Aged-out adjacencies are evicted here, right before the copy, so
-// an eviction becomes visible exactly when a snapshot is (re)built — and
-// because expiry-triggered rebuilds advance the epoch (see Snapshot), a
-// post-eviction snapshot is never published under a pre-eviction epoch.
-func (c *Collector) buildSnapshotLocked(now time.Duration, epoch uint64) (*Topology, time.Duration) {
-	adjDeadline := c.pruneAdjLocked(now)
-	t := &Topology{
-		hosts:       make(map[string]bool, len(c.isHost)),
-		neighbors:   make(map[string][]string, len(c.adj)),
-		egressPort:  make(map[edgeKey]int),
-		linkDelay:   make(map[edgeKey]time.Duration, len(c.linkDelay)),
-		linkJitter:  make(map[edgeKey]time.Duration, len(c.linkDelay)),
-		queueMax:    make(map[portKey]int),
-		queueSeen:   make(map[portKey]bool),
-		linkRate:    make(map[edgeKey]int64, len(c.linkRate)),
-		defaultRate: c.cfg.DefaultLinkRateBps,
-		TakenAt:     now,
-		epoch:       epoch,
-		spt:         make(map[string]map[string]string),
-	}
-	nodeSet := make(map[string]bool)
-	for from, ports := range c.adj {
-		nodeSet[from] = true
-		seen := make(map[string]bool)
-		for port, to := range ports {
-			nodeSet[to] = true
-			t.egressPort[edgeKey{from, to}] = port
-			if !seen[to] {
-				seen[to] = true
-				t.neighbors[from] = append(t.neighbors[from], to)
-			}
-		}
-	}
-	for n := range nodeSet {
-		t.Nodes = append(t.Nodes, n)
-		sort.Strings(t.neighbors[n])
-	}
-	sort.Strings(t.Nodes)
-	for h := range c.isHost {
-		t.hosts[h] = true
-		t.hostList = append(t.hostList, h)
-	}
-	sort.Strings(t.hostList)
-	for k, st := range c.linkDelay {
-		t.linkDelay[k] = st.ewma
-		t.linkJitter[k] = st.jitterLocked()
-	}
-	for k, rate := range c.linkRate {
-		t.linkRate[k] = rate
-	}
-	expireAt := adjDeadline
-	for key, reports := range c.queues {
-		best, found, exp := c.windowedQueueMaxLocked(reports, now)
-		if exp < expireAt {
-			expireAt = exp
-		}
-		if found {
-			t.queueMax[key] = best
-			t.queueSeen[key] = true
-		}
-	}
-	return t, expireAt
-}
-
-// Epoch returns the collector epoch this snapshot was built at. Two
-// snapshots with equal epochs are the same object; ranking results computed
-// from a snapshot stay valid exactly while the collector's epoch equals the
-// snapshot's.
+// Epoch returns the collector epoch this snapshot was built at (the sum of
+// the per-shard epoch vector). Two snapshots with equal epochs are the same
+// object; ranking results computed from a snapshot stay valid exactly while
+// the collector's epoch equals the snapshot's.
 func (t *Topology) Epoch() uint64 { return t.epoch }
 
+// EpochVector returns a copy of the composite per-shard epoch vector this
+// snapshot was built at. A mutation in one partition moves only that
+// shard's entry.
+func (t *Topology) EpochVector() []uint64 {
+	return append([]uint64(nil), t.vector...)
+}
+
 // IsHost reports whether id is a known host.
-func (t *Topology) IsHost(id string) bool { return t.hosts[id] }
+func (t *Topology) IsHost(id string) bool { return containsSorted(t.hostList, id) }
 
 // Hosts returns all known hosts, sorted.
 func (t *Topology) Hosts() []string {
@@ -192,32 +88,60 @@ func (t *Topology) Hosts() []string {
 	return out
 }
 
+// view returns the shard view owning id (nil in crafted test topologies).
+func (t *Topology) view(id string) *shardView {
+	if t.shardOf == nil {
+		return nil
+	}
+	return t.views[t.shardOf(id)]
+}
+
 // Neighbors returns the sorted neighbors of id.
-func (t *Topology) Neighbors(id string) []string { return t.neighbors[id] }
+func (t *Topology) Neighbors(id string) []string {
+	v := t.view(id)
+	if v == nil {
+		return nil
+	}
+	return v.neighbors[id]
+}
 
 // EgressPort returns from's egress port toward its direct neighbor to.
 func (t *Topology) EgressPort(from, to string) (int, bool) {
-	p, ok := t.egressPort[edgeKey{from, to}]
+	v := t.view(from)
+	if v == nil {
+		return 0, false
+	}
+	p, ok := v.egressPort[edgeKey{from, to}]
 	return p, ok
 }
 
 // LinkDelay returns the latency estimate for the directed link from->to.
 // Links never measured report ok=false.
 func (t *Topology) LinkDelay(from, to string) (time.Duration, bool) {
-	d, ok := t.linkDelay[edgeKey{from, to}]
+	v := t.view(from)
+	if v == nil {
+		return 0, false
+	}
+	d, ok := v.linkDelay[edgeKey{from, to}]
 	return d, ok
 }
 
 // LinkJitter returns the latency standard deviation for the directed link
 // from->to (0 with fewer than two samples).
 func (t *Topology) LinkJitter(from, to string) time.Duration {
-	return t.linkJitter[edgeKey{from, to}]
+	v := t.view(from)
+	if v == nil {
+		return 0
+	}
+	return v.linkJitter[edgeKey{from, to}]
 }
 
 // LinkRate returns the assumed capacity of the directed link from->to.
 func (t *Topology) LinkRate(from, to string) int64 {
-	if r, ok := t.linkRate[edgeKey{from, to}]; ok {
-		return r
+	if v := t.view(from); v != nil {
+		if r, ok := v.linkRate[edgeKey{from, to}]; ok {
+			return r
+		}
 	}
 	return t.defaultRate
 }
@@ -226,86 +150,51 @@ func (t *Topology) LinkRate(from, to string) int64 {
 // on from feeding the link from->to. The boolean reports whether the port
 // had an in-window report.
 func (t *Topology) QueueMax(from, to string) (int, bool) {
-	port, ok := t.egressPort[edgeKey{from, to}]
+	v := t.view(from)
+	if v == nil {
+		return 0, false
+	}
+	port, ok := v.egressPort[edgeKey{from, to}]
 	if !ok {
 		return 0, false
 	}
 	key := portKey{from, port}
-	if !t.queueSeen[key] {
+	if !v.queueSeen[key] {
 		return 0, false
 	}
-	return t.queueMax[key], true
-}
-
-// destTree returns the shortest-path tree toward dst: for every node that
-// can reach dst, the next hop on the BFS shortest path (lexicographic
-// tie-breaking over sorted neighbors, hosts never forwarding transit
-// traffic — the same deterministic rule as netsim.ComputeRoutes). The tree
-// is built once per destination and memoized, so one BFS serves Path and
-// HopCount lookups from every source.
-func (t *Topology) destTree(dst string) map[string]string {
-	t.sptMu.RLock()
-	tree, ok := t.spt[dst]
-	t.sptMu.RUnlock()
-	if ok {
-		return tree
-	}
-	t.sptMu.Lock()
-	defer t.sptMu.Unlock()
-	if tree, ok := t.spt[dst]; ok {
-		return tree
-	}
-	tree = make(map[string]string)
-	visited := map[string]bool{dst: true}
-	frontier := []string{dst}
-	for len(frontier) > 0 {
-		var nextFrontier []string
-		for _, cur := range frontier {
-			for _, nb := range t.neighbors[cur] {
-				if visited[nb] {
-					continue
-				}
-				visited[nb] = true
-				tree[nb] = cur
-				if !(t.hosts[nb] && nb != dst) {
-					nextFrontier = append(nextFrontier, nb)
-				}
-			}
-		}
-		frontier = nextFrontier
-	}
-	t.spt[dst] = tree
-	return tree
+	return v.queueMax[key], true
 }
 
 // Path returns the hop sequence (including endpoints) from src to dst along
-// BFS shortest paths, by walking the memoized per-destination tree. Hosts
-// never forward transit traffic; a malformed tree that would route through
-// a host mid-path (or reference an unknown node) yields a defensive error
-// instead of looping.
+// BFS shortest paths, by walking the per-destination tree (incrementally
+// maintained across snapshots; see spt.go). Hosts never forward transit
+// traffic; a malformed tree that would route through a host mid-path (or
+// reference an unknown node) yields a defensive error instead of looping.
 func (t *Topology) Path(src, dst string) ([]string, error) {
 	if src == dst {
 		return []string{src}, nil
 	}
-	if _, ok := t.neighbors[src]; !ok {
+	isrc, ok := t.nodeIndex[src]
+	if !ok || len(t.nbrIdx[isrc]) == 0 {
 		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
 	}
-	tree := t.destTree(dst)
-	if _, ok := tree[src]; !ok {
+	tree := t.treeFor(dst)
+	if tree == nil || tree.next[isrc] == -1 {
 		return nil, fmt.Errorf("collector: no learned path from %q to %q", src, dst)
 	}
+	idst := t.nodeIndex[dst]
 	path := []string{src}
-	cur := src
-	for cur != dst {
-		if cur != src && t.hosts[cur] {
-			return nil, fmt.Errorf("collector: learned path from %q to %q transits host %q (hosts do not forward)", src, dst, cur)
+	cur := isrc
+	for cur != idst {
+		if cur != isrc && t.hostFlag[cur] {
+			return nil, fmt.Errorf("collector: learned path from %q to %q transits host %q (hosts do not forward)", src, dst, t.Nodes[cur])
 		}
-		nxt, ok := tree[cur]
-		if !ok {
-			return nil, fmt.Errorf("collector: learned path from %q to %q breaks at unknown node %q", src, dst, cur)
+		nxt := tree.next[cur]
+		if nxt < 0 {
+			return nil, fmt.Errorf("collector: learned path from %q to %q breaks at unknown node %q", src, dst, t.Nodes[cur])
 		}
 		cur = nxt
-		path = append(path, cur)
+		path = append(path, t.Nodes[cur])
 		if len(path) > len(t.Nodes)+1 {
 			return nil, fmt.Errorf("collector: path loop from %q to %q", src, dst)
 		}
@@ -320,4 +209,15 @@ func (t *Topology) HopCount(src, dst string) (int, error) {
 		return 0, err
 	}
 	return len(p) - 1, nil
+}
+
+// sortedKeys returns the sorted keys of a string-keyed bool map (test and
+// crafted-topology helper).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -85,13 +85,34 @@ func TestHostsDoNotForwardInLearnedTopology(t *testing.T) {
 // craftedTopology builds a Topology directly (same package) with an
 // injected shortest-path tree, to exercise Path's defensive branches that a
 // well-formed BFS can never produce but a corrupted or hand-fed tree could.
+// nodes must be sorted (index order is name order in real snapshots).
 func craftedTopology(nodes []string, hosts map[string]bool, neighbors map[string][]string, dst string, tree map[string]string) *Topology {
-	return &Topology{
-		Nodes:     nodes,
-		hosts:     hosts,
-		neighbors: neighbors,
-		spt:       map[string]map[string]string{dst: tree},
+	t := &Topology{
+		Nodes:    nodes,
+		hostList: sortedKeys(hosts),
 	}
+	t.nodeIndex = make(map[string]int32, len(nodes))
+	for i, n := range nodes {
+		t.nodeIndex[n] = int32(i)
+	}
+	t.nbrIdx = make([][]int32, len(nodes))
+	t.hostFlag = make([]bool, len(nodes))
+	for i, n := range nodes {
+		t.hostFlag[i] = hosts[n]
+		for _, nb := range neighbors[n] {
+			t.nbrIdx[i] = append(t.nbrIdx[i], t.nodeIndex[nb])
+		}
+	}
+	crafted := &destTree{next: make([]int32, len(nodes)), dist: make([]int32, len(nodes))}
+	for i := range crafted.next {
+		crafted.next[i] = -1
+		crafted.dist[i] = -1
+	}
+	for n, parent := range tree {
+		crafted.next[t.nodeIndex[n]] = t.nodeIndex[parent]
+	}
+	t.scratch = map[string]*destTree{dst: crafted}
+	return t
 }
 
 // TestPathHostTransitDefensive: a tree that routes through a host mid-path
@@ -176,17 +197,20 @@ func TestPathMemoizedTreeShared(t *testing.T) {
 	if _, err := topo.Path("n1", "sched"); err != nil {
 		t.Fatal(err)
 	}
-	topo.sptMu.RLock()
-	tree1 := topo.spt["sched"]
-	topo.sptMu.RUnlock()
+	topo.store.mu.RLock()
+	tree1 := topo.store.trees["sched"]
+	topo.store.mu.RUnlock()
 	if tree1 == nil {
 		t.Fatal("tree not memoized")
 	}
 	if _, err := topo.Path("s2", "sched"); err != nil {
 		t.Fatal(err)
 	}
-	if len(topo.spt) != 1 {
-		t.Fatalf("expected a single memoized destination, got %d", len(topo.spt))
+	topo.store.mu.RLock()
+	nTrees := len(topo.store.trees)
+	topo.store.mu.RUnlock()
+	if nTrees != 1 {
+		t.Fatalf("expected a single memoized destination, got %d", nTrees)
 	}
 }
 

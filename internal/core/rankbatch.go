@@ -1,0 +1,128 @@
+package core
+
+import "intsched/internal/collector"
+
+// Batched ranking. A scheduler answering a burst of queries — one datagram
+// carrying N task requests, or an experiment driving many devices per tick —
+// repeats per-query overhead N times through RankFor: a snapshot
+// acquisition, a cache lookup, and a private clone allocation per query.
+// RankBatch answers the whole burst against ONE topology snapshot and one
+// rank-cache generation: every request sees the same epoch, cache hits are
+// materialized into a single shared arena (one allocation for the batch
+// instead of one clone per query), and duplicate cache keys within the
+// batch are computed once.
+
+// batchMiss is one cacheable request whose ranking was not in the cache.
+// The generation token is captured at Lookup time, per the rank-cache
+// contract: if an Invalidate runs between Lookup and Store, the token has
+// moved and Store drops the entry.
+type batchMiss struct {
+	idx int     // index into reqs/out
+	key RankKey // cache key, also used for intra-batch dedup
+	gen uint64  // generation token from the Lookup that missed
+	dup int     // index into the miss list of the first miss with this key, or -1
+}
+
+// RankBatch answers every request against one topology snapshot. The result
+// is index-aligned with reqs; requests whose metric has no registered
+// ranker get a nil entry. Per-request shaping (Sorted/Count/recovery
+// filtering) is applied to private slices exactly as RankFor does.
+func (s *Service) RankBatch(reqs []*QueryRequest) [][]Candidate {
+	if len(reqs) == 0 {
+		return nil
+	}
+	return s.RankBatchOn(s.coll.Snapshot(), reqs)
+}
+
+// RankBatchOn is RankBatch with the snapshot already acquired.
+func (s *Service) RankBatchOn(topo *collector.Topology, reqs []*QueryRequest) [][]Candidate {
+	out := make([][]Candidate, len(reqs))
+	epoch := topo.Epoch()
+
+	// Phase 1: probe the cache for every cacheable request, collecting the
+	// shared cached slices of hits and the pending misses. Nothing from the
+	// cache is mutated here; hit slices are copied out in phase 2.
+	shared := make([][]Candidate, len(reqs))
+	var misses []batchMiss
+	var missKeys map[RankKey]int
+	arena := 0
+	for i, req := range reqs {
+		ranker := s.rankers[req.Metric]
+		if ranker == nil {
+			continue
+		}
+		if s.cfg.DisableRankCache || s.customCandidates != nil || !RankerCacheable(ranker) {
+			out[i] = s.RankOn(topo, req)
+			continue
+		}
+		key := RankKey{From: req.From, Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
+		ranked, ok, gen := s.cache.Lookup(epoch, key)
+		if ok {
+			shared[i] = ranked
+			arena += len(ranked)
+			continue
+		}
+		m := batchMiss{idx: i, key: key, gen: gen, dup: -1}
+		if missKeys == nil {
+			missKeys = make(map[RankKey]int)
+		}
+		if first, dup := missKeys[key]; dup {
+			m.dup = first
+		} else {
+			missKeys[key] = len(misses)
+		}
+		misses = append(misses, m)
+	}
+
+	// Phase 2: materialize hits from one arena — one allocation for the
+	// whole batch; each request's shaping then works on its private region.
+	if arena > 0 {
+		buf := make([]Candidate, arena)
+		off := 0
+		for i, ranked := range shared {
+			if ranked == nil {
+				continue
+			}
+			region := buf[off : off+len(ranked) : off+len(ranked)]
+			copy(region, ranked)
+			off += len(ranked)
+			out[i] = s.finishRanked(region, reqs[i])
+		}
+	}
+
+	// Phase 3: compute each distinct missed key once and store it under its
+	// Lookup-time generation token. A duplicate's first occurrence always
+	// precedes it in the miss list, so duplicates clone the (still
+	// unshaped) first computation instead of re-ranking; firsts are shaped
+	// last, after every duplicate has taken its clone.
+	for _, m := range misses {
+		req := reqs[m.idx]
+		if m.dup >= 0 {
+			out[m.idx] = s.finishRanked(CloneCandidates(out[misses[m.dup].idx]), req)
+			continue
+		}
+		ranked := s.rankUncached(topo, req)
+		s.cache.Store(epoch, m.gen, m.key, CloneCandidates(ranked))
+		out[m.idx] = ranked
+	}
+	for _, m := range misses {
+		if m.dup == -1 {
+			out[m.idx] = s.finishRanked(out[m.idx], reqs[m.idx])
+		}
+	}
+	return out
+}
+
+// rankUncached runs the ranking computation for one request (the RankOn
+// miss path without the cache bookkeeping).
+func (s *Service) rankUncached(topo *collector.Topology, req *QueryRequest) []Candidate {
+	ranker := s.rankers[req.Metric]
+	cands := candidatesOn(topo, req.From)
+	if req.Requirements != nil {
+		cands = s.filterCapable(cands, req.Requirements)
+	}
+	if sa, ok := ranker.(SizeAwareRanker); ok && req.DataBytes > 0 {
+		return sa.RankSize(topo, req.From, cands, req.DataBytes)
+	}
+	return ranker.Rank(topo, req.From, cands)
+}

@@ -1,0 +1,275 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/dataplane"
+	"intsched/internal/netsim"
+	"intsched/internal/probe"
+	"intsched/internal/simtime"
+	"intsched/internal/transport"
+	"intsched/internal/wallclock"
+)
+
+// The scale experiment drives the sharded collector on generated metro-scale
+// fabrics: every edge server probes toward the scheduler (a star plan —
+// full pairwise coverage is quadratic in thousands of hosts), the scheduler
+// answers batched ranking queries between probe rounds, and each cell
+// reports merge-on-read snapshot latency, query throughput, and an FNV-1a
+// digest of every ranked answer. The digest is the determinism contract:
+// for one topology it must be byte-identical across shard counts (sharding
+// repartitions state, never results) and across -parallel widths (the pool
+// reassembles cells by index).
+
+// ScaleConfig shapes the scale experiment.
+type ScaleConfig struct {
+	// Seed drives the generated fabrics' link jitter (default 1).
+	Seed int64
+	// ShardCounts lists the collector shard counts to sweep per topology
+	// (default 1, 2, 4; always deduplicated and sorted, and 1 is always
+	// included as the digest baseline).
+	ShardCounts []int
+	// Rounds is the number of measured probe→query rounds (default 12).
+	Rounds int
+	// QueriesPerRound is the batch size submitted to RankBatchOn each
+	// round (default 256).
+	QueriesPerRound int
+	// ProbeInterval is the fleet cadence (default 100 ms).
+	ProbeInterval time.Duration
+	// Warm is the probing phase before measurement (default 1 s).
+	Warm time.Duration
+	// Smoke shrinks the fabrics to CI size: a 2-pod Clos and a 2-region
+	// metro instead of the full >=200-switch / >=1000-host defaults.
+	Smoke bool
+}
+
+func (c *ScaleConfig) normalize() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4}
+	}
+	seen := map[int]bool{}
+	counts := []int{1} // the single-shard baseline anchors every digest diff
+	seen[1] = true
+	for _, n := range c.ShardCounts {
+		if n > 1 && !seen[n] {
+			seen[n] = true
+			counts = append(counts, n)
+		}
+	}
+	sort.Ints(counts)
+	c.ShardCounts = counts
+	if c.Rounds <= 0 {
+		c.Rounds = 12
+	}
+	if c.QueriesPerRound <= 0 {
+		c.QueriesPerRound = 256
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.Warm <= 0 {
+		c.Warm = time.Second
+	}
+}
+
+// specs returns the generated fabrics the sweep runs on.
+func (c *ScaleConfig) specs() ([]*TopoSpec, error) {
+	if c.Smoke {
+		clos, err := ClosSpec(ClosConfig{Pods: 2, Cores: 2, AggsPerPod: 2, TorsPerPod: 2, HostsPerTor: 2, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		metro, err := MetroSpec(MetroConfig{Regions: 2, PodsPerRegion: 2, TorsPerPod: 2, ServersPerTor: 2, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return []*TopoSpec{clos, metro}, nil
+	}
+	clos, err := ClosSpec(ClosConfig{Seed: c.Seed}) // 208 switches, 256 hosts
+	if err != nil {
+		return nil, err
+	}
+	metro, err := MetroSpec(MetroConfig{Seed: c.Seed}) // 148 switches, 1025 hosts
+	if err != nil {
+		return nil, err
+	}
+	return []*TopoSpec{clos, metro}, nil
+}
+
+// ScaleCell is one measured (topology, shard count) configuration.
+type ScaleCell struct {
+	Topo       string
+	Shards     int
+	Partitions int
+	Switches   int
+	Hosts      int
+	Queries    int
+	// QPS is batched ranking throughput over the measured rounds
+	// (wall-clock; excluded from the digest).
+	QPS float64
+	// SnapshotP50/P99 are merge-on-read latencies of the first Snapshot
+	// after each probe round (the epoch moved, so every sampled call pays
+	// the shard merge).
+	SnapshotP50 time.Duration
+	SnapshotP99 time.Duration
+	// IngestDrops counts probes dropped at the async ingest queues
+	// (zero on this synchronous rig; reported for parity with live).
+	IngestDrops uint64
+	// ProbesReceived is the collector's ingest count at the end of the run.
+	ProbesReceived uint64
+	// Digest is the FNV-1a hash over every ranked answer of every round.
+	Digest string
+	// Elapsed is the cell's wall-clock measurement time.
+	Elapsed time.Duration
+}
+
+// ScaleResult is the full sweep, cells in (topology, shard count) order.
+type ScaleResult struct {
+	Cells []ScaleCell
+}
+
+// runScaleCell builds one deployment and measures it.
+func runScaleCell(spec *TopoSpec, shards int, cfg ScaleConfig) (ScaleCell, error) {
+	engine := simtime.NewEngine()
+	topo, err := spec.Build(engine)
+	if err != nil {
+		return ScaleCell{}, err
+	}
+	dataplane.AttachINT(topo.Net, dataplane.INTConfig{})
+	domain := transport.NewDomain(topo.Net).InstallAll()
+	part, nparts := spec.PartitionFn()
+	coll := collector.New(topo.Scheduler, engine.Now, collector.Config{
+		QueueWindow: 2 * cfg.ProbeInterval,
+		Shards:      shards,
+		Partition:   part,
+	})
+	coll.Bind(domain.Stack(topo.Scheduler))
+	svc := core.NewService(domain.Stack(topo.Scheduler), coll, core.ServiceConfig{})
+	svc.Register(&core.DelayRanker{})
+	svc.Register(&core.BandwidthRanker{})
+	devices := make([]netsim.NodeID, 0, len(topo.Hosts))
+	for _, h := range topo.Hosts {
+		if h != topo.Scheduler {
+			probe.InstallRelay(domain.Stack(h), topo.Scheduler)
+			devices = append(devices, h)
+		}
+	}
+	probe.NewFleet(topo.Net, devices, topo.Scheduler, cfg.ProbeInterval)
+	engine.Run(engine.Now() + cfg.Warm)
+
+	digest := fnv.New64a()
+	snapLat := make([]time.Duration, 0, cfg.Rounds)
+	reqs := make([]*core.QueryRequest, cfg.QueriesPerRound)
+	queries := 0
+	start := wallclock.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		engine.Run(engine.Now() + cfg.ProbeInterval)
+		// The probe round moved shard epochs, so this Snapshot pays the
+		// merge; time it from the caller's side (the collector itself
+		// never reads the wall clock).
+		t0 := wallclock.Now()
+		snap := coll.Snapshot()
+		snapLat = append(snapLat, wallclock.Since(t0))
+		for i := range reqs {
+			q := round*cfg.QueriesPerRound + i
+			metric := core.MetricDelay
+			if q%2 == 1 {
+				metric = core.MetricBandwidth
+			}
+			reqs[i] = &core.QueryRequest{
+				From:   devices[q%len(devices)],
+				Metric: metric,
+				Sorted: true,
+				Count:  8,
+			}
+		}
+		results := svc.RankBatchOn(snap, reqs)
+		queries += len(reqs)
+		for i, ranked := range results {
+			fmt.Fprintf(digest, "r%d q%d %s %d\n", round, i, reqs[i].From, reqs[i].Metric)
+			for _, c := range ranked {
+				fmt.Fprintf(digest, "%s %d %.0f %d %t\n", c.Node, c.Delay.Nanoseconds(), c.BandwidthBps, c.Hops, c.Reachable)
+			}
+		}
+	}
+	elapsed := wallclock.Since(start)
+	sort.Slice(snapLat, func(i, j int) bool { return snapLat[i] < snapLat[j] })
+	st := coll.Stats()
+	cell := ScaleCell{
+		Topo:           spec.Name,
+		Shards:         shards,
+		Partitions:     nparts,
+		Switches:       len(spec.Switches),
+		Hosts:          len(spec.Hosts),
+		Queries:        queries,
+		SnapshotP50:    snapLat[len(snapLat)/2],
+		SnapshotP99:    snapLat[(len(snapLat)*99)/100],
+		IngestDrops:    st.IngestDrops,
+		ProbesReceived: st.ProbesReceived,
+		Digest:         fmt.Sprintf("%016x", digest.Sum64()),
+		Elapsed:        elapsed,
+	}
+	if elapsed > 0 {
+		cell.QPS = float64(queries) / elapsed.Seconds()
+	}
+	return cell, nil
+}
+
+// Scale sweeps topologies × shard counts, one cell per configuration, and
+// verifies the sharding determinism contract: for each topology, every
+// shard count must produce the digest of the single-shard baseline.
+func (p *Pool) Scale(cfg ScaleConfig) (*ScaleResult, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	type cellSpec struct {
+		spec   *TopoSpec
+		shards int
+	}
+	var cells []cellSpec
+	for _, spec := range specs {
+		for _, n := range cfg.ShardCounts {
+			cells = append(cells, cellSpec{spec, n})
+		}
+	}
+	out := make([]ScaleCell, len(cells))
+	err = p.run(len(cells), func(i int) error {
+		cell, err := runScaleCell(cells[i].spec, cells[i].shards, cfg)
+		if err != nil {
+			return fmt.Errorf("scale %s shards=%d: %w", cells[i].spec.Name, cells[i].shards, err)
+		}
+		out[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := map[string]string{}
+	for _, cell := range out {
+		if cell.Shards == 1 {
+			baseline[cell.Topo] = cell.Digest
+		}
+	}
+	for _, cell := range out {
+		if want := baseline[cell.Topo]; cell.Digest != want {
+			return nil, fmt.Errorf("scale %s: shards=%d digest %s != single-shard %s (sharding changed results)",
+				cell.Topo, cell.Shards, cell.Digest, want)
+		}
+	}
+	return &ScaleResult{Cells: out}, nil
+}
+
+// Scale runs the sweep serially; see (*Pool).Scale.
+func Scale(cfg ScaleConfig) (*ScaleResult, error) {
+	return (*Pool)(nil).Scale(cfg)
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func scaleTestConfig() ScaleConfig {
+	return ScaleConfig{
+		Seed:            3,
+		ShardCounts:     []int{1, 2, 3},
+		Rounds:          3,
+		QueriesPerRound: 16,
+		ProbeInterval:   50 * time.Millisecond,
+		Warm:            400 * time.Millisecond,
+		Smoke:           true,
+	}
+}
+
+// TestScaleSmoke: the smoke sweep runs end to end, every cell answered
+// queries against live telemetry, and (enforced inside Scale) every shard
+// count reproduced the single-shard digest.
+func TestScaleSmoke(t *testing.T) {
+	res, err := Scale(scaleTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 { // 2 topologies × shard counts {1,2,3}
+		t.Fatalf("%d cells, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Queries != 48 || c.QPS <= 0 {
+			t.Fatalf("cell %s shards=%d: queries %d qps %f", c.Topo, c.Shards, c.Queries, c.QPS)
+		}
+		if c.ProbesReceived == 0 {
+			t.Fatalf("cell %s shards=%d ingested no probes", c.Topo, c.Shards)
+		}
+		if c.IngestDrops != 0 {
+			t.Fatalf("cell %s shards=%d dropped %d probes on the synchronous path", c.Topo, c.Shards, c.IngestDrops)
+		}
+		if c.SnapshotP99 < c.SnapshotP50 {
+			t.Fatalf("cell %s shards=%d: p99 %v < p50 %v", c.Topo, c.Shards, c.SnapshotP99, c.SnapshotP50)
+		}
+	}
+	// Both generated fabrics carry partition maps for the sharded collector.
+	for _, c := range res.Cells {
+		if c.Partitions < 2 {
+			t.Fatalf("cell %s: partition count %d", c.Topo, c.Partitions)
+		}
+	}
+}
+
+// TestScaleParallelMatchesSerial: the pooled sweep must reproduce the serial
+// sweep cell for cell once wall-clock fields are masked — the digest (and
+// everything else derived from the simulation) may not depend on -parallel.
+func TestScaleParallelMatchesSerial(t *testing.T) {
+	cfg := scaleTestConfig()
+	serial, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewPool(4).Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := func(cells []ScaleCell) []ScaleCell {
+		out := make([]ScaleCell, len(cells))
+		for i, c := range cells {
+			c.QPS, c.SnapshotP50, c.SnapshotP99, c.Elapsed = 0, 0, 0, 0
+			out[i] = c
+		}
+		return out
+	}
+	if !reflect.DeepEqual(mask(serial.Cells), mask(parallel.Cells)) {
+		t.Fatalf("parallel sweep diverged from serial:\n%v\n%v", mask(serial.Cells), mask(parallel.Cells))
+	}
+}

@@ -31,6 +31,16 @@ type TopoSpec struct {
 	// DelayUs is the per-link propagation delay in microseconds
 	// (paper's 10 ms when zero).
 	DelayUs int64 `json:"delay_us,omitempty"`
+	// LinkDelayUs optionally overrides DelayUs per switch-switch link,
+	// aligned by index with Links. Generators fill it with seeded jitter so
+	// each fabric link gets a distinct (but reproducible) propagation
+	// delay. Empty applies DelayUs everywhere.
+	LinkDelayUs []int64 `json:"link_delay_us,omitempty"`
+	// Partitions optionally maps node -> collector shard partition index,
+	// consumed via PartitionFn as the sharded collector's Config.Partition.
+	// Generators fill it by pod/region so shard locality matches physical
+	// locality. Nodes absent from the map land in partition 0.
+	Partitions map[string]int `json:"partitions,omitempty"`
 	// QueueCap is the egress queue depth in packets (default 64).
 	QueueCap int `json:"queue_cap,omitempty"`
 }
@@ -84,7 +94,34 @@ func (s *TopoSpec) Validate() error {
 			return fmt.Errorf("experiment: topo %q: self-link %v", s.Name, l)
 		}
 	}
+	if len(s.LinkDelayUs) != 0 && len(s.LinkDelayUs) != len(s.Links) {
+		return fmt.Errorf("experiment: topo %q: %d per-link delays for %d links", s.Name, len(s.LinkDelayUs), len(s.Links))
+	}
+	for node, p := range s.Partitions {
+		if p < 0 {
+			return fmt.Errorf("experiment: topo %q: negative partition %d for %q", s.Name, p, node)
+		}
+	}
 	return nil
+}
+
+// PartitionFn returns the collector partition function the spec defines and
+// the partition count (highest index + 1). Both are zero when the spec
+// defines no partitions (the collector then uses its default hash
+// partitioning).
+func (s *TopoSpec) PartitionFn() (func(string) int, int) {
+	if len(s.Partitions) == 0 {
+		return nil, 0
+	}
+	count := 0
+	parts := make(map[string]int, len(s.Partitions))
+	for node, p := range s.Partitions {
+		parts[node] = p
+		if p+1 > count {
+			count = p + 1
+		}
+	}
+	return func(node string) int { return parts[node] }, count
 }
 
 // params derives LinkParams from the spec's overrides.
@@ -110,8 +147,12 @@ func (s *TopoSpec) Build(engine *simtime.Engine) (*Topology, error) {
 	for _, sw := range s.Switches {
 		nw.AddSwitch(netsim.NodeID(sw))
 	}
-	for _, l := range s.Links {
-		if _, err := nw.Connect(netsim.NodeID(l[0]), netsim.NodeID(l[1]), params.config()); err != nil {
+	for i, l := range s.Links {
+		cfg := params.config()
+		if i < len(s.LinkDelayUs) && s.LinkDelayUs[i] > 0 {
+			cfg.Delay = time.Duration(s.LinkDelayUs[i]) * time.Microsecond
+		}
+		if _, err := nw.Connect(netsim.NodeID(l[0]), netsim.NodeID(l[1]), cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -130,13 +171,23 @@ func (s *TopoSpec) Build(engine *simtime.Engine) (*Topology, error) {
 	if err := nw.ComputeRoutes(); err != nil {
 		return nil, err
 	}
-	// Reachability check: every host pair must have a route.
-	for _, a := range hosts {
+	// Reachability check: every host pair at small scale. Metro-scale
+	// fabrics would make this quadratic in thousands of hosts, so beyond
+	// 64 hosts only scheduler<->host reachability is verified (those paths
+	// span every tier of the generated fabrics).
+	checkHosts := hosts
+	if len(hosts) > 64 {
+		checkHosts = []netsim.NodeID{netsim.NodeID(s.Scheduler)}
+	}
+	for _, a := range checkHosts {
 		for _, b := range hosts {
 			if a == b {
 				continue
 			}
 			if _, err := nw.PathBetween(a, b); err != nil {
+				return nil, fmt.Errorf("experiment: topo %q: %w", s.Name, err)
+			}
+			if _, err := nw.PathBetween(b, a); err != nil {
 				return nil, fmt.Errorf("experiment: topo %q: %w", s.Name, err)
 			}
 		}

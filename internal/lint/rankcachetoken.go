@@ -20,8 +20,11 @@ computation began — the PR 1 review bug was a Store that fabricated its
 token. This analyzer requires the gen argument of every RankCache.Store
 call to be (a copy of) the third result of a Lookup on the same cache
 within the enclosing function, or a parameter of the enclosing function
-(the token threaded down a call chain). Literals, computed values, and
-tokens from a different cache are reported.`,
+(the token threaded down a call chain). A struct field is accepted when a
+composite literal in the same function populates that field from a tracked
+token (the batched-miss shape: record the token at Lookup time, Store it
+after computing the batch). Literals, computed values, fields never fed
+from a Lookup, and tokens from a different cache are reported.`,
 	Run: runRankCacheToken,
 }
 
@@ -56,10 +59,46 @@ func checkRankCacheTokens(pass *Pass, fd *ast.FuncDecl) {
 	}
 
 	// tokens maps a variable object to the cache path whose Lookup
-	// produced it (directly or through copies).
+	// produced it (directly or through copies). tokenFields maps a struct
+	// field object to the same: a composite literal populated that field
+	// from a tracked token (or a parameter, recorded as ""), so reading it
+	// back via a selector preserves provenance.
 	tokens := make(map[types.Object]string)
+	tokenFields := make(map[types.Object]string)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// miss{key: k, gen: gen} — the field inherits the token's
+		// provenance (source order puts the Lookup before the literal).
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				keyID, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				valID, ok := ast.Unparen(kv.Value).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				valObj := info.ObjectOf(valID)
+				if valObj == nil {
+					continue
+				}
+				fieldObj := info.ObjectOf(keyID)
+				if fieldObj == nil {
+					continue
+				}
+				if cachePath, ok := tokens[valObj]; ok {
+					tokenFields[fieldObj] = cachePath
+				} else if params[valObj] {
+					tokenFields[fieldObj] = ""
+				}
+			}
+			return true
+		}
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -118,6 +157,21 @@ func checkRankCacheTokens(pass *Pass, fd *ast.FuncDecl) {
 		}
 		cachePath := exprPath(info, sel.X)
 		genArg := ast.Unparen(call.Args[1])
+		if fieldSel, ok := genArg.(*ast.SelectorExpr); ok {
+			fieldObj := info.ObjectOf(fieldSel.Sel)
+			if fieldObj == nil {
+				return true
+			}
+			src, carrier := tokenFields[fieldObj]
+			if !carrier {
+				pass.Reportf(genArg.Pos(), "RankCache.Store generation token field %q is never populated from a Lookup token in this function: fabricated tokens defeat Invalidate and can resurrect rankings computed from superseded inputs", fieldSel.Sel.Name)
+				return true
+			}
+			if cachePath != "" && src != "" && src != cachePath {
+				pass.Reportf(genArg.Pos(), "RankCache.Store generation token field %q carries a token from a Lookup on a different cache: generation counters are per-cache", fieldSel.Sel.Name)
+			}
+			return true
+		}
 		id, ok := genArg.(*ast.Ident)
 		if !ok {
 			pass.Reportf(genArg.Pos(), "RankCache.Store generation token must be the third result of Lookup on the same cache (or a parameter threading it down), not a computed value: an Invalidate between Lookup and Store must be able to drop this entry")

@@ -11,9 +11,12 @@ import (
 // comparable across schedulers when every run is bit-reproducible. Wall
 // clocks, the global math/rand stream, and map-iteration-ordered output are
 // forbidden here. Everything else — the live daemons under internal/live,
-// the cmd mains, obs, and the shared core/collector read path (whose
-// wall-clock use feeds latency histograms, never sim results) — is exempt
-// by omission, not by suppression comments.
+// the cmd mains, obs, and the shared core read path (whose wall-clock use
+// feeds latency histograms, never sim results) — is exempt by omission,
+// not by suppression comments. The collector joined the sim side once it
+// became fully clock-injected (its clock is a func() time.Duration bound
+// by the caller): sharded snapshot merges must stay byte-identical per
+// seed, so it carries the same obligations as the simulator proper.
 //
 // The map is mutable so the analysistest fixtures can register themselves;
 // production membership is fixed at compile time by this literal.
@@ -27,6 +30,7 @@ var SimSidePackages = map[string]bool{
 	"intsched/internal/edge":       true,
 	"intsched/internal/stats":      true,
 	"intsched/internal/fault":      true,
+	"intsched/internal/collector":  true,
 }
 
 // forbiddenTimeFuncs are package time functions that read or wait on the

@@ -55,3 +55,40 @@ func (s *sched) BadCrossCache(epoch uint64, key core.RankKey) {
 	_, _, gen := s.other.Lookup(epoch, key)
 	s.cache.Store(epoch, gen, key, nil) // want `obtained from a Lookup on a different cache`
 }
+
+// miss is the batched-miss shape: the token recorded at Lookup time rides a
+// struct field until the whole batch has been computed.
+type miss struct {
+	key core.RankKey
+	gen uint64
+}
+
+// GoodField: the composite literal carries the Lookup token, so reading it
+// back through the field keeps its provenance.
+func (s *sched) GoodField(epoch uint64, key core.RankKey, rank func() []core.Candidate) {
+	_, ok, gen := s.cache.Lookup(epoch, key)
+	if ok {
+		return
+	}
+	m := miss{key: key, gen: gen}
+	s.cache.Store(epoch, m.gen, m.key, rank())
+}
+
+// GoodFieldParam: a threaded-in token parameter may ride a field too.
+func (s *sched) GoodFieldParam(epoch, gen uint64, key core.RankKey) {
+	m := miss{key: key, gen: gen}
+	s.cache.Store(epoch, m.gen, m.key, nil)
+}
+
+// BadFieldFabricated: the field was filled with a literal, never a token.
+func (s *sched) BadFieldFabricated(epoch uint64, key core.RankKey) {
+	m := miss{key: key, gen: 1}
+	s.cache.Store(epoch, m.gen, key, nil) // want `never populated from a Lookup token`
+}
+
+// BadFieldCrossCache: the field carries the other cache's token.
+func (s *sched) BadFieldCrossCache(epoch uint64, key core.RankKey) {
+	_, _, gen := s.other.Lookup(epoch, key)
+	m := miss{key: key, gen: gen}
+	s.cache.Store(epoch, m.gen, key, nil) // want `token from a Lookup on a different cache`
+}

@@ -96,6 +96,20 @@ type DaemonConfig struct {
 	// whose learned path aged out are dropped from answers, unless no
 	// candidate is reachable (graceful fallback to the full estimate list).
 	ExcludeUnreachable bool
+	// Shards partitions the collector's link state (collector clamps to
+	// [1, collector.MaxShards]); probes through disjoint partitions ingest
+	// concurrently and epoch invalidation stays confined to the touched
+	// partitions. Zero or one keeps the single-shard collector.
+	Shards int
+	// Partition optionally maps node IDs to shard partitions (e.g. a
+	// topology's pod/region map); nil hashes node IDs.
+	Partition func(node string) int
+	// IngestQueue, when positive, switches probe ingest to one bounded
+	// queue plus one worker goroutine per shard with this queue depth;
+	// overload then drops probes (counted in the collector's IngestDrops)
+	// instead of stalling the UDP receive loop. Zero keeps ingest
+	// synchronous on the receive goroutine.
+	IngestQueue int
 }
 
 // NewCollectorDaemon starts the daemon for scheduler node id.
@@ -139,7 +153,12 @@ func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
 		QueueWindow:        cfg.QueueWindow,
 		DefaultLinkRateBps: cfg.LinkRateBps,
 		AdjacencyTTL:       cfg.AdjacencyTTL,
+		Shards:             cfg.Shards,
+		Partition:          cfg.Partition,
 	})
+	if cfg.IngestQueue > 0 {
+		d.coll.StartIngestWorkers(cfg.IngestQueue)
+	}
 	d.exclUnre = cfg.ExcludeUnreachable
 	d.lastTop = make(map[rerouteKey]netsim.NodeID)
 	d.initObs(cfg)
@@ -212,6 +231,18 @@ func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
 		Name: "intsched_collector_epoch",
 		Help: "Collector state version; advances on every accepted probe and config change.",
 	}, func() float64 { return float64(d.coll.Epoch()) })
+	for i := range d.coll.EpochVector() {
+		shard := i
+		d.reg.GaugeFunc(obs.Opts{
+			Name:   "intsched_collector_shard_epoch",
+			Help:   "Per-shard state version; a probe bumps only the shards owning nodes on its path.",
+			Labels: []obs.Label{{Key: "shard", Value: fmt.Sprint(shard)}},
+		}, func() float64 { return float64(d.coll.EpochVector()[shard]) })
+	}
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_collector_ingest_drops_total",
+		Help: "Probes dropped at the asynchronous ingest queues under overload.",
+	}, func() float64 { return float64(d.coll.Stats().IngestDrops) })
 	d.reg.GaugeFunc(obs.Opts{
 		Name: "intsched_collector_snapshot_age_seconds",
 		Help: "Age of the current topology snapshot (time since last rebuild).",
@@ -397,6 +428,7 @@ func (d *CollectorDaemon) Close() {
 		}
 	})
 	d.wg.Wait()
+	d.coll.StopIngestWorkers()
 }
 
 func (d *CollectorDaemon) probeLoop() {
@@ -432,7 +464,9 @@ func (d *CollectorDaemon) probeLoop() {
 }
 
 // ingest converts the probe's absolute (UnixNano) timestamps into the
-// daemon's relative timebase and hands it to the collector.
+// daemon's relative timebase and hands it to the collector. EnqueueProbe
+// clones the payload (or ingests synchronously when no workers run), so the
+// decode loop's reused payload buffers are free the moment this returns.
 func (d *CollectorDaemon) ingest(p *telemetry.ProbePayload) {
 	baseNs := d.base.UnixNano()
 	for i := range p.Stack.Records {
@@ -448,7 +482,7 @@ func (d *CollectorDaemon) ingest(p *telemetry.ProbePayload) {
 		p.SentAt -= time.Duration(baseNs)
 	}
 	d.probesReceived.Inc()
-	d.coll.HandleProbe(p)
+	d.coll.EnqueueProbe(p)
 }
 
 func (d *CollectorDaemon) queryLoop() {
@@ -482,8 +516,35 @@ func (d *CollectorDaemon) serve(conn net.Conn) {
 // cmd/intsched daemon's local diagnostics). It is safe for concurrent
 // callers — queries read one immutable epoch-versioned snapshot, and
 // repeated queries between probe arrivals are served from the same rank
-// cache machinery the simulated scheduler service uses.
+// cache machinery the simulated scheduler service uses. Requests carrying a
+// Batch are dispatched to AnswerBatch.
 func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
+	if len(req.Batch) > 0 {
+		return d.AnswerBatch(req.Batch)
+	}
+	return d.answerOn(d.coll.Snapshot(), req)
+}
+
+// AnswerBatch answers a burst of queries against one topology snapshot (one
+// merge of the shard views, one epoch for every cache interaction). An
+// element's failure — unknown metric, nested batch — sets that element's
+// Error; the rest of the batch is still answered.
+func (d *CollectorDaemon) AnswerBatch(reqs []wire.QueryRequest) *wire.QueryResponse {
+	topo := d.coll.Snapshot()
+	resp := &wire.QueryResponse{Batch: make([]wire.QueryResponse, len(reqs))}
+	for i := range reqs {
+		if len(reqs[i].Batch) > 0 {
+			d.queryErrors.Inc()
+			resp.Batch[i] = wire.QueryResponse{Metric: reqs[i].Metric, Error: "nested batch"}
+			continue
+		}
+		resp.Batch[i] = *d.answerOn(topo, &reqs[i])
+	}
+	return resp
+}
+
+// answerOn answers one query against an already-acquired snapshot.
+func (d *CollectorDaemon) answerOn(topo *collector.Topology, req *wire.QueryRequest) *wire.QueryResponse {
 	metric, ok := core.ParseMetric(req.Metric)
 	if !ok {
 		d.queryErrors.Inc()
@@ -505,7 +566,6 @@ func (d *CollectorDaemon) Answer(req *wire.QueryRequest) *wire.QueryResponse {
 		start := time.Now()
 		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
-	topo := d.coll.Snapshot()
 	// Hysteresis-wrapped rankers are stateful and bypass the cache.
 	cacheable := core.RankerCacheable(ranker)
 	key := core.RankKey{From: netsim.NodeID(req.From), Metric: metric, DataBytes: req.DataBytes}

@@ -34,6 +34,10 @@ type OverlaySpec struct {
 	// and health thresholds (daemon defaults when zero).
 	QueueWindow   time.Duration
 	DegradedAfter time.Duration
+	// Shards and IngestQueue configure the daemon's sharded collector and
+	// asynchronous probe ingest (see DaemonConfig).
+	Shards      int
+	IngestQueue int
 }
 
 // Overlay is a running live topology on loopback sockets.
@@ -74,6 +78,8 @@ func StartOverlay(spec OverlaySpec) (*Overlay, error) {
 		HTTPAddr:      spec.HTTPAddr,
 		QueueWindow:   spec.QueueWindow,
 		DegradedAfter: spec.DegradedAfter,
+		Shards:        spec.Shards,
+		IngestQueue:   spec.IngestQueue,
 	})
 	if err != nil {
 		return fail(err)

@@ -179,6 +179,13 @@ type QueryRequest struct {
 	// DataBytes optionally hints the task's transfer size for size-aware
 	// rankings (metric "transfer-time").
 	DataBytes int64 `json:"data_bytes,omitempty"`
+	// Batch, when non-empty, carries a burst of queries answered together
+	// against one topology snapshot and one rank-cache generation; the
+	// top-level single-query fields are then ignored and the reply returns
+	// one entry in its Batch per element, index-aligned. Elements may not
+	// nest further batches. Absent on the wire for single queries, so old
+	// clients and servers interoperate unchanged.
+	Batch []QueryRequest `json:"batch,omitempty"`
 }
 
 // CandidateInfo is one ranked edge server in a live query response.
@@ -198,4 +205,8 @@ type QueryResponse struct {
 	Metric     string          `json:"metric"`
 	Error      string          `json:"error,omitempty"`
 	Candidates []CandidateInfo `json:"candidates"`
+	// Batch answers a batched request, index-aligned with the request's
+	// Batch. Per-element failures (e.g. an unknown metric) set that
+	// element's Error without failing the rest of the batch.
+	Batch []QueryResponse `json:"batch,omitempty"`
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -117,7 +118,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := ReadFrame(&buf, &gotReq); err != nil {
 		t.Fatal(err)
 	}
-	if gotReq != *req {
+	if !reflect.DeepEqual(gotReq, *req) {
 		t.Fatalf("request %+v", gotReq)
 	}
 	var gotResp QueryResponse
