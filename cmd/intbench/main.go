@@ -12,7 +12,9 @@
 // speedup and writes results/BENCH_parallel.json. The scale experiment
 // (also by name only) drives the sharded collector on generated Clos and
 // metro fabrics and writes results/BENCH_scale.json; -scale-smoke shrinks
-// its fabrics to CI size.
+// its fabrics to CI size. The telemetry experiment (by name only) sweeps
+// deterministic vs probabilistic PINT-style telemetry and writes
+// results/BENCH_telemetry.json; -telemetry-smoke shrinks it to CI size.
 package main
 
 import (
@@ -43,6 +45,7 @@ var (
 	queries    = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
 	parallel   = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 	scaleSmoke = flag.Bool("scale-smoke", false, "scale experiment: shrink the fabrics to CI size (small Clos + 2-region metro)")
+	telemSmoke = flag.Bool("telemetry-smoke", false, "telemetry experiment: shrink to CI size (fewer tasks, two sampling rates, 2-region metro)")
 )
 
 // pool runs independent scenario cells; initialized in main from -parallel.
@@ -83,7 +86,7 @@ func main() {
 	for _, extra := range []struct {
 		name string
 		fn   func() error
-	}{{"parbench", parbench}, {"scale", scale}} {
+	}{{"parbench", parbench}, {"scale", scale}, {"telemetry", telemetryExp}} {
 		if !want[extra.name] {
 			continue
 		}
@@ -170,6 +173,95 @@ func scale() error {
 		return err
 	}
 	fmt.Println("wrote results/BENCH_scale.json")
+	return nil
+}
+
+// telemetryExp sweeps deterministic vs probabilistic (PINT-style) telemetry:
+// the faults workload replays once per mode/rate for scheduling quality, and
+// a probe-only metro rig measures telemetry bytes-on-wire per rate. The
+// per-cell digest over placement decisions is the identity contract —
+// Telemetry itself fails if p=1.0 diverges from the deterministic baseline,
+// and the printed digest lines are diffed across -parallel widths in CI.
+func telemetryExp() error {
+	res, err := pool.Telemetry(experiment.TelemetryConfig{
+		Seed:      *seed,
+		TaskCount: *tasks,
+		Smoke:     *telemSmoke,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("scheduling quality under the faults schedule, per telemetry configuration:")
+	fmt.Println(res.QualityTable())
+	fmt.Println("telemetry bytes-on-wire, probe-only metro rig:")
+	fmt.Println(res.OverheadTable())
+	for _, c := range res.Quality {
+		fmt.Printf("telemetry digest %s %s\n", c.Mode, c.Digest)
+	}
+	fmt.Println("(p=1.00 reproduced the deterministic digest; lower rates trade probe bytes for reassembly freshness)")
+
+	type qualityJSON struct {
+		Mode                  string  `json:"mode"`
+		Rate                  float64 `json:"rate"`
+		Decisions             int     `json:"decisions"`
+		Mis                   int     `json:"mis"`
+		MisPct                float64 `json:"mis_pct"`
+		MeanCompletionMs      float64 `json:"mean_completion_ms"`
+		Incomplete            int     `json:"incomplete"`
+		TelemetryBytes        uint64  `json:"telemetry_bytes"`
+		RecordsReassembled    uint64  `json:"records_reassembled"`
+		ReassemblyCompletions uint64  `json:"reassembly_completions"`
+		Digest                string  `json:"digest"`
+	}
+	type overheadJSON struct {
+		Mode           string  `json:"mode"`
+		Rate           float64 `json:"rate"`
+		Topo           string  `json:"topo"`
+		Probes         uint64  `json:"probes"`
+		TelemetryBytes uint64  `json:"telemetry_bytes"`
+		BytesPerProbe  float64 `json:"bytes_per_probe"`
+		Reduction      float64 `json:"reduction"`
+	}
+	report := struct {
+		Bench    string         `json:"bench"`
+		Smoke    bool           `json:"smoke"`
+		Seed     int64          `json:"seed"`
+		Tasks    int            `json:"tasks"`
+		Quality  []qualityJSON  `json:"quality"`
+		Overhead []overheadJSON `json:"overhead"`
+	}{
+		Bench: "telemetry",
+		Smoke: *telemSmoke,
+		Seed:  *seed,
+		Tasks: res.Cfg.TaskCount,
+	}
+	for _, c := range res.Quality {
+		report.Quality = append(report.Quality, qualityJSON{
+			Mode: c.Mode, Rate: c.Rate, Decisions: c.Decisions, Mis: c.Mis, MisPct: c.MisPct,
+			MeanCompletionMs: float64(c.MeanCompletion.Microseconds()) / 1000,
+			Incomplete:       c.Incomplete, TelemetryBytes: c.TelemetryBytes,
+			RecordsReassembled: c.RecordsReassembled, ReassemblyCompletions: c.ReassemblyCompletions,
+			Digest: c.Digest,
+		})
+	}
+	for _, c := range res.Overhead {
+		report.Overhead = append(report.Overhead, overheadJSON{
+			Mode: c.Mode, Rate: c.Rate, Topo: c.Topo, Probes: c.Probes,
+			TelemetryBytes: c.TelemetryBytes, BytesPerProbe: c.BytesPerProbe, Reduction: c.Reduction,
+		})
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("results/BENCH_telemetry.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote results/BENCH_telemetry.json")
 	return nil
 }
 

@@ -46,11 +46,17 @@ func (c *Collector) accelerateAgingLocked(oldPath, newPath []string, now time.Du
 			if kept[key] {
 				continue
 			}
-			sh := c.shardFor(key.from)
-			if seen, ok := sh.adjSeen[key]; ok && seen > deadline {
-				sh.adjSeen[key] = deadline
-			}
+			c.backdateEdgeLocked(key, deadline)
 		}
+	}
+}
+
+// backdateEdgeLocked lowers one edge's last-seen time to deadline, never
+// extending it. Callers hold the owning shard's mu.
+func (c *Collector) backdateEdgeLocked(key edgeKey, deadline time.Duration) {
+	sh := c.shardFor(key.from)
+	if seen, ok := sh.adjSeen[key]; ok && seen > deadline {
+		sh.adjSeen[key] = deadline
 	}
 }
 

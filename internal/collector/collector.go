@@ -172,11 +172,15 @@ type Collector struct {
 	spt *sptStore
 
 	// Ingest counters (atomic; see Stats).
-	probesReceived   atomic.Uint64
-	probesOutOfOrder atomic.Uint64
-	recordsParsed    atomic.Uint64
-	pathRemaps       atomic.Uint64
-	ingestDrops      atomic.Uint64
+	probesReceived     atomic.Uint64
+	probesOutOfOrder   atomic.Uint64
+	recordsParsed      atomic.Uint64
+	pathRemaps         atomic.Uint64
+	ingestDrops        atomic.Uint64
+	telemetryBytes     atomic.Uint64
+	recordsReassembled atomic.Uint64
+	reasmCompletions   atomic.Uint64
+	reasmResets        atomic.Uint64
 
 	// Asynchronous ingest (live mode only; see StartIngestWorkers).
 	ingest   atomic.Pointer[[]chan *telemetry.ProbePayload]
@@ -288,16 +292,34 @@ type Stats struct {
 	// IngestDrops counts probes dropped at the asynchronous ingest queues
 	// (always zero on the synchronous path).
 	IngestDrops uint64
+	// TelemetryBytes is the total on-wire size of every ingested probe
+	// payload (telemetry.EncodedSize) — the bytes-on-wire cost the
+	// probabilistic mode exists to reduce.
+	TelemetryBytes uint64
+	// RecordsReassembled counts fragments merged through the probabilistic
+	// reassembly stage (a subset of RecordsParsed).
+	RecordsReassembled uint64
+	// ReassemblyCompletions counts reassembly cycles in which every hop of
+	// a stream's path reported at least once.
+	ReassemblyCompletions uint64
+	// ReassemblyResets counts reassembly buffers discarded because a probe
+	// contradicted them (path length or device changed — the stream's
+	// route moved).
+	ReassemblyResets uint64
 }
 
 // Stats returns the ingestion counters.
 func (c *Collector) Stats() Stats {
 	st := Stats{
-		ProbesReceived:   c.probesReceived.Load(),
-		ProbesOutOfOrder: c.probesOutOfOrder.Load(),
-		RecordsParsed:    c.recordsParsed.Load(),
-		PathRemaps:       c.pathRemaps.Load(),
-		IngestDrops:      c.ingestDrops.Load(),
+		ProbesReceived:        c.probesReceived.Load(),
+		ProbesOutOfOrder:      c.probesOutOfOrder.Load(),
+		RecordsParsed:         c.recordsParsed.Load(),
+		PathRemaps:            c.pathRemaps.Load(),
+		IngestDrops:           c.ingestDrops.Load(),
+		TelemetryBytes:        c.telemetryBytes.Load(),
+		RecordsReassembled:    c.recordsReassembled.Load(),
+		ReassemblyCompletions: c.reasmCompletions.Load(),
+		ReassemblyResets:      c.reasmResets.Load(),
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -400,6 +422,20 @@ func (c *Collector) SetEvictionHook(fn func(from, to string, silence time.Durati
 		sh.mu.Lock()
 		sh.onEviction = fn
 		sh.mu.Unlock()
+	}
+}
+
+// SetReassemblyHook installs a callback observing each completed reassembly
+// cycle of a probabilistic probe stream: the origin and target, the path's
+// hop count, and how long the cycle took from its first fragment — the
+// telemetry staleness cost of sampling, which the live daemon exports as a
+// histogram. Called with the origin shard's stream lock held: the hook must
+// not call back into the collector.
+func (c *Collector) SetReassemblyHook(fn func(origin, target string, hops int, latency time.Duration)) {
+	for _, sh := range c.shards {
+		sh.streamMu.Lock()
+		sh.onReassembly = fn
+		sh.streamMu.Unlock()
 	}
 }
 

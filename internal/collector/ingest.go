@@ -20,6 +20,7 @@ import (
 func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	now := c.clock()
 	c.probesReceived.Add(1)
+	c.telemetryBytes.Add(uint64(telemetry.EncodedSize(p)))
 
 	os := c.shardFor(p.Origin)
 	os.streamMu.Lock()
@@ -30,6 +31,8 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	if seen && p.Seq <= prevMeta.seq {
 		// Reordered or duplicate probe: its registers were flushed before
 		// the one we already processed; ignore to keep freshness monotone.
+		// This gate also sequence-gates reassembly — a retransmitted or
+		// stale probe's fragments never reach the merge below.
 		c.probesOutOfOrder.Add(1)
 		return
 	}
@@ -37,6 +40,22 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 	target := p.Target
 	if target == "" {
 		target = c.self
+	}
+
+	if p.Mode == telemetry.ModeProbabilistic {
+		// Probabilistic probes carry sampled fragments; merge them through
+		// the reassembly stage instead of treating the stack as a full
+		// path. Stream metadata still advances so the sequence gate spans
+		// mode changes (path stays nil: fragments, not a hop sequence).
+		c.reassembleProbe(os, key, p, target, now)
+		os.streams[key] = probeMeta{seq: p.Seq, at: now}
+		return
+	}
+	if os.reasm != nil {
+		// A deterministic probe supersedes any reassembly buffer this
+		// stream accumulated while probabilistic (mode flip in a mixed
+		// fleet rollout).
+		delete(os.reasm, key)
 	}
 	// Assemble the hop sequence into the origin shard's scratch buffer.
 	path := append(os.pathScratch[:0], p.Origin)

@@ -59,6 +59,14 @@ type shard struct {
 	// locking cannot deadlock.
 	streamMu sync.Mutex
 	streams  map[probeKey]probeMeta
+	// reasm holds per-stream reassembly buffers for probabilistic probes
+	// originating in this shard (lazily created; guarded by streamMu, like
+	// the stream metadata — the owning shard of the reassembly state is
+	// the origin's shard by construction).
+	reasm map[probeKey]*reasmState
+	// onReassembly observes completed reassembly cycles of streams
+	// originating in this shard (guarded by streamMu).
+	onReassembly func(origin, target string, hops int, latency time.Duration)
 	// pathScratch and lockScratch are reusable HandleProbe buffers,
 	// guarded by streamMu (one probe per origin shard at a time).
 	pathScratch []string

@@ -1,9 +1,11 @@
 package dataplane
 
 import (
+	"math"
 	"time"
 
 	"intsched/internal/netsim"
+	"intsched/internal/pint"
 	"intsched/internal/telemetry"
 )
 
@@ -96,6 +98,21 @@ type INTConfig struct {
 	// PerHopBytes is the on-wire growth per traversed switch in
 	// per-packet mode (default DefaultPerHopBytes).
 	PerHopBytes int
+	// Sampler makes the per-hop insertion decision for probes emitted in
+	// telemetry.ModeProbabilistic (the PINT-style lightweight mode). The
+	// decision is per probe, drawn from the sampler's (switch, flow)
+	// stream at the probe's carried SampleRate. Nil falls back to
+	// deterministic insertion regardless of probe mode. Deterministic
+	// probes never consult the sampler, so mixed fleets coexist on one
+	// switch.
+	Sampler *pint.Sampler
+	// QueueDeltaThreshold, when positive, enables PINT-style value
+	// approximation for queue maxima: a port's register is flushed into a
+	// record only when its observed value moved by more than the threshold
+	// since the port was last reported (unreported ports keep
+	// accumulating). Zero reports every port on every record — the
+	// deterministic-equivalent setting.
+	QueueDeltaThreshold int
 }
 
 // DefaultPerHopBytes approximates a classic INT per-hop report: switch ID,
@@ -130,8 +147,16 @@ type INTProgram struct {
 	// and ingress port measured at ingress, consumed at egress.
 	pendingLink map[uint64]pendingProbe
 
+	// valueApprox filters queue reports by change magnitude when
+	// cfg.QueueDeltaThreshold is positive (nil otherwise).
+	valueApprox *pint.ValueApprox
+
 	// Stats
 	RecordsEmitted uint64
+	// RecordsSkipped counts probabilistic-mode probes this device chose not
+	// to insert a record into (the hop was still counted and egress-stamped,
+	// so link latency stays measured end to end).
+	RecordsSkipped uint64
 	Flushes        uint64
 	// OverheadBytes counts wire bytes added to production packets in
 	// per-packet mode (always zero with register staging — the paper's
@@ -149,7 +174,7 @@ type pendingProbe struct {
 // ports.
 func NewINTProgram(deviceID string, numPorts int, cfg INTConfig) *INTProgram {
 	regs := NewRegisterFile()
-	return &INTProgram{
+	p := &INTProgram{
 		deviceID:    deviceID,
 		cfg:         cfg,
 		regs:        regs,
@@ -157,6 +182,10 @@ func NewINTProgram(deviceID string, numPorts int, cfg INTConfig) *INTProgram {
 		pktCount:    regs.Declare("pkt_count", numPorts),
 		pendingLink: make(map[uint64]pendingProbe),
 	}
+	if cfg.QueueDeltaThreshold > 0 {
+		p.valueApprox = pint.NewValueApprox(cfg.QueueDeltaThreshold)
+	}
+	return p
 }
 
 // Registers exposes the device's register file (for tests and the control
@@ -217,34 +246,91 @@ func (p *INTProgram) EgressControl(ctx *netsim.ProcessorContext, hdrs *Headers, 
 	delete(p.pendingLink, pkt.ID)
 
 	now := p.localClock(ctx.Now)
-	rec := telemetry.Record{
-		Device:      p.deviceID,
-		IngressPort: pend.inPort,
-		EgressPort:  ctx.OutPort,
-		HopLatency:  ctx.Now - pkt.IngressAt(),
-		EgressTS:    now,
+	probe := hdrs.Probe
+
+	// Every traversed device counts the hop and stamps egress, sampled or
+	// not: the collector then knows the true path length from any probe,
+	// and link latency stays measured hop by hop even when the record that
+	// would carry it is not inserted until a later probe samples this hop.
+	hopIdx := probe.HopCount
+	if probe.HopCount < math.MaxUint8 {
+		probe.HopCount++
 	}
-	if pend.hasLatency {
-		rec.LinkLatency = pend.linkLatency
+
+	if p.sampleHop(probe, hdrs) {
+		rec := telemetry.Record{
+			Device:      p.deviceID,
+			HopIndex:    hopIdx,
+			IngressPort: pend.inPort,
+			EgressPort:  ctx.OutPort,
+			HopLatency:  ctx.Now - pkt.IngressAt(),
+			EgressTS:    now,
+		}
+		if pend.hasLatency {
+			rec.LinkLatency = pend.linkLatency
+		}
+		// Flush-and-reset port registers into the record. With value
+		// approximation on, a port whose maximum did not move enough is
+		// skipped and its register keeps accumulating toward the next
+		// report.
+		nports := p.maxQueue.Size()
+		rec.Queues = make([]telemetry.PortQueue, 0, nports)
+		for port := 0; port < nports; port++ {
+			if p.valueApprox != nil && !p.valueApprox.ShouldReport(port, p.maxQueue.Read(port)) {
+				continue
+			}
+			mq := p.maxQueue.Swap(port, 0)
+			cnt := p.pktCount.Swap(port, 0)
+			rec.Queues = append(rec.Queues, telemetry.PortQueue{
+				Port:     port,
+				MaxQueue: int(mq),
+				Packets:  uint32(cnt),
+			})
+		}
+		p.Flushes++
+		p.insertRecord(probe, hdrs, rec)
+		p.RecordsEmitted++
+	} else {
+		p.RecordsSkipped++
 	}
-	// Flush-and-reset every port register into the record.
-	nports := p.maxQueue.Size()
-	rec.Queues = make([]telemetry.PortQueue, 0, nports)
-	for port := 0; port < nports; port++ {
-		mq := p.maxQueue.Swap(port, 0)
-		cnt := p.pktCount.Swap(port, 0)
-		rec.Queues = append(rec.Queues, telemetry.PortQueue{
-			Port:     port,
-			MaxQueue: int(mq),
-			Packets:  uint32(cnt),
-		})
-	}
-	p.Flushes++
-	hdrs.Probe.Stack.Append(rec)
-	p.RecordsEmitted++
 
 	// Stamp our egress time for the next hop's link-latency measurement.
 	pkt.StampEgress(now)
+}
+
+// sampleHop decides whether this device's record goes into the probe.
+// Deterministic probes (and probabilistic probes on a switch with no
+// sampler) always insert.
+func (p *INTProgram) sampleHop(probe *telemetry.ProbePayload, hdrs *Headers) bool {
+	if probe.Mode != telemetry.ModeProbabilistic || p.cfg.Sampler == nil {
+		return true
+	}
+	return p.cfg.Sampler.Sample(p.deviceID, probe.Origin, flowTarget(probe, hdrs), probe.SampleRate)
+}
+
+// insertRecord places rec into the probe's stack. Probabilistic probes whose
+// record budget is already full replace a uniformly chosen earlier record
+// (reservoir backstop) instead of appending, so probe size stays O(1) in
+// path length; deterministic probes keep the append-with-truncation
+// contract.
+func (p *INTProgram) insertRecord(probe *telemetry.ProbePayload, hdrs *Headers, rec telemetry.Record) {
+	if probe.Mode == telemetry.ModeProbabilistic && p.cfg.Sampler != nil &&
+		len(probe.Stack.Records) >= telemetry.MaxRecords {
+		slot := p.cfg.Sampler.Slot(p.deviceID, probe.Origin, flowTarget(probe, hdrs), len(probe.Stack.Records))
+		probe.Stack.Records[slot] = rec
+		return
+	}
+	probe.Stack.Append(rec)
+}
+
+// flowTarget is the flow's stable destination key for sampling streams:
+// planned probes carry an explicit relay Target, direct probes leave it
+// empty and address the collector in the packet header.
+func flowTarget(probe *telemetry.ProbePayload, hdrs *Headers) string {
+	if probe.Target != "" {
+		return probe.Target
+	}
+	return string(hdrs.Dst)
 }
 
 // embedPerPacket appends a classic INT record to a production packet,

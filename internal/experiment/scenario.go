@@ -11,8 +11,10 @@ import (
 	"intsched/internal/edge"
 	"intsched/internal/fault"
 	"intsched/internal/netsim"
+	"intsched/internal/pint"
 	"intsched/internal/probe"
 	"intsched/internal/simtime"
+	"intsched/internal/telemetry"
 	"intsched/internal/traffic"
 	"intsched/internal/transport"
 	"intsched/internal/workload"
@@ -118,6 +120,18 @@ type Scenario struct {
 	// (RunResult.Decisions). Needed by the fault experiments to measure
 	// mis-scheduling and recovery; off by default to keep hot runs lean.
 	RecordDecisions bool
+	// TelemetryMode selects deterministic (every switch inserts its record
+	// into every probe, the default) or probabilistic PINT-style telemetry
+	// (each switch samples independently at SampleRate and the collector
+	// reassembles fragments across probes).
+	TelemetryMode telemetry.Mode
+	// SampleRate is the probabilistic per-hop insertion probability in
+	// [0, 1]. Defaults to 1.0 when TelemetryMode is probabilistic.
+	SampleRate float64
+	// QueueDeltaThreshold suppresses a switch's queue report for a port
+	// whose maximum changed by no more than this many packets since the
+	// last report (PINT value approximation; 0 reports every flush).
+	QueueDeltaThreshold int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -133,6 +147,9 @@ func (s Scenario) withDefaults() Scenario {
 	s.Links = s.Links.withDefaults()
 	if s.K <= 0 {
 		s.K = core.DefaultK
+	}
+	if s.TelemetryMode == telemetry.ModeProbabilistic && s.SampleRate <= 0 {
+		s.SampleRate = 1.0
 	}
 	return s
 }
@@ -191,6 +208,15 @@ type RunResult struct {
 	// changed).
 	AdjacencyEvictions uint64
 	PathRemaps         uint64
+	// TelemetryBytes counts encoded probe payload bytes arriving at the
+	// collector — the telemetry bytes-on-wire measure the PINT experiment
+	// trades against scheduling quality.
+	TelemetryBytes uint64
+	// RecordsReassembled / ReassemblyCompletions count probabilistic
+	// fragments merged and full reassembly cycles closed (zero in
+	// deterministic mode).
+	RecordsReassembled    uint64
+	ReassemblyCompletions uint64
 }
 
 // MisScheduled counts decisions whose placement was unusable when made.
@@ -247,8 +273,14 @@ func Run(sc Scenario) (*RunResult, error) {
 	nw := topo.Net
 
 	// Dataplane: INT register staging on every switch (or classic
-	// per-packet embedding in the ablation mode).
+	// per-packet embedding in the ablation mode). Probabilistic telemetry
+	// derives the samplers' randomness from a named sub-stream so sampling
+	// draws never perturb the workload/traffic streams.
 	intCfg := dataplane.INTConfig{PerPacket: sc.PerPacketINT}
+	if sc.TelemetryMode == telemetry.ModeProbabilistic {
+		intCfg.Sampler = pint.NewSampler(rng.Stream("pint"))
+		intCfg.QueueDeltaThreshold = sc.QueueDeltaThreshold
+	}
 	programs := dataplane.AttachINT(nw, intCfg)
 	if sc.ClockSkew != 0 {
 		i := 0
@@ -360,6 +392,9 @@ func Run(sc Scenario) (*RunResult, error) {
 			}
 		}
 		fleet = probe.NewPlannedFleet(nw, pairs, sc.ProbeInterval)
+	}
+	if fleet != nil && sc.TelemetryMode == telemetry.ModeProbabilistic {
+		fleet.SetTelemetry(sc.TelemetryMode, telemetry.RateToWire(sc.SampleRate))
 	}
 
 	// Background traffic.
@@ -488,6 +523,9 @@ func Run(sc Scenario) (*RunResult, error) {
 	out.AdjacencyEvictions = collStats.AdjacencyEvictions
 	out.PathRemaps = collStats.PathRemaps
 	out.ProbesReceived = collStats.ProbesReceived
+	out.TelemetryBytes = collStats.TelemetryBytes
+	out.RecordsReassembled = collStats.RecordsReassembled
+	out.ReassemblyCompletions = collStats.ReassemblyCompletions
 	out.PacketsDropped = nw.Dropped
 	out.EventsProcessed = engine.Processed
 	for _, prog := range programs {

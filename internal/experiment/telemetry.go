@@ -1,0 +1,365 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/dataplane"
+	"intsched/internal/netsim"
+	"intsched/internal/pint"
+	"intsched/internal/probe"
+	"intsched/internal/simtime"
+	"intsched/internal/stats"
+	"intsched/internal/telemetry"
+	"intsched/internal/transport"
+	"intsched/internal/workload"
+)
+
+// The telemetry experiment quantifies the PINT trade: probabilistic per-hop
+// insertion shrinks probes (each switch samples independently, so a probe
+// carries ~p×hops records instead of all of them) while the collector
+// reassembles fragments across successive probes, paying for the savings
+// with telemetry freshness. Two sweeps share the mode/rate axis:
+//
+//   - Quality: the fault-recovery workload (same Fig 4 schedule as -exp
+//     faults) replays once per telemetry configuration; the cell reports the
+//     mis-schedule rate, task metrics, and an FNV-1a digest over every
+//     placement decision. The p=1.0 cell must reproduce the deterministic
+//     digest bit-for-bit — sampling at certainty is the identity.
+//   - Overhead: a probe-only rig on the metro fabric measures encoded
+//     telemetry bytes per probe at the collector, giving the bytes-on-wire
+//     reduction factor each rate buys.
+
+// TelemetryConfig shapes the telemetry experiment.
+type TelemetryConfig struct {
+	// Seed drives workload generation, probe-loss draws, and the per-switch
+	// sampling streams.
+	Seed int64
+	// TaskCount is the number of tasks per quality cell (default 200).
+	TaskCount int
+	// ProbeInterval is the INT probing period (default 100 ms).
+	ProbeInterval time.Duration
+	// MeanInterarrival is the mean job inter-arrival time (default 600 ms,
+	// matching the faults experiment the quality cells replay).
+	MeanInterarrival time.Duration
+	// Metric is the ranking strategy under test (the zero value is the
+	// delay metric).
+	Metric core.Metric
+	// Rates are the probabilistic sampling rates to sweep (default 1.0,
+	// 0.5, 0.25, 0.1). A deterministic baseline cell always runs first.
+	Rates []float64
+	// QueueDeltaThreshold is the value-approximation threshold applied to
+	// probabilistic cells below full rate: a switch re-reports a port's
+	// queue maximum only when it moved by more than this many packets
+	// (default 1; negative disables). The p=1.0 cells always run with
+	// approximation off — sampling at certainty is the deterministic
+	// identity, and suppression would change queue reports.
+	QueueDeltaThreshold int
+	// Rounds is the number of measured probe rounds per overhead cell
+	// (default 20).
+	Rounds int
+	// Smoke shrinks the experiment to CI size: fewer tasks, two rates, and
+	// a two-region metro fabric.
+	Smoke bool
+}
+
+func (c *TelemetryConfig) normalize() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TaskCount <= 0 {
+		c.TaskCount = 200
+		if c.Smoke {
+			c.TaskCount = 60
+		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 600 * time.Millisecond
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{1.0, 0.5, 0.25, 0.1}
+		if c.Smoke {
+			c.Rates = []float64{1.0, 0.25}
+		}
+	}
+	if c.QueueDeltaThreshold == 0 {
+		c.QueueDeltaThreshold = 1
+	} else if c.QueueDeltaThreshold < 0 {
+		c.QueueDeltaThreshold = 0
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 20
+		if c.Smoke {
+			c.Rounds = 8
+		}
+	}
+}
+
+// metroSpec returns the overhead rig's fabric.
+func (c *TelemetryConfig) metroSpec() (*TopoSpec, error) {
+	if c.Smoke {
+		return MetroSpec(MetroConfig{Regions: 2, PodsPerRegion: 2, TorsPerPod: 2, ServersPerTor: 2, Seed: c.Seed})
+	}
+	return MetroSpec(MetroConfig{Seed: c.Seed})
+}
+
+// telemetryModeLabel names one mode/rate cell.
+func telemetryModeLabel(mode telemetry.Mode, rate float64) string {
+	if mode == telemetry.ModeDeterministic {
+		return "deterministic"
+	}
+	return fmt.Sprintf("p=%.2f", rate)
+}
+
+// TelemetryCell is one quality measurement: the faults workload under one
+// telemetry configuration.
+type TelemetryCell struct {
+	// Mode labels the cell ("deterministic" or "p=<rate>").
+	Mode string
+	// Rate is the sampling rate (1.0 for the deterministic baseline).
+	Rate float64
+	// Decisions / Mis count placement decisions and mis-schedules; MisPct
+	// is their ratio in percent.
+	Decisions, Mis int
+	MisPct         float64
+	MeanCompletion time.Duration
+	Incomplete     int
+	// TelemetryBytes is the encoded probe payload volume the collector
+	// ingested over the run.
+	TelemetryBytes uint64
+	// RecordsReassembled / ReassemblyCompletions count fragment merges and
+	// closed reassembly cycles (zero for the deterministic baseline).
+	RecordsReassembled    uint64
+	ReassemblyCompletions uint64
+	// Digest hashes every placement decision and the figure-level task
+	// metrics (bytes excluded: identical scheduling at lower cost is the
+	// point, not a violation).
+	Digest string
+}
+
+// TelemetryOverheadCell is one bytes-on-wire measurement on the metro rig.
+type TelemetryOverheadCell struct {
+	Topo string
+	Mode string
+	Rate float64
+	// Probes / TelemetryBytes are the collector's ingest totals.
+	Probes         uint64
+	TelemetryBytes uint64
+	// BytesPerProbe is the mean encoded payload size.
+	BytesPerProbe float64
+	// Reduction is deterministic bytes-per-probe divided by this cell's
+	// (1.0 for the baseline itself).
+	Reduction             float64
+	ReassemblyCompletions uint64
+}
+
+// TelemetryResult is the full experiment.
+type TelemetryResult struct {
+	Cfg TelemetryConfig
+	// Quality cells: deterministic first, then one per Cfg.Rates entry.
+	Quality []TelemetryCell
+	// Overhead cells on the metro fabric, same order.
+	Overhead []TelemetryOverheadCell
+}
+
+// telemetryDigest hashes a run's decisions and figure-level metrics.
+func telemetryDigest(run *RunResult) string {
+	h := fnv.New64a()
+	for i := range run.Decisions {
+		d := &run.Decisions[i]
+		fmt.Fprintf(h, "%d %d %s %s %t\n", d.At.Nanoseconds(), d.TaskID, d.Device, d.Server, d.Usable)
+	}
+	fmt.Fprintf(h, "mc=%d mt=%d inc=%d\n",
+		run.MeanCompletion().Nanoseconds(), run.MeanTransfer().Nanoseconds(), run.Incomplete)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runTelemetryOverheadCell runs the probe-only rig under one configuration.
+func runTelemetryOverheadCell(spec *TopoSpec, mode telemetry.Mode, rate float64, cfg TelemetryConfig) (TelemetryOverheadCell, error) {
+	engine := simtime.NewEngine()
+	topo, err := spec.Build(engine)
+	if err != nil {
+		return TelemetryOverheadCell{}, err
+	}
+	intCfg := dataplane.INTConfig{}
+	if mode == telemetry.ModeProbabilistic {
+		intCfg.Sampler = pint.NewSampler(simtime.NewRand(cfg.Seed).Stream("pint"))
+		if rate < 1.0 {
+			intCfg.QueueDeltaThreshold = cfg.QueueDeltaThreshold
+		}
+	}
+	dataplane.AttachINT(topo.Net, intCfg)
+	domain := transport.NewDomain(topo.Net).InstallAll()
+	coll := collector.New(topo.Scheduler, engine.Now, collector.Config{
+		QueueWindow: 2 * cfg.ProbeInterval,
+	})
+	coll.Bind(domain.Stack(topo.Scheduler))
+	devices := make([]netsim.NodeID, 0, len(topo.Hosts))
+	for _, h := range topo.Hosts {
+		if h != topo.Scheduler {
+			probe.InstallRelay(domain.Stack(h), topo.Scheduler)
+			devices = append(devices, h)
+		}
+	}
+	fleet := probe.NewFleet(topo.Net, devices, topo.Scheduler, cfg.ProbeInterval)
+	if mode == telemetry.ModeProbabilistic {
+		fleet.SetTelemetry(mode, telemetry.RateToWire(rate))
+	}
+	engine.Run(engine.Now() + time.Duration(cfg.Rounds)*cfg.ProbeInterval)
+	fleet.Stop()
+
+	st := coll.Stats()
+	cell := TelemetryOverheadCell{
+		Topo:                  spec.Name,
+		Mode:                  telemetryModeLabel(mode, rate),
+		Rate:                  rate,
+		Probes:                st.ProbesReceived,
+		TelemetryBytes:        st.TelemetryBytes,
+		ReassemblyCompletions: st.ReassemblyCompletions,
+	}
+	if st.ProbesReceived > 0 {
+		cell.BytesPerProbe = float64(st.TelemetryBytes) / float64(st.ProbesReceived)
+	}
+	return cell, nil
+}
+
+// Telemetry sweeps telemetry configurations over the quality and overhead
+// rigs and verifies the identity contract: probabilistic sampling at p=1.0
+// must reproduce the deterministic baseline's decision digest exactly.
+func (p *Pool) Telemetry(cfg TelemetryConfig) (*TelemetryResult, error) {
+	cfg.normalize()
+
+	// One mode/rate axis shared by both sweeps: deterministic, then each
+	// probabilistic rate.
+	type axis struct {
+		mode telemetry.Mode
+		rate float64
+	}
+	cells := []axis{{telemetry.ModeDeterministic, 1.0}}
+	for _, r := range cfg.Rates {
+		cells = append(cells, axis{telemetry.ModeProbabilistic, r})
+	}
+
+	// Quality cells replay the faults workload, so degraded telemetry has
+	// failures to mis-schedule around.
+	events := FaultsConfig{
+		TaskCount:        cfg.TaskCount,
+		MeanInterarrival: cfg.MeanInterarrival,
+	}.normalize().Schedule()
+	scenarios := make([]Scenario, len(cells))
+	for i, ax := range cells {
+		scenarios[i] = Scenario{
+			Seed:               cfg.Seed,
+			Workload:           workload.Serverless,
+			Metric:             cfg.Metric,
+			TaskCount:          cfg.TaskCount,
+			MeanInterarrival:   cfg.MeanInterarrival,
+			ProbeInterval:      cfg.ProbeInterval,
+			Faults:             events,
+			ExcludeUnreachable: true,
+			RecordDecisions:    true,
+			TelemetryMode:      ax.mode,
+			SampleRate:         ax.rate,
+		}
+		if ax.mode == telemetry.ModeProbabilistic && ax.rate < 1.0 {
+			scenarios[i].QueueDeltaThreshold = cfg.QueueDeltaThreshold
+		}
+		if err := scenarios[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := p.RunScenarios(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	quality := make([]TelemetryCell, len(runs))
+	for i, run := range runs {
+		cell := TelemetryCell{
+			Mode:                  telemetryModeLabel(cells[i].mode, cells[i].rate),
+			Rate:                  cells[i].rate,
+			Decisions:             len(run.Decisions),
+			Mis:                   run.MisScheduled(),
+			MeanCompletion:        run.MeanCompletion(),
+			Incomplete:            run.Incomplete,
+			TelemetryBytes:        run.TelemetryBytes,
+			RecordsReassembled:    run.RecordsReassembled,
+			ReassemblyCompletions: run.ReassemblyCompletions,
+			Digest:                telemetryDigest(run),
+		}
+		if cell.Decisions > 0 {
+			cell.MisPct = 100 * float64(cell.Mis) / float64(cell.Decisions)
+		}
+		quality[i] = cell
+	}
+
+	// Identity contract: p=1.0 samples every hop of every probe with value
+	// approximation off, so its run must be indistinguishable from the
+	// deterministic baseline.
+	for _, cell := range quality {
+		if cell.Mode == "p=1.00" && cell.Digest != quality[0].Digest {
+			return nil, fmt.Errorf("telemetry: p=1.0 digest %s != deterministic %s (sampling at certainty changed scheduling)",
+				cell.Digest, quality[0].Digest)
+		}
+	}
+
+	// Overhead cells on the metro fabric.
+	spec, err := cfg.metroSpec()
+	if err != nil {
+		return nil, err
+	}
+	overhead := make([]TelemetryOverheadCell, len(cells))
+	err = p.run(len(cells), func(i int) error {
+		cell, err := runTelemetryOverheadCell(spec, cells[i].mode, cells[i].rate, cfg)
+		if err != nil {
+			return fmt.Errorf("telemetry %s: %w", telemetryModeLabel(cells[i].mode, cells[i].rate), err)
+		}
+		overhead[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range overhead {
+		if overhead[i].BytesPerProbe > 0 {
+			overhead[i].Reduction = overhead[0].BytesPerProbe / overhead[i].BytesPerProbe
+		}
+	}
+	return &TelemetryResult{Cfg: cfg, Quality: quality, Overhead: overhead}, nil
+}
+
+// Telemetry runs the sweep serially; see (*Pool).Telemetry.
+func Telemetry(cfg TelemetryConfig) (*TelemetryResult, error) {
+	return (*Pool)(nil).Telemetry(cfg)
+}
+
+// QualityTable renders the scheduling-quality sweep. DeltaMis columns are
+// percentage-point differences from the deterministic baseline.
+func (r *TelemetryResult) QualityTable() string {
+	tb := stats.NewTable("telemetry", "decisions", "mis", "mis %", "Δ vs det (pp)",
+		"mean completion", "incomplete", "probe bytes", "reassembled", "cycles", "digest")
+	base := r.Quality[0].MisPct
+	for _, c := range r.Quality {
+		tb.AddRow(c.Mode, c.Decisions, c.Mis, fmt.Sprintf("%.2f", c.MisPct),
+			fmt.Sprintf("%+.2f", c.MisPct-base),
+			c.MeanCompletion.Round(time.Millisecond), c.Incomplete,
+			c.TelemetryBytes, c.RecordsReassembled, c.ReassemblyCompletions, c.Digest)
+	}
+	return tb.String()
+}
+
+// OverheadTable renders the bytes-on-wire sweep.
+func (r *TelemetryResult) OverheadTable() string {
+	tb := stats.NewTable("telemetry", "topology", "probes", "probe bytes", "bytes/probe", "reduction", "cycles")
+	for _, c := range r.Overhead {
+		tb.AddRow(c.Mode, c.Topo, c.Probes, c.TelemetryBytes,
+			fmt.Sprintf("%.1f", c.BytesPerProbe), fmt.Sprintf("%.2fx", c.Reduction),
+			c.ReassemblyCompletions)
+	}
+	return tb.String()
+}

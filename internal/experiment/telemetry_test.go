@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+func telemetryTestConfig() TelemetryConfig {
+	return TelemetryConfig{
+		Seed:      3,
+		TaskCount: 40,
+		Rates:     []float64{1.0, 0.25},
+		Rounds:    6,
+		Smoke:     true,
+	}
+}
+
+// TestTelemetrySmoke: the sweep runs end to end, the p=1.0 identity check
+// passes (enforced inside Telemetry), probabilistic cells actually
+// reassemble fragments, and lower sampling rates shrink probes.
+func TestTelemetrySmoke(t *testing.T) {
+	res, err := Telemetry(telemetryTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quality) != 3 || len(res.Overhead) != 3 {
+		t.Fatalf("quality=%d overhead=%d cells, want 3/3", len(res.Quality), len(res.Overhead))
+	}
+	det := res.Quality[0]
+	if det.Mode != "deterministic" || det.RecordsReassembled != 0 {
+		t.Fatalf("baseline cell %+v", det)
+	}
+	if det.Decisions == 0 || det.TelemetryBytes == 0 {
+		t.Fatalf("baseline made no decisions or ingested no telemetry: %+v", det)
+	}
+	for _, c := range res.Quality[1:] {
+		if c.Decisions != det.Decisions {
+			t.Fatalf("cell %s: %d decisions, det made %d (same workload)", c.Mode, c.Decisions, det.Decisions)
+		}
+		if c.RecordsReassembled == 0 {
+			t.Fatalf("cell %s reassembled nothing", c.Mode)
+		}
+	}
+	// Full-rate sampling is the identity: same digest, same byte volume.
+	if full := res.Quality[1]; full.Digest != det.Digest || full.TelemetryBytes != det.TelemetryBytes {
+		t.Fatalf("p=1.0 cell diverged from deterministic: %+v vs %+v", full, det)
+	}
+	// Overhead: bytes per probe must fall monotonically with the rate.
+	over := res.Overhead
+	if over[0].Probes == 0 || over[0].BytesPerProbe <= 0 {
+		t.Fatalf("overhead baseline measured nothing: %+v", over[0])
+	}
+	for i, c := range over {
+		if c.Probes != over[0].Probes {
+			t.Fatalf("cell %s: %d probes, det sent %d (same rig)", c.Mode, c.Probes, over[0].Probes)
+		}
+		if i > 1 && c.BytesPerProbe >= over[i-1].BytesPerProbe {
+			t.Fatalf("bytes/probe not shrinking: %s %.1f vs %s %.1f",
+				c.Mode, c.BytesPerProbe, over[i-1].Mode, over[i-1].BytesPerProbe)
+		}
+	}
+	if last := over[len(over)-1]; last.Reduction < 1.5 {
+		t.Fatalf("p=%.2f reduction only %.2fx", last.Rate, last.Reduction)
+	}
+	if over[len(over)-1].ReassemblyCompletions == 0 {
+		t.Fatal("overhead rig closed no reassembly cycles")
+	}
+}
+
+// TestTelemetryParallelMatchesSerial: the pooled sweep must reproduce the
+// serial sweep exactly — cells may not depend on -parallel.
+func TestTelemetryParallelMatchesSerial(t *testing.T) {
+	cfg := telemetryTestConfig()
+	serial, err := Telemetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewPool(4).Telemetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Quality, parallel.Quality) {
+		t.Fatalf("quality cells depend on -parallel:\nserial   %+v\nparallel %+v", serial.Quality, parallel.Quality)
+	}
+	if !reflect.DeepEqual(serial.Overhead, parallel.Overhead) {
+		t.Fatalf("overhead cells depend on -parallel:\nserial   %+v\nparallel %+v", serial.Overhead, parallel.Overhead)
+	}
+}

@@ -26,6 +26,15 @@ func TestSimDeterminismFault(t *testing.T) {
 	linttest.Run(t, "internal/lint/testdata/src/faultdet", "fixture/faultdet", lint.SimDeterminismAnalyzer)
 }
 
+// TestSimDeterminismPint covers the probabilistic telemetry subsystem: a
+// sampler drawing hop-insertion decisions from the global rand stream, or
+// seeding itself from the wall clock, would make which hops each probe
+// carries — and therefore the reassembled topology — non-reproducible.
+func TestSimDeterminismPint(t *testing.T) {
+	lint.SimSidePackages["fixture/pintdet"] = true
+	linttest.Run(t, "internal/lint/testdata/src/pintdet", "fixture/pintdet", lint.SimDeterminismAnalyzer)
+}
+
 // TestTransientPacket includes the PR 3 regression: a handler retaining
 // delivered packets in a ring buffer while netsim recycles them.
 func TestTransientPacket(t *testing.T) {

@@ -31,6 +31,10 @@ var SimSidePackages = map[string]bool{
 	"intsched/internal/stats":      true,
 	"intsched/internal/fault":      true,
 	"intsched/internal/collector":  true,
+	// pint's sampling draws decide which hops appear in every probe, so an
+	// unnamed or global rand stream there would make the reassembled
+	// topology — and every figure derived from it — non-reproducible.
+	"intsched/internal/pint": true,
 }
 
 // forbiddenTimeFuncs are package time functions that read or wait on the

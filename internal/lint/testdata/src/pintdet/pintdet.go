@@ -1,0 +1,35 @@
+// Package pintdet is the simdeterminism fixture for the probabilistic
+// telemetry subsystem: a sampler drawing per-hop insertion decisions from
+// the global math/rand stream (or seeding itself off the wall clock) makes
+// which hops appear in each probe depend on every other goroutine's draws,
+// so the reassembled topology would differ run to run. Sampling randomness
+// must come from a named, explicitly seeded stream (simtime.Rand.Stream).
+package pintdet
+
+import (
+	"math/rand"
+	"time"
+
+	"intsched/internal/pint"
+	"intsched/internal/simtime"
+)
+
+// GlobalSample draws the per-hop decision from the unnamed global stream.
+func GlobalSample(rate float64) bool {
+	return rand.Float64() < rate // want `call to global math/rand\.Float64 in sim-side package`
+}
+
+// WallclockSeed derives the sampler seed from the wall clock, so two runs
+// of the same scenario sample different hops.
+func WallclockSeed() *pint.Sampler {
+	seed := time.Now().UnixNano() // want `call to time\.Now in sim-side package`
+	return pint.NewSampler(simtime.NewRand(seed))
+}
+
+// NamedStream is the sanctioned idiom: the sampler owns a stream derived
+// from the scenario seed under a stable name, independent of every other
+// consumer of the parent.
+func NamedStream(root *simtime.Rand, device, origin, target string, rate uint16) bool {
+	s := pint.NewSampler(root.Stream("pint"))
+	return s.Sample(device, origin, target, rate)
+}

@@ -21,13 +21,15 @@ type ProbeAgent struct {
 	uplink    *net.UDPAddr
 	interval  time.Duration
 
-	mu     sync.Mutex
-	seq    uint64
-	encBuf []byte // probe encode scratch, guarded by mu
-	pings  map[int64]chan time.Duration
-	closed chan struct{}
-	wg     sync.WaitGroup
-	paused atomic.Bool
+	mu         sync.Mutex
+	seq        uint64
+	mode       telemetry.Mode
+	sampleRate uint16
+	encBuf     []byte // probe encode scratch, guarded by mu
+	pings      map[int64]chan time.Duration
+	closed     chan struct{}
+	wg         sync.WaitGroup
+	paused     atomic.Bool
 
 	// Sent counts emitted probes.
 	Sent uint64
@@ -170,15 +172,26 @@ func (a *ProbeAgent) Ping(dst string, timeout time.Duration) (time.Duration, err
 // health-model tests and failure drills.
 func (a *ProbeAgent) SetPaused(paused bool) { a.paused.Store(paused) }
 
+// SetTelemetry selects the telemetry mode and per-hop sampling rate stamped
+// into this agent's probe headers. Switches honor the header, so agents can
+// roll between deterministic and probabilistic telemetry independently.
+func (a *ProbeAgent) SetTelemetry(mode telemetry.Mode, rate uint16) {
+	a.mu.Lock()
+	a.mode, a.sampleRate = mode, rate
+	a.mu.Unlock()
+}
+
 // EmitProbe sends a single probe immediately (also used by tests).
 func (a *ProbeAgent) EmitProbe() error {
 	now := time.Now()
 	a.mu.Lock()
 	a.seq++
 	payload := telemetry.ProbePayload{
-		Origin: a.id,
-		Seq:    a.seq,
-		SentAt: time.Duration(now.UnixNano()),
+		Origin:     a.id,
+		Seq:        a.seq,
+		SentAt:     time.Duration(now.UnixNano()),
+		Mode:       a.mode,
+		SampleRate: a.sampleRate,
 	}
 	// Encode into the agent's reusable buffer; the datagram Marshal below
 	// copies the payload out before the lock (and with it the buffer) is

@@ -53,11 +53,14 @@ type CollectorDaemon struct {
 	// Fault observability: detection latency is the probe silence observed
 	// when a learned edge ages out; rerouted queries count answers whose
 	// best candidate changed from the same device's previous answer.
-	faultDetection  *obs.Histogram
-	queriesRerouted *obs.Counter
-	rerouteMu       sync.Mutex
-	lastTop         map[rerouteKey]netsim.NodeID
-	exclUnre        bool
+	faultDetection *obs.Histogram
+	// reassemblyLatency observes full probabilistic-telemetry reassembly
+	// cycles (every hop of a stream reported at least once).
+	reassemblyLatency *obs.Histogram
+	queriesRerouted   *obs.Counter
+	rerouteMu         sync.Mutex
+	lastTop           map[rerouteKey]netsim.NodeID
+	exclUnre          bool
 }
 
 // rerouteKey identifies a device's query stream for reroute tracking.
@@ -278,6 +281,26 @@ func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
 		Name: "intsched_collector_path_remaps_total",
 		Help: "Probe streams observed arriving over a changed hop sequence.",
 	}, func() float64 { return float64(d.coll.Stats().PathRemaps) })
+
+	// Probabilistic (PINT) telemetry: bytes-on-wire, fragment merges, and
+	// the latency of full reassembly cycles. The reassembly hook runs with
+	// the origin shard's stream lock held, so it must only touch the
+	// histogram's own atomics — never call back into the collector.
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_probe_bytes_total",
+		Help: "Encoded INT payload bytes of probes handed to the collector.",
+	}, func() float64 { return float64(d.coll.Stats().TelemetryBytes) })
+	d.reg.CounterFunc(obs.Opts{
+		Name: "intsched_probe_records_reassembled_total",
+		Help: "Probabilistic probe fragments merged into per-stream reassembly buffers.",
+	}, func() float64 { return float64(d.coll.Stats().RecordsReassembled) })
+	d.reassemblyLatency = d.reg.Histogram(obs.Opts{
+		Name: "intsched_reassembly_latency_seconds",
+		Help: "Time for a probabilistic stream to report every hop at least once (one full reassembly cycle).",
+	}, nil)
+	d.coll.SetReassemblyHook(func(origin, target string, hops int, latency time.Duration) {
+		d.reassemblyLatency.ObserveDuration(latency)
+	})
 	for _, c := range []struct {
 		name, help string
 		read       func(core.RankCacheStats) uint64

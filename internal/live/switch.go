@@ -12,11 +12,15 @@ package live
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"intsched/internal/dataplane"
+	"intsched/internal/pint"
+	"intsched/internal/simtime"
 	"intsched/internal/telemetry"
 	"intsched/internal/wire"
 )
@@ -76,6 +80,7 @@ type SoftSwitch struct {
 	regs     *dataplane.RegisterFile
 	maxQueue *dataplane.RegisterArray
 	pktCount *dataplane.RegisterArray
+	sampler  *pint.Sampler
 
 	rxWg    sync.WaitGroup // receive loop
 	drainWg sync.WaitGroup // per-port drain goroutines
@@ -107,6 +112,11 @@ func NewSoftSwitch(id, addr string, rateBps int64, queueCap int) (*SoftSwitch, e
 		return nil, fmt.Errorf("live: switch %s: %w", id, err)
 	}
 	regs := dataplane.NewRegisterFile()
+	// Per-flow sampling streams for probabilistic (PINT) probes, seeded
+	// from the switch id so a restarted switch samples reproducibly. The
+	// probe header selects the mode, so a mixed fleet shares one fabric.
+	h := fnv.New64a()
+	h.Write([]byte(id))
 	return &SoftSwitch{
 		id:       id,
 		conn:     conn,
@@ -115,6 +125,7 @@ func NewSoftSwitch(id, addr string, rateBps int64, queueCap int) (*SoftSwitch, e
 		routes:   make(map[string]int),
 		addrPort: make(map[string]int),
 		regs:     regs,
+		sampler:  pint.NewSampler(simtime.NewRand(int64(h.Sum64()))),
 		closed:   make(chan struct{}),
 	}, nil
 }
@@ -313,49 +324,75 @@ func (s *SoftSwitch) drain(p *swPort) {
 	}
 }
 
-// stampProbe flushes the registers into the probe's INT stack and writes
-// the egress timestamp — the live twin of the simulator's INT egress stage.
+// stampProbe runs the INT egress stage on a probe — the live twin of the
+// simulated dataplane's EgressControl. Every hop claims its index and stamps
+// the egress timestamp; whether the registers are flushed into a record
+// depends on the probe header's telemetry mode (deterministic: always;
+// probabilistic: an independent per-hop sampling draw). The payload is
+// re-encoded even when the hop skipped its record, because the hop count
+// advanced.
 func (s *SoftSwitch) stampProbe(p *swPort, f *frame) {
 	payload := &p.probeScratch
 	if err := telemetry.UnmarshalProbeInto(payload, f.d.Payload); err != nil {
 		return // malformed probe: forward untouched
 	}
 	now := time.Now()
-	inPort := f.inPort
-	if inPort < 0 {
-		inPort = 0 // unknown sender: the wire codec requires a valid port
+	hopIdx := payload.HopCount
+	if payload.HopCount < math.MaxUint8 {
+		payload.HopCount++
 	}
-	if len(payload.Stack.Records) >= telemetry.MaxRecords {
-		payload.Stack.Truncated = true
-	} else {
-		// Append our record in place, reviving the slice slot (and its
-		// queue backing array) a previous probe through this port left in
-		// the scratch payload. Every field is overwritten.
+	target := payload.Target
+	if target == "" {
+		target = f.d.Dst
+	}
+	sampled := payload.Mode != telemetry.ModeProbabilistic ||
+		s.sampler.Sample(s.id, payload.Origin, target, payload.SampleRate)
+	if sampled {
 		recs := payload.Stack.Records
-		if len(recs) < cap(recs) {
-			recs = recs[:len(recs)+1]
-		} else {
-			recs = append(recs, telemetry.Record{})
+		var rec *telemetry.Record
+		switch {
+		case len(recs) < telemetry.MaxRecords:
+			// Append our record in place, reviving the slice slot (and
+			// its queue backing array) a previous probe through this port
+			// left in the scratch payload. Every field is overwritten.
+			if len(recs) < cap(recs) {
+				recs = recs[:len(recs)+1]
+			} else {
+				recs = append(recs, telemetry.Record{})
+			}
+			rec = &recs[len(recs)-1]
+			payload.Stack.Records = recs
+		case payload.Mode == telemetry.ModeProbabilistic:
+			// Reservoir backstop: the budget is spent, replace a uniform
+			// slot so late hops still surface.
+			rec = &recs[s.sampler.Slot(s.id, payload.Origin, target, len(recs))]
+		default:
+			payload.Stack.Truncated = true
 		}
-		rec := &recs[len(recs)-1]
-		rec.Device = s.id
-		rec.IngressPort = inPort
-		rec.EgressPort = p.index
-		rec.HopLatency = now.Sub(f.ingressAt)
-		rec.EgressTS = time.Duration(now.UnixNano())
-		rec.LinkLatency = 0
-		if f.hasLat {
-			rec.LinkLatency = f.linkLat
+		if rec != nil {
+			inPort := f.inPort
+			if inPort < 0 {
+				inPort = 0 // unknown sender: the wire codec requires a valid port
+			}
+			rec.Device = s.id
+			rec.HopIndex = hopIdx
+			rec.IngressPort = inPort
+			rec.EgressPort = p.index
+			rec.HopLatency = now.Sub(f.ingressAt)
+			rec.EgressTS = time.Duration(now.UnixNano())
+			rec.LinkLatency = 0
+			if f.hasLat {
+				rec.LinkLatency = f.linkLat
+			}
+			n := s.maxQueue.Size()
+			queues := rec.Queues[:0]
+			for port := 0; port < n; port++ {
+				mq := s.maxQueue.Swap(port, 0)
+				cnt := s.pktCount.Swap(port, 0)
+				queues = append(queues, telemetry.PortQueue{Port: port, MaxQueue: int(mq), Packets: uint32(cnt)})
+			}
+			rec.Queues = queues
 		}
-		n := s.maxQueue.Size()
-		queues := rec.Queues[:0]
-		for port := 0; port < n; port++ {
-			mq := s.maxQueue.Swap(port, 0)
-			cnt := s.pktCount.Swap(port, 0)
-			queues = append(queues, telemetry.PortQueue{Port: port, MaxQueue: int(mq), Packets: uint32(cnt)})
-		}
-		rec.Queues = queues
-		payload.Stack.Records = recs
 	}
 	if encoded, err := telemetry.AppendProbe(p.encScratch[:0], payload); err == nil {
 		p.encScratch = encoded

@@ -1,0 +1,138 @@
+// Package pint implements the probabilistic lightweight telemetry mode
+// (PINT-style, arxiv 2007.03731): instead of every switch appending its INT
+// record to every probe — per-hop header growth the lightweight-INT
+// literature attacks — each switch inserts its record with probability p.
+// A single probe then carries a sampled subset of hops bounded by a small
+// constant, and the collector reassembles the full path across successive
+// probes of the same flow (see internal/collector's reassembly stage).
+//
+// Two pieces live here:
+//
+//   - Sampler: the per-hop insertion decision. Draws come from a named
+//     simtime.Rand stream derived per (switch, flow), so simulation runs
+//     stay a pure function of the seed — adding a switch or a flow never
+//     perturbs the draws any other (switch, flow) pair sees — and a
+//     full-rate sampler (p = 1.0) samples every hop, making probabilistic
+//     mode at p=1.0 byte-identical to deterministic mode.
+//
+//   - ValueApprox: PINT's value aggregation for queue maxima. A switch
+//     reports a port's queue maximum only when the observed value moved by
+//     more than a configured threshold since the last report, trading
+//     precision for fewer on-wire queue entries.
+package pint
+
+import (
+	"math"
+	"sync"
+
+	"intsched/internal/simtime"
+)
+
+// flowKey identifies one switch's view of one probe flow. Keying streams by
+// switch AND flow (rather than switch alone) keeps draws independent: the
+// hops a probe of flow A samples never depend on how many probes of flow B
+// passed through the same switch.
+type flowKey struct {
+	device string
+	origin string
+	target string
+}
+
+// Sampler makes deterministic per-hop insertion decisions. It is safe for
+// concurrent use (the live soft switch drains ports from several
+// goroutines); the simulator calls it from the single event-loop goroutine.
+type Sampler struct {
+	mu      sync.Mutex
+	root    *simtime.Rand
+	streams map[flowKey]*simtime.Rand
+}
+
+// NewSampler returns a sampler whose streams derive from root. Pass a
+// dedicated named stream (e.g. rng.Stream("pint")) so sampling draws never
+// share a sequence with workload or traffic generation.
+func NewSampler(root *simtime.Rand) *Sampler {
+	return &Sampler{root: root, streams: make(map[flowKey]*simtime.Rand)}
+}
+
+// stream returns the (switch, flow) stream, deriving it on first use.
+// Callers hold s.mu.
+func (s *Sampler) stream(device, origin, target string) *simtime.Rand {
+	k := flowKey{device: device, origin: origin, target: target}
+	st, ok := s.streams[k]
+	if !ok {
+		st = s.root.Stream("pint/" + device + "/" + origin + ">" + target)
+		s.streams[k] = st
+	}
+	return st
+}
+
+// Sample reports whether device should insert its record into a probe of
+// flow origin→target carrying the given fixed-point sampling rate
+// (telemetry.RateToWire form). The maximum rate always samples — Float64
+// draws lie in [0, 1) — which is what makes p=1.0 probabilistic output
+// identical to deterministic output.
+func (s *Sampler) Sample(device, origin, target string, rate uint16) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream(device, origin, target).Float64() < float64(rate)/math.MaxUint16
+}
+
+// Slot returns a uniform slot index in [0, n) from the same (switch, flow)
+// stream, for reservoir-style replacement once a probe's record budget is
+// full: replacing a uniformly chosen earlier record keeps the carried subset
+// unbiased while bounding probe size at O(1).
+func (s *Sampler) Slot(device, origin, target string, n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream(device, origin, target).Intn(n)
+}
+
+// Streams reports how many (switch, flow) streams have been derived
+// (diagnostics and tests).
+func (s *Sampler) Streams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// ValueApprox filters per-port queue-maximum reports by change magnitude
+// (PINT §value aggregation): a port is reported only when its observed
+// value moved by more than Threshold since the last reported value. A
+// threshold of zero (or negative) disables filtering — every port is always
+// reported, preserving deterministic-equivalent output.
+type ValueApprox struct {
+	mu        sync.Mutex
+	threshold int
+	last      map[int]int64
+}
+
+// NewValueApprox returns a filter with the given report threshold.
+func NewValueApprox(threshold int) *ValueApprox {
+	return &ValueApprox{threshold: threshold, last: make(map[int]int64)}
+}
+
+// Threshold returns the configured report threshold.
+func (v *ValueApprox) Threshold() int { return v.threshold }
+
+// ShouldReport decides whether a port's current value is worth carrying on
+// the wire, updating the last-reported value when it is. Ports never seen
+// before always report.
+func (v *ValueApprox) ShouldReport(port int, value int64) bool {
+	if v.threshold <= 0 {
+		return true
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	last, seen := v.last[port]
+	if seen {
+		delta := value - last
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta <= int64(v.threshold) {
+			return false
+		}
+	}
+	v.last[port] = value
+	return true
+}

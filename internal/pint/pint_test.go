@@ -1,0 +1,118 @@
+package pint
+
+import (
+	"testing"
+
+	"intsched/internal/simtime"
+	"intsched/internal/telemetry"
+)
+
+// TestSamplerDeterministic checks the same (seed, switch, flow) always makes
+// the same decisions, independent of what other flows drew in between.
+func TestSamplerDeterministic(t *testing.T) {
+	draw := func(perturb bool) []bool {
+		s := NewSampler(simtime.NewRand(42).Stream("pint"))
+		rate := telemetry.RateToWire(0.5)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			if perturb {
+				// Interleaved draws of an unrelated flow must not change
+				// what the flow under test sees.
+				s.Sample("s01", "other", "collector", rate)
+			}
+			out = append(out, s.Sample("s01", "n1", "collector", rate))
+		}
+		return out
+	}
+	a, b := draw(false), draw(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs with interleaved flow: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSamplerFullRate checks p=1.0 samples every hop — the property the
+// p=1.0 ≡ deterministic acceptance criterion rests on.
+func TestSamplerFullRate(t *testing.T) {
+	s := NewSampler(simtime.NewRand(7))
+	rate := telemetry.RateToWire(1.0)
+	for i := 0; i < 4096; i++ {
+		if !s.Sample("sw", "origin", "target", rate) {
+			t.Fatalf("full-rate draw %d did not sample", i)
+		}
+	}
+	if s.Sample("sw", "origin", "target", telemetry.RateToWire(0)) {
+		t.Fatal("zero-rate draw sampled")
+	}
+}
+
+// TestSamplerRateConvergence sanity-checks the empirical sampling frequency.
+func TestSamplerRateConvergence(t *testing.T) {
+	s := NewSampler(simtime.NewRand(11))
+	rate := telemetry.RateToWire(0.25)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Sample("sw", "o", "t", rate) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.23 || got > 0.27 {
+		t.Fatalf("empirical rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestSamplerSlot(t *testing.T) {
+	s := NewSampler(simtime.NewRand(3))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		slot := s.Slot("sw", "o", "t", 8)
+		if slot < 0 || slot >= 8 {
+			t.Fatalf("slot %d out of [0, 8)", slot)
+		}
+		seen[slot] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d of 8 slots drawn", len(seen))
+	}
+}
+
+func TestValueApproxThreshold(t *testing.T) {
+	v := NewValueApprox(5)
+	if !v.ShouldReport(0, 10) {
+		t.Fatal("first observation must report")
+	}
+	if v.ShouldReport(0, 12) {
+		t.Fatal("change within threshold reported")
+	}
+	if v.ShouldReport(0, 15) {
+		t.Fatal("change equal to threshold reported")
+	}
+	if !v.ShouldReport(0, 16) {
+		t.Fatal("change above threshold suppressed")
+	}
+	// The reported value becomes the new baseline.
+	if v.ShouldReport(0, 20) {
+		t.Fatal("baseline not updated on report")
+	}
+	if !v.ShouldReport(0, 4) {
+		t.Fatal("drop below baseline suppressed")
+	}
+	// Distinct ports track independently.
+	if !v.ShouldReport(1, 0) {
+		t.Fatal("unseen port suppressed")
+	}
+}
+
+// TestValueApproxDisabled checks threshold <= 0 always reports — the mode
+// the p=1.0 identity experiment cells run with.
+func TestValueApproxDisabled(t *testing.T) {
+	v := NewValueApprox(0)
+	for i := 0; i < 10; i++ {
+		if !v.ShouldReport(0, 7) {
+			t.Fatal("zero-threshold filter suppressed a report")
+		}
+	}
+}

@@ -29,7 +29,9 @@ type Prober struct {
 	ticker    *simtime.Ticker
 	interval  time.Duration
 
-	seq uint64
+	seq        uint64
+	mode       telemetry.Mode
+	sampleRate uint16
 	// Sent counts emitted probes.
 	Sent uint64
 }
@@ -61,6 +63,14 @@ func (p *Prober) SetInterval(interval time.Duration) {
 	p.ticker.SetPeriod(interval)
 }
 
+// SetTelemetry selects the telemetry mode and per-hop sampling rate stamped
+// into emitted probe headers. Switches honor the header, so a mixed fleet
+// (some probers deterministic, some probabilistic) shares one fabric.
+func (p *Prober) SetTelemetry(mode telemetry.Mode, rate uint16) {
+	p.mode = mode
+	p.sampleRate = rate
+}
+
 // Stop halts the prober.
 func (p *Prober) Stop() { p.ticker.Stop() }
 
@@ -69,10 +79,12 @@ func (p *Prober) emit() {
 	p.seq++
 	pkt := p.net.NewPacket(netsim.KindProbe, p.origin, p.collector, telemetry.ProbePacketSize)
 	pkt.Probe = &telemetry.ProbePayload{
-		Origin: string(p.origin),
-		Target: string(p.collector),
-		Seq:    p.seq,
-		SentAt: p.net.Now(),
+		Origin:     string(p.origin),
+		Target:     string(p.collector),
+		Seq:        p.seq,
+		SentAt:     p.net.Now(),
+		Mode:       p.mode,
+		SampleRate: p.sampleRate,
 	}
 	p.Sent++
 	_ = p.net.Send(pkt)
@@ -104,6 +116,13 @@ func (f *Fleet) Probers() []*Prober { return f.probers }
 func (f *Fleet) SetInterval(interval time.Duration) {
 	for _, p := range f.probers {
 		p.SetInterval(interval)
+	}
+}
+
+// SetTelemetry updates every prober's telemetry mode and sampling rate.
+func (f *Fleet) SetTelemetry(mode telemetry.Mode, rate uint16) {
+	for _, p := range f.probers {
+		p.SetTelemetry(mode, rate)
 	}
 }
 

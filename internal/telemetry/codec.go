@@ -11,10 +11,13 @@ import (
 // Binary wire format for probe payloads, shared by the simulator's overhead
 // accounting and the live (real-socket) mode. All integers are big-endian.
 //
-//	header:
+//	header (version 2):
 //	  magic      uint16  (GeneveMarker)
 //	  version    uint8
 //	  flags      uint8   (bit0: truncated)
+//	  mode       uint8   (Mode)
+//	  sampleRate uint16  (fixed-point p, RateToWire form)
+//	  hopCount   uint8   (devices traversed, sampled or not)
 //	  seq        uint64
 //	  sentAt     int64   (ns)
 //	  lastHop    int64   (ns)
@@ -24,6 +27,7 @@ import (
 //	  target     []byte
 //	  numRecords uint8
 //	records, each:
+//	  hopIndex    uint8   (position on the path; absent in version 1)
 //	  deviceLen   uint8
 //	  device      []byte
 //	  ingressPort uint8
@@ -33,8 +37,21 @@ import (
 //	  egressTS    int64 (ns)
 //	  numQueues   uint8
 //	  queues, each: port uint8, maxQueue uint16, packets uint32
+//
+// Version 1 payloads (no mode/sampleRate/hopCount header fields, no
+// per-record hopIndex) still decode: they describe deterministic probes, so
+// hop indices are the record positions and the hop count is the stack depth.
 
-const codecVersion = 1
+const codecVersion = 2
+
+// Minimum wire sizes, used to reject forged record/queue counts before any
+// scratch growth: a declared count whose minimum encoding exceeds the bytes
+// actually remaining can only be malformed (or hostile) input.
+const (
+	minRecordWireV1 = 1 + 1 + 1 + 8 + 8 + 8 + 1 // empty device name, no queues
+	minRecordWireV2 = minRecordWireV1 + 1       // + hopIndex
+	queueWireSize   = 1 + 2 + 4
+)
 
 var (
 	// ErrBadMagic is returned when a payload does not start with the
@@ -65,6 +82,9 @@ func AppendProbe(dst []byte, p *ProbePayload) ([]byte, error) {
 	if len(p.Stack.Records) > math.MaxUint8 {
 		return dst, fmt.Errorf("telemetry: too many records (%d)", len(p.Stack.Records))
 	}
+	if p.HopCount < 0 || p.HopCount > math.MaxUint8 {
+		return dst, fmt.Errorf("telemetry: hop count %d out of range", p.HopCount)
+	}
 	start := len(dst)
 	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, GeneveMarker)
@@ -74,6 +94,9 @@ func AppendProbe(dst []byte, p *ProbePayload) ([]byte, error) {
 		flags |= 1
 	}
 	buf = append(buf, flags)
+	buf = append(buf, byte(p.Mode))
+	buf = binary.BigEndian.AppendUint16(buf, p.SampleRate)
+	buf = append(buf, byte(p.HopCount))
 	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SentAt))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.LastHopLatency))
@@ -87,6 +110,9 @@ func AppendProbe(dst []byte, p *ProbePayload) ([]byte, error) {
 		if len(r.Device) > math.MaxUint8 {
 			return dst[:start], fmt.Errorf("telemetry: device %q too long", r.Device)
 		}
+		if r.HopIndex < 0 || r.HopIndex > math.MaxUint8 {
+			return dst[:start], fmt.Errorf("telemetry: hop index %d out of range in record for %q", r.HopIndex, r.Device)
+		}
 		if r.IngressPort < 0 || r.IngressPort > math.MaxUint8 ||
 			r.EgressPort < 0 || r.EgressPort > math.MaxUint8 {
 			return dst[:start], fmt.Errorf("telemetry: port out of range in record for %q", r.Device)
@@ -94,6 +120,7 @@ func AppendProbe(dst []byte, p *ProbePayload) ([]byte, error) {
 		if len(r.Queues) > math.MaxUint8 {
 			return dst[:start], fmt.Errorf("telemetry: too many queue reports for %q", r.Device)
 		}
+		buf = append(buf, byte(r.HopIndex))
 		buf = append(buf, byte(len(r.Device)))
 		buf = append(buf, r.Device...)
 		buf = append(buf, byte(r.IngressPort), byte(r.EgressPort))
@@ -225,7 +252,7 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 	if err != nil {
 		return err
 	}
-	if ver != codecVersion {
+	if ver != 1 && ver != codecVersion {
 		return fmt.Errorf("telemetry: unsupported codec version %d", ver)
 	}
 	flags, err := r.u8()
@@ -233,6 +260,22 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 		return err
 	}
 	p.Stack.Truncated = flags&1 != 0
+	p.Mode, p.SampleRate, p.HopCount = ModeDeterministic, 0, 0
+	if ver >= 2 {
+		mode, err := r.u8()
+		if err != nil {
+			return err
+		}
+		p.Mode = Mode(mode)
+		if p.SampleRate, err = r.u16(); err != nil {
+			return err
+		}
+		hops, err := r.u8()
+		if err != nil {
+			return err
+		}
+		p.HopCount = int(hops)
+	}
 	if p.Seq, err = r.u64(); err != nil {
 		return err
 	}
@@ -256,6 +299,17 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 	if err != nil {
 		return err
 	}
+	// Reject a declared record count that cannot fit in the remaining bytes
+	// BEFORE growing scratch storage: a forged count must not be able to
+	// drive allocation (the scratch buffers live for the life of a decode
+	// loop, so one bad datagram would otherwise pin the growth forever).
+	minRecord := minRecordWireV2
+	if ver == 1 {
+		minRecord = minRecordWireV1
+	}
+	if int(n)*minRecord > len(r.b)-r.off {
+		return ErrTruncatedPayload
+	}
 	// Reuse previously decoded record storage (notably each slot's Queues
 	// backing array); every field is overwritten below. When growing, copy
 	// the old slots so their Queues arrays stay reusable.
@@ -268,6 +322,14 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 	recs = recs[:n]
 	for i := 0; i < int(n); i++ {
 		rec := &recs[i]
+		rec.HopIndex = i
+		if ver >= 2 {
+			hop, err := r.u8()
+			if err != nil {
+				return err
+			}
+			rec.HopIndex = int(hop)
+		}
 		if rec.Device, err = r.strReuse(rec.Device); err != nil {
 			return err
 		}
@@ -299,6 +361,11 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 		if err != nil {
 			return err
 		}
+		// Same forged-count guard as for records: bound the queue count by
+		// the bytes actually present before growing scratch.
+		if int(nq)*queueWireSize > len(r.b)-r.off {
+			return ErrTruncatedPayload
+		}
 		queues := rec.Queues
 		if cap(queues) < int(nq) {
 			queues = make([]PortQueue, int(nq))
@@ -322,5 +389,23 @@ func UnmarshalProbeInto(p *ProbePayload, b []byte) error {
 		rec.Queues = queues
 	}
 	p.Stack.Records = recs
+	if ver == 1 {
+		// Version-1 probes are deterministic: the stack is the whole path.
+		p.HopCount = len(recs)
+	}
 	return nil
+}
+
+// EncodedSize returns the exact wire size AppendProbe would produce for p,
+// without encoding. The simulator uses it for bytes-on-wire accounting:
+// probes travel as fixed-MTU packets in the sim, so the meaningful overhead
+// number is the telemetry payload a real network would carry.
+func EncodedSize(p *ProbePayload) int {
+	n := 2 + 1 + 1 + 1 + 2 + 1 + 8 + 8 + 8 + // magic..hopCount, seq, sentAt, lastHop
+		1 + len(p.Origin) + 1 + len(p.Target) + 1
+	for i := range p.Stack.Records {
+		r := &p.Stack.Records[i]
+		n += minRecordWireV2 + len(r.Device) + len(r.Queues)*queueWireSize
+	}
+	return n
 }

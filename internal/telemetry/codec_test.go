@@ -111,6 +111,126 @@ func TestUnmarshalBadVersion(t *testing.T) {
 	}
 }
 
+// TestUnmarshalForgedRecordCount forges probe headers whose declared record
+// (or queue) count exceeds what the remaining bytes could possibly hold: the
+// decoder must reject them with ErrTruncatedPayload before growing any
+// scratch storage, so a hostile datagram cannot drive allocation.
+func TestUnmarshalForgedRecordCount(t *testing.T) {
+	p := samplePayload()
+	good, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// numRecords sits right after the header strings: magic(2) version(1)
+	// flags(1) mode(1) rate(2) hops(1) seq(8) sentAt(8) lastHop(8)
+	// originLen(1)+origin targetLen(1)+target.
+	recCountOff := 2 + 1 + 1 + 1 + 2 + 1 + 8 + 8 + 8 + 1 + len(p.Origin) + 1 + len(p.Target)
+	forged := append([]byte(nil), good...)
+	forged[recCountOff] = 255
+	var reused ProbePayload
+	if err := UnmarshalProbeInto(&reused, forged); err != ErrTruncatedPayload {
+		t.Fatalf("forged record count: err=%v, want ErrTruncatedPayload", err)
+	}
+	if cap(reused.Stack.Records) >= 255 {
+		t.Fatalf("forged record count grew scratch to %d records", cap(reused.Stack.Records))
+	}
+	// Forge the first record's queue count the same way: it follows the
+	// record's hopIndex, device string, ports, and three timestamps.
+	queueCountOff := recCountOff + 1 +
+		1 + 1 + len(p.Stack.Records[0].Device) + 1 + 1 + 8 + 8 + 8
+	forged = append(forged[:0], good...)
+	forged[queueCountOff] = 255
+	if err := UnmarshalProbeInto(&reused, forged); err != ErrTruncatedPayload {
+		t.Fatalf("forged queue count: err=%v, want ErrTruncatedPayload", err)
+	}
+	// The reused payload must still decode good input afterwards.
+	if err := UnmarshalProbeInto(&reused, good); err != nil {
+		t.Fatalf("good decode after forged inputs: %v", err)
+	}
+}
+
+// TestProbeCodecModeRoundTrip checks the version-2 header fields survive a
+// round trip.
+func TestProbeCodecModeRoundTrip(t *testing.T) {
+	p := samplePayload()
+	p.Mode = ModeProbabilistic
+	p.SampleRate = RateToWire(0.25)
+	p.HopCount = 7
+	p.Stack.Records[0].HopIndex = 3
+	p.Stack.Records[1].HopIndex = 6
+	b, err := MarshalProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ModeProbabilistic || got.SampleRate != RateToWire(0.25) || got.HopCount != 7 {
+		t.Fatalf("header fields lost: mode=%v rate=%d hops=%d", got.Mode, got.SampleRate, got.HopCount)
+	}
+	if got.Stack.Records[0].HopIndex != 3 || got.Stack.Records[1].HopIndex != 6 {
+		t.Fatalf("hop indices lost: %+v", got.Stack.Records)
+	}
+}
+
+// TestUnmarshalVersion1Compat hand-encodes a version-1 payload (no mode,
+// sample-rate, hop-count, or per-record hop-index fields) and checks it still
+// decodes, with deterministic-mode defaults filled in.
+func TestUnmarshalVersion1Compat(t *testing.T) {
+	p := samplePayload()
+	var b []byte
+	b = append(b, 0x01, 0x03) // GeneveMarker
+	b = append(b, 1, 0)       // version 1, flags
+	b = append(b, make([]byte, 24)...)
+	b[4+7] = 42 // seq = 42
+	b = append(b, byte(len(p.Origin)))
+	b = append(b, p.Origin...)
+	b = append(b, 0) // empty target
+	b = append(b, byte(len(p.Stack.Records)))
+	for i := range p.Stack.Records {
+		r := &p.Stack.Records[i]
+		b = append(b, byte(len(r.Device)))
+		b = append(b, r.Device...)
+		b = append(b, byte(r.IngressPort), byte(r.EgressPort))
+		b = append(b, make([]byte, 24)...) // zero latencies/timestamps
+		b = append(b, 0)                   // no queues
+	}
+	got, err := UnmarshalProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ModeDeterministic || got.Seq != 42 {
+		t.Fatalf("v1 decode: mode=%v seq=%d", got.Mode, got.Seq)
+	}
+	if got.HopCount != len(p.Stack.Records) {
+		t.Fatalf("v1 hop count %d, want stack depth %d", got.HopCount, len(p.Stack.Records))
+	}
+	for i := range got.Stack.Records {
+		if got.Stack.Records[i].HopIndex != i {
+			t.Fatalf("v1 record %d got hop index %d", i, got.Stack.Records[i].HopIndex)
+		}
+		if got.Stack.Records[i].Device != p.Stack.Records[i].Device {
+			t.Fatalf("v1 record %d device %q", i, got.Stack.Records[i].Device)
+		}
+	}
+}
+
+// TestEncodedSize checks the analytic size against real encodings.
+func TestEncodedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		p := randomPayload(rng)
+		b, err := MarshalProbe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := EncodedSize(p); got != len(b) {
+			t.Fatalf("EncodedSize=%d, encoded %d bytes: %+v", got, len(b), p)
+		}
+	}
+}
+
 func TestMarshalValidation(t *testing.T) {
 	long := string(bytes.Repeat([]byte("x"), 300))
 	if _, err := MarshalProbe(&ProbePayload{Origin: long}); err == nil {
