@@ -402,6 +402,64 @@ func BenchmarkSchedulerQueryThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexHotPath measures the index-space scheduler read path on a
+// warmed Fig 4 deployment with a frozen snapshot: PathInto with reused
+// scratch, and warm single/batched ranking queries served as zero-copy
+// views of shared cache entries (allocs/op must stay 0 on the walk and the
+// single query; intbench -exp hotpath prints the full string-vs-index
+// comparison with digest checks).
+func BenchmarkIndexHotPath(b *testing.B) {
+	rig, err := experiment.NewQueryRig(true, experiment.QPSConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := rig.Coll.Snapshot()
+	src, ok := snap.NodeIndex(string(rig.Devices[0]))
+	if !ok {
+		b.Fatal("device not in learned topology")
+	}
+	dst, ok := snap.NodeIndex(snap.Hosts()[len(snap.Hosts())-1])
+	if !ok {
+		b.Fatal("host not in learned topology")
+	}
+	b.Run("PathInto", func(b *testing.B) {
+		var scratch []int32
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, code, _ := snap.PathInto(src, dst, scratch)
+			scratch = p
+			if code != collector.PathOK {
+				b.Fatalf("path code %v", code)
+			}
+		}
+	})
+	req := &core.QueryRequest{From: rig.Devices[0], Metric: core.MetricDelay, Sorted: true}
+	rig.Svc.RankOn(snap, req) // warm the cache entry
+	b.Run("RankForWarm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := rig.Svc.RankOn(snap, req); len(got) == 0 {
+				b.Fatal("empty ranking")
+			}
+		}
+	})
+	reqs := make([]*core.QueryRequest, 64)
+	for i := range reqs {
+		metric := core.MetricDelay
+		if i%2 == 1 {
+			metric = core.MetricBandwidth
+		}
+		reqs[i] = &core.QueryRequest{From: rig.Devices[i%len(rig.Devices)], Metric: metric, Sorted: true}
+	}
+	rig.Svc.RankBatchOn(snap, reqs)
+	b.Run("RankBatchWarm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rig.Svc.RankBatchOn(snap, reqs)
+		}
+	})
+}
+
 // warmedCollector builds a collector taught the Fig 4 topology via a short
 // simulated probing phase.
 func warmedCollector(b *testing.B) *collector.Collector {

@@ -14,7 +14,9 @@
 // metro fabrics and writes results/BENCH_scale.json; -scale-smoke shrinks
 // its fabrics to CI size. The telemetry experiment (by name only) sweeps
 // deterministic vs probabilistic PINT-style telemetry and writes
-// results/BENCH_telemetry.json; -telemetry-smoke shrinks it to CI size.
+// results/BENCH_telemetry.json; -telemetry-smoke shrinks it to CI size. The
+// hotpath experiment (by name only) micro-benchmarks the index-space read
+// path against the string APIs and writes results/BENCH_hotpath.json.
 package main
 
 import (
@@ -86,7 +88,7 @@ func main() {
 	for _, extra := range []struct {
 		name string
 		fn   func() error
-	}{{"parbench", parbench}, {"scale", scale}, {"telemetry", telemetryExp}} {
+	}{{"parbench", parbench}, {"scale", scale}, {"telemetry", telemetryExp}, {"hotpath", hotpath}} {
 		if !want[extra.name] {
 			continue
 		}
@@ -262,6 +264,72 @@ func telemetryExp() error {
 		return err
 	}
 	fmt.Println("wrote results/BENCH_telemetry.json")
+	return nil
+}
+
+// hotpath micro-benchmarks the index-space scheduler read path against the
+// string APIs it replaced — path walks, per-hop metric reads, warm single
+// queries, warm batches — and writes results/BENCH_hotpath.json. Each cell
+// digests both variants and fails on divergence, so the reported speedups
+// are backed by byte-identical answers.
+func hotpath() error {
+	res, err := experiment.Hotpath(experiment.HotpathConfig{})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("cell", "ops/sweep", "string ns/op", "index ns/op", "speedup", "string allocs/op", "index allocs/op")
+	for _, c := range res.Cells {
+		tb.AddRow(c.Name, c.Ops,
+			fmt.Sprintf("%.0f", c.OldNsOp), fmt.Sprintf("%.0f", c.NewNsOp),
+			fmt.Sprintf("%.1fx", c.Speedup()),
+			fmt.Sprintf("%.2f", c.OldAllocsOp), fmt.Sprintf("%.2f", c.NewAllocsOp))
+	}
+	fmt.Println(tb.String())
+	for _, c := range res.Cells {
+		fmt.Printf("hotpath digest %s %s\n", c.Name, c.Digest)
+	}
+	fmt.Println("(every cell's index-path digest matched its string-path digest; timings are wall-clock, allocs are exact Mallocs deltas)")
+
+	type cellJSON struct {
+		Cell        string  `json:"cell"`
+		Ops         int     `json:"ops_per_sweep"`
+		OldNsOp     float64 `json:"string_ns_op"`
+		NewNsOp     float64 `json:"index_ns_op"`
+		Speedup     float64 `json:"speedup"`
+		OldAllocsOp float64 `json:"string_allocs_op"`
+		NewAllocsOp float64 `json:"index_allocs_op"`
+		Digest      string  `json:"digest"`
+	}
+	report := struct {
+		Bench string     `json:"bench"`
+		CPUs  int        `json:"cpus"`
+		Cores int        `json:"cores"`
+		Cells []cellJSON `json:"cells"`
+	}{
+		Bench: "hotpath",
+		CPUs:  runtime.NumCPU(),
+		Cores: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range res.Cells {
+		report.Cells = append(report.Cells, cellJSON{
+			Cell: c.Name, Ops: c.Ops,
+			OldNsOp: c.OldNsOp, NewNsOp: c.NewNsOp, Speedup: c.Speedup(),
+			OldAllocsOp: c.OldAllocsOp, NewAllocsOp: c.NewAllocsOp,
+			Digest: c.Digest,
+		})
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("results/BENCH_hotpath.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote results/BENCH_hotpath.json")
 	return nil
 }
 

@@ -1,0 +1,265 @@
+package collector
+
+import (
+	"sort"
+	"time"
+)
+
+// CSR edge-metric arena. The merged snapshot already materializes the
+// neighbor index rows (nbrIdx) the path trees run on; the arena flattens
+// those rows into one CSR array and, at the same merge, resolves every
+// per-direction edge metric (delay, jitter, rate, windowed queue max) out of
+// the per-shard view maps into flat arrays. The scheduler hot path then
+// reads metrics as array loads indexed by CSR position instead of hashing
+// string pairs through delegated shard-view maps.
+//
+// Coordinate system: node index i is Nodes[i] (sorted, so index order is
+// name order). CSR edge id e is the position of neighbor v in u's row:
+// edgeStart[u] <= e < edgeStart[u+1] and nbrFlat[e] == v. Each CSR edge
+// carries BOTH directions' metrics: slot 2e holds the u->v direction and
+// slot 2e+1 holds v->u. Storing the reverse direction alongside is what
+// makes tree walks resolvable: a destination-tree hop a->b guarantees the
+// CSR edge (b, a) exists (BFS discovered a out of b's neighbor row), while
+// the forward edge (a, b) may have aged out independently — adjacency is
+// directional. DirSlot tries the forward edge first, then the reverse.
+//
+// The slot arrays are filled through the exact same view-map reads the
+// string-keyed Topology methods perform (LinkDelay / LinkJitter / LinkRate /
+// QueueMax), so for any pair that is a CSR edge in either direction, slot
+// reads and string reads are equal by construction. Pairs outside the CSR
+// adjacency (metric state can outlive adjacency eviction) have no slot;
+// callers needing those semantics use the string methods, which still
+// delegate to the shard views.
+//
+// Hand-crafted test topologies (nil views) build the same arena — every
+// metric resolves to unmeasured/default there, matching what the string
+// methods return — so the index path is the only path.
+
+// initArena flattens nbrIdx into CSR form and materializes the directed
+// per-edge metric slots and the hostList -> node-index map. Called at merge
+// time (and by crafted-topology constructors), after Nodes / nodeIndex /
+// nbrIdx / hostFlag / hostList / views are in place.
+func (t *Topology) initArena() {
+	n := len(t.Nodes)
+	t.edgeStart = make([]int32, n+1)
+	total := 0
+	for i, row := range t.nbrIdx {
+		t.edgeStart[i] = int32(total)
+		total += len(row)
+	}
+	t.edgeStart[n] = int32(total)
+	t.nbrFlat = make([]int32, total)
+	for i, row := range t.nbrIdx {
+		lo, hi := t.edgeStart[i], t.edgeStart[i+1]
+		copy(t.nbrFlat[lo:hi], row)
+		// Re-home the row onto the flat array (full-capacity slice so an
+		// append can never bleed into the next row).
+		t.nbrIdx[i] = t.nbrFlat[lo:hi:hi]
+	}
+	t.dirDelay = make([]time.Duration, 2*total)
+	t.dirDelayOK = make([]bool, 2*total)
+	t.dirJitter = make([]time.Duration, 2*total)
+	t.dirRate = make([]int64, 2*total)
+	t.dirQueue = make([]int32, 2*total)
+	t.dirQueueOK = make([]bool, 2*total)
+	for u := 0; u < n; u++ {
+		un := t.Nodes[u]
+		base := int(t.edgeStart[u])
+		for j, v := range t.nbrIdx[u] {
+			e := base + j
+			vn := t.Nodes[v]
+			t.fillDirSlot(2*e, un, vn)
+			t.fillDirSlot(2*e+1, vn, un)
+		}
+	}
+	t.hostIdx = make([]int32, len(t.hostList))
+	for i, h := range t.hostList {
+		if j, ok := t.nodeIndex[h]; ok {
+			t.hostIdx[i] = j
+		} else {
+			t.hostIdx[i] = -1 // host with no current adjacency
+		}
+	}
+}
+
+// fillDirSlot resolves one direction's metrics through the delegating
+// string-keyed lookups (the single source of truth for values).
+func (t *Topology) fillDirSlot(slot int, from, to string) {
+	if d, ok := t.LinkDelay(from, to); ok {
+		t.dirDelay[slot] = d
+		t.dirDelayOK[slot] = true
+	}
+	t.dirJitter[slot] = t.LinkJitter(from, to)
+	t.dirRate[slot] = t.LinkRate(from, to)
+	if q, ok := t.QueueMax(from, to); ok {
+		t.dirQueue[slot] = int32(q)
+		t.dirQueueOK[slot] = true
+	}
+}
+
+// NumNodes returns the number of nodes in the merged adjacency.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NodeIndex resolves a node ID to its merged index.
+func (t *Topology) NodeIndex(id string) (int32, bool) {
+	i, ok := t.nodeIndex[id]
+	return i, ok
+}
+
+// NodeName returns the ID of node index i.
+func (t *Topology) NodeName(i int32) string { return t.Nodes[i] }
+
+// IsHostIdx reports whether node index i is a host.
+func (t *Topology) IsHostIdx(i int32) bool { return t.hostFlag[i] }
+
+// HostCount returns the number of known hosts (including hosts with no
+// current adjacency).
+func (t *Topology) HostCount() int { return len(t.hostList) }
+
+// HostName returns the ID of the j-th host in sorted host order.
+func (t *Topology) HostName(j int) string { return t.hostList[j] }
+
+// HostNodeIndex returns the merged node index of the j-th host, or -1 for a
+// host with no current adjacency.
+func (t *Topology) HostNodeIndex(j int) int32 { return t.hostIdx[j] }
+
+// HostIndex returns id's position in the sorted host list, or -1 if id is
+// not a known host.
+func (t *Topology) HostIndex(id string) int {
+	j := sort.SearchStrings(t.hostList, id)
+	if j < len(t.hostList) && t.hostList[j] == id {
+		return j
+	}
+	return -1
+}
+
+// csrEdge returns the CSR edge id of directed adjacency (u, v), or -1.
+func (t *Topology) csrEdge(u, v int32) int32 {
+	lo, hi := t.edgeStart[u], t.edgeStart[u+1]
+	row := t.nbrFlat[lo:hi]
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	if i < len(row) && row[i] == v {
+		return lo + int32(i)
+	}
+	return -1
+}
+
+// DirSlot returns the metric-slot id for the directed pair from->to: the
+// forward CSR edge's even slot when (from, to) is in the adjacency, the
+// reverse edge's odd slot when only (to, from) is, and -1 when the pair is
+// not adjacent in either direction. Destination-tree hops always resolve
+// (the reverse edge is the hop's discovery edge).
+func (t *Topology) DirSlot(from, to int32) int32 {
+	if e := t.csrEdge(from, to); e >= 0 {
+		return 2 * e
+	}
+	if e := t.csrEdge(to, from); e >= 0 {
+		return 2*e + 1
+	}
+	return -1
+}
+
+// SlotDelay returns the latency estimate of a metric slot (ok=false when
+// the slot is -1 or the direction was never measured). Equal to LinkDelay
+// of the pair the slot was resolved from.
+func (t *Topology) SlotDelay(s int32) (time.Duration, bool) {
+	if s < 0 || !t.dirDelayOK[s] {
+		return 0, false
+	}
+	return t.dirDelay[s], true
+}
+
+// SlotJitter returns the latency standard deviation of a metric slot.
+func (t *Topology) SlotJitter(s int32) time.Duration {
+	if s < 0 {
+		return 0
+	}
+	return t.dirJitter[s]
+}
+
+// SlotRate returns the assumed capacity of a metric slot (the default rate
+// for slot -1, matching LinkRate on an unconfigured pair).
+func (t *Topology) SlotRate(s int32) int64 {
+	if s < 0 {
+		return t.defaultRate
+	}
+	return t.dirRate[s]
+}
+
+// SlotQueueMax returns the windowed maximum queue occupancy of the egress
+// port behind a metric slot (ok=false when the slot is -1 or the port had
+// no in-window report).
+func (t *Topology) SlotQueueMax(s int32) (int, bool) {
+	if s < 0 || !t.dirQueueOK[s] {
+		return 0, false
+	}
+	return int(t.dirQueue[s]), true
+}
+
+// PathCode classifies the outcome of an index-space path walk. Non-OK codes
+// map one-to-one onto Path's error cases.
+type PathCode uint8
+
+const (
+	// PathOK: the walk reached dst.
+	PathOK PathCode = iota
+	// PathUnknownSrc: src is out of range or has no adjacency.
+	PathUnknownSrc
+	// PathNoRoute: dst is unknown or the tree has no route from src.
+	PathNoRoute
+	// PathHostTransit: the tree routes through a mid-path host (at = the
+	// host's node index).
+	PathHostTransit
+	// PathBroken: the tree chain dead-ends mid-walk (at = the node with no
+	// next hop).
+	PathBroken
+	// PathLoop: the walk exceeded the node count (corrupted cyclic tree).
+	PathLoop
+)
+
+// PathInto walks the destination tree from src to dst, appending the hop
+// sequence of node indices (both endpoints included) into scratch[:0]. The
+// returned slice re-homes the scratch: callers own it and store it back for
+// reuse, so a warmed walk performs zero allocations. at is the offending
+// node index for PathHostTransit/PathBroken and -1 otherwise. Pass dst=-1
+// for an unresolvable destination (yields PathNoRoute).
+func (t *Topology) PathInto(src, dst int32, scratch []int32) (path []int32, code PathCode, at int32) {
+	if src < 0 || int(src) >= len(t.Nodes) {
+		return scratch[:0], PathUnknownSrc, src
+	}
+	if src == dst {
+		return append(scratch[:0], src), PathOK, -1
+	}
+	if len(t.nbrIdx[src]) == 0 {
+		return scratch[:0], PathUnknownSrc, src
+	}
+	tree := t.treeForIdx(dst)
+	if tree == nil || tree.next[src] == -1 {
+		return scratch[:0], PathNoRoute, -1
+	}
+	path = append(scratch[:0], src)
+	cur := src
+	for cur != dst {
+		if cur != src && t.hostFlag[cur] {
+			return path, PathHostTransit, cur
+		}
+		nxt := tree.next[cur]
+		if nxt < 0 {
+			return path, PathBroken, cur
+		}
+		cur = nxt
+		path = append(path, cur)
+		if len(path) > len(t.Nodes)+1 {
+			return path, PathLoop, -1
+		}
+	}
+	return path, PathOK, -1
+}
+
+// HopCountInto returns the link count of the learned path src->dst together
+// with the walked path (which re-homes scratch, same ownership rule as
+// PathInto). The count is meaningful only for PathOK.
+func (t *Topology) HopCountInto(src, dst int32, scratch []int32) (int, []int32, PathCode) {
+	p, code, _ := t.PathInto(src, dst, scratch)
+	return len(p) - 1, p, code
+}

@@ -1,0 +1,208 @@
+package collector
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Tests for the index-space read path: a randomized cross-check of PathInto
+// against the string Path API over mutating learned topologies, a per-edge
+// equivalence check of the CSR metric slots against the string metric
+// accessors, and a property test holding portWindow's monotonic deque equal
+// to the windowedQueueMax reference scan.
+
+// TestPathIntoMatchesPath drives a collector through randomized probe-path
+// learnings, reroutes, and silence-driven evictions — the same mutation mix
+// as the SPT fuzz — and after every mutation compares PathInto (with reused
+// scratch, per the store-back idiom) against Path for every node pair, plus
+// HopCountInto and the out-of-range/unknown argument conventions.
+func TestPathIntoMatchesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	clk := &fakeClock{now: time.Second}
+	c := New("sched", clk.Now, Config{QueueWindow: 200 * time.Millisecond, Shards: 3})
+
+	origins := []string{"h0", "h1", "h2"}
+	switches := []string{"w0", "w1", "w2", "w3", "w4"}
+	seqs := map[string]uint64{}
+
+	randomPath := func() []devSpec {
+		n := 1 + rng.Intn(3)
+		perm := rng.Perm(len(switches))
+		devs := make([]devSpec, n)
+		for i := 0; i < n; i++ {
+			devs[i] = devSpec{id: switches[perm[i]], in: rng.Intn(4), out: rng.Intn(4), egressTS: clk.now}
+		}
+		return devs
+	}
+
+	var scratch []int32
+	check := func(iter int) {
+		topo := c.Snapshot()
+		for _, src := range topo.Nodes {
+			isrc, ok := topo.NodeIndex(src)
+			if !ok {
+				t.Fatalf("iter %d: %s in Nodes but not in node index", iter, src)
+			}
+			for _, dst := range topo.Nodes {
+				idst, _ := topo.NodeIndex(dst)
+				want, err := topo.Path(src, dst)
+				p, code, _ := topo.PathInto(isrc, idst, scratch)
+				scratch = p
+				if (err == nil) != (code == PathOK) {
+					t.Fatalf("iter %d: Path(%s,%s) err=%v but PathInto code=%v", iter, src, dst, err, code)
+				}
+				if err != nil {
+					continue
+				}
+				if len(p) != len(want) {
+					t.Fatalf("iter %d: PathInto(%s,%s) len %d, Path len %d", iter, src, dst, len(p), len(want))
+				}
+				for i, idx := range p {
+					if topo.NodeName(idx) != want[i] {
+						t.Fatalf("iter %d: PathInto(%s,%s)[%d]=%s, Path says %s", iter, src, dst, i, topo.NodeName(idx), want[i])
+					}
+				}
+				hops, hp, hcode := topo.HopCountInto(isrc, idst, scratch)
+				scratch = hp
+				if hcode != PathOK || hops != len(want)-1 {
+					t.Fatalf("iter %d: HopCountInto(%s,%s)=(%d,%v), want (%d,PathOK)", iter, src, dst, hops, hcode, len(want)-1)
+				}
+			}
+			// An unresolvable destination (dst = -1) is never reachable; a
+			// src whose adjacency aged out reports unknown-src first, like
+			// Path does.
+			if _, code, _ := topo.PathInto(isrc, -1, scratch); len(topo.Neighbors(src)) > 0 {
+				if code != PathNoRoute {
+					t.Fatalf("iter %d: PathInto(%s, -1) code %v, want PathNoRoute", iter, src, code)
+				}
+			} else if code != PathUnknownSrc {
+				t.Fatalf("iter %d: PathInto(%s, -1) code %v, want PathUnknownSrc", iter, src, code)
+			}
+		}
+		if _, code, _ := topo.PathInto(-1, 0, scratch); code != PathUnknownSrc {
+			t.Fatalf("iter %d: PathInto(-1, 0) code %v, want PathUnknownSrc", iter, code)
+		}
+	}
+
+	for iter := 0; iter < 250; iter++ {
+		origin := origins[rng.Intn(len(origins))]
+		seqs[origin]++
+		c.HandleProbe(probeFrom(origin, seqs[origin], time.Duration(1+rng.Intn(10))*time.Millisecond, randomPath()...))
+		if rng.Intn(12) == 0 {
+			clk.now += 600 * time.Millisecond // long silence: age abandoned edges out
+		} else {
+			clk.now += time.Duration(20+rng.Intn(120)) * time.Millisecond
+		}
+		check(iter)
+	}
+}
+
+// TestArenaSlotsMatchStringMetrics: for every directed CSR edge of a learned
+// snapshot, the slot reads must equal the string metric accessors — the
+// rankers' per-hop loads are byte-for-byte the values the string path sees.
+func TestArenaSlotsMatchStringMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	clk := &fakeClock{now: time.Second}
+	c := New("sched", clk.Now, Config{QueueWindow: 200 * time.Millisecond, Shards: 2})
+
+	switches := []string{"w0", "w1", "w2", "w3"}
+	for seq := uint64(1); seq <= 60; seq++ {
+		perm := rng.Perm(len(switches))
+		n := 1 + rng.Intn(3)
+		devs := make([]devSpec, n)
+		for i := 0; i < n; i++ {
+			devs[i] = devSpec{
+				id: switches[perm[i]], in: rng.Intn(4), out: rng.Intn(4),
+				queues:   map[int]int{rng.Intn(4): rng.Intn(100)},
+				egressTS: clk.now,
+			}
+		}
+		c.HandleProbe(probeFrom("h0", seq, time.Duration(1+rng.Intn(8))*time.Millisecond, devs...))
+		clk.now += time.Duration(10+rng.Intn(80)) * time.Millisecond
+	}
+
+	topo := c.Snapshot()
+	checked := 0
+	for ui, u := range topo.Nodes {
+		iu := int32(ui)
+		for _, v := range topo.Neighbors(u) {
+			iv, ok := topo.NodeIndex(v)
+			if !ok {
+				t.Fatalf("neighbor %s of %s not indexed", v, u)
+			}
+			slot := topo.DirSlot(iu, iv)
+			if slot < 0 {
+				t.Fatalf("no slot for CSR edge %s->%s", u, v)
+			}
+			wd, wok := topo.LinkDelay(u, v)
+			if gd, gok := topo.SlotDelay(slot); gd != wd || gok != wok {
+				t.Fatalf("SlotDelay(%s->%s)=(%v,%v), LinkDelay (%v,%v)", u, v, gd, gok, wd, wok)
+			}
+			if g, w := topo.SlotJitter(slot), topo.LinkJitter(u, v); g != w {
+				t.Fatalf("SlotJitter(%s->%s)=%v, LinkJitter %v", u, v, g, w)
+			}
+			if g, w := topo.SlotRate(slot), topo.LinkRate(u, v); g != w {
+				t.Fatalf("SlotRate(%s->%s)=%d, LinkRate %d", u, v, g, w)
+			}
+			wq, wqok := topo.QueueMax(u, v)
+			if gq, gqok := topo.SlotQueueMax(slot); gq != wq || gqok != wqok {
+				t.Fatalf("SlotQueueMax(%s->%s)=(%d,%v), QueueMax (%d,%v)", u, v, gq, gqok, wq, wqok)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no CSR edges learned; fuzz driver broken")
+	}
+}
+
+// TestPortWindowMatchesScan holds portWindow's monotonic-deque answer equal
+// to the windowedQueueMax reference scan over randomized report sequences —
+// including duplicate timestamps, occasional out-of-order arrivals (the
+// sorted-insert rebuild path), and interleaved pruning.
+func TestPortWindowMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const window = 200 * time.Millisecond
+	for trial := 0; trial < 50; trial++ {
+		w := &portWindow{}
+		now := time.Second
+		alive := true
+		for step := 0; step < 120; step++ {
+			at := now
+			if rng.Intn(10) == 0 && len(w.reports) > 0 {
+				// Out-of-order: land strictly before the newest report.
+				at = w.reports[len(w.reports)-1].at - time.Duration(1+rng.Intn(50))*time.Millisecond
+			}
+			w.push(queueReport{at: at, maxQueue: rng.Intn(60), packets: uint32(step)})
+			if rng.Intn(8) == 0 {
+				alive = w.prune(now, window)
+			}
+			wantBest, wantFound, wantExp := windowedQueueMax(w.reports, now, window)
+			best, found, exp := w.windowMax(now, window)
+			if best != wantBest || found != wantFound || exp != wantExp {
+				t.Fatalf("trial %d step %d: windowMax=(%d,%v,%v), scan=(%d,%v,%v)",
+					trial, step, best, found, exp, wantBest, wantFound, wantExp)
+			}
+			if alive != (len(w.reports) > 0) {
+				t.Fatalf("trial %d step %d: prune liveness %v with %d reports", trial, step, alive, len(w.reports))
+			}
+			if rng.Intn(4) != 0 {
+				now += time.Duration(rng.Intn(90)) * time.Millisecond
+			}
+		}
+		// Fully aged out: the window must report empty and prune must say so.
+		now += 2 * window
+		if best, found, _ := w.windowMax(now, window); found || best != 0 {
+			t.Fatalf("trial %d: aged-out window reported (%d,%v)", trial, best, found)
+		}
+		if w.prune(now, window) {
+			t.Fatalf("trial %d: prune kept a fully aged-out window alive", trial)
+		}
+	}
+	// A nil window (port never reported) answers empty.
+	var nilw *portWindow
+	if best, found, _ := nilw.windowMax(time.Second, window); found || best != 0 {
+		t.Fatalf("nil window reported (%d,%v)", best, found)
+	}
+}

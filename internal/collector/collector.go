@@ -468,7 +468,7 @@ func (c *Collector) MaxQueue(device string, port int) (int, bool) {
 	sh := c.shardFor(device)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	best, found, _ := windowedQueueMax(sh.queues[device][port], now, c.window())
+	best, found, _ := sh.queues[device][port].windowMax(now, c.window())
 	return best, found
 }
 

@@ -144,11 +144,16 @@ func (c *Collector) applyProbeLocked(p *telemetry.ProbePayload, target string, n
 		if len(rec.Queues) > 0 {
 			ports := dev.queues[rec.Device]
 			if ports == nil {
-				ports = make(map[int][]queueReport)
+				ports = make(map[int]*portWindow)
 				dev.queues[rec.Device] = ports
 			}
 			for _, q := range rec.Queues {
-				ports[q.Port] = append(ports[q.Port], queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
+				w := ports[q.Port]
+				if w == nil {
+					w = &portWindow{}
+					ports[q.Port] = w
+				}
+				w.push(queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
 			}
 		}
 		dev.pruneQueuesLocked(rec.Device, now, window)

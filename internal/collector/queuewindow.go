@@ -1,0 +1,100 @@
+package collector
+
+import (
+	"sort"
+	"time"
+)
+
+// portWindow holds one (device, port)'s queue reports together with a
+// monotonic deque over them, so the windowed maximum is read off the deque
+// front instead of rescanning every in-window report on each view rebuild.
+//
+// Invariants (maintained under the owning shard's mu):
+//   - reports is ascending by report time (probe clocks are monotone; a
+//     defensively handled out-of-order push re-sorts and rebuilds);
+//   - deque is a subsequence of reports, ascending by time and strictly
+//     descending by maxQueue, and always contains the newest report: any
+//     report dominated by a later, larger-or-equal one can never be the
+//     window maximum again and is dropped at push time.
+//
+// Each report is pushed and popped at most once across its lifetime, so
+// view rebuilds cost O(reports) amortized plus one binary search for the
+// in-window boundary — versus the previous O(in-window reports) rescan per
+// rebuild. windowedQueueMax (shard.go) remains the reference definition of
+// the cutoff/boundary rule; TestPortWindowMatchesScan holds the two equal.
+type portWindow struct {
+	reports []queueReport
+	deque   []queueReport
+}
+
+// push appends a new report and maintains the deque invariant.
+func (w *portWindow) push(r queueReport) {
+	if n := len(w.reports); n > 0 && r.at < w.reports[n-1].at {
+		// Out-of-order report (defensive: clocks are monotone in both sim
+		// and live ingest). Insert at the sorted position and rebuild.
+		i := sort.Search(n, func(k int) bool { return w.reports[k].at > r.at })
+		w.reports = append(w.reports, queueReport{})
+		copy(w.reports[i+1:], w.reports[i:])
+		w.reports[i] = r
+		w.rebuildDeque()
+		return
+	}
+	w.reports = append(w.reports, r)
+	for len(w.deque) > 0 && w.deque[len(w.deque)-1].maxQueue <= r.maxQueue {
+		w.deque = w.deque[:len(w.deque)-1]
+	}
+	w.deque = append(w.deque, r)
+}
+
+// windowMax returns the same triple as windowedQueueMax over the window
+// ending at now: the in-window maximum occupancy, whether any in-window
+// report exists, and when the earliest in-window report ages out
+// (neverExpires if none). Stale deque entries are popped as a side effect.
+func (w *portWindow) windowMax(now, window time.Duration) (best int, found bool, expireAt time.Duration) {
+	if w == nil {
+		return 0, false, neverExpires
+	}
+	cutoff := now - window
+	for len(w.deque) > 0 && w.deque[0].at < cutoff {
+		w.deque = w.deque[1:]
+	}
+	i := sort.Search(len(w.reports), func(k int) bool { return w.reports[k].at >= cutoff })
+	if i == len(w.reports) {
+		return 0, false, neverExpires
+	}
+	// The newest report is always in the deque and is in-window here, so
+	// the deque is non-empty. The scan floors at zero; mirror it.
+	if q := w.deque[0].maxQueue; q > 0 {
+		best = q
+	}
+	return best, true, w.reports[i].at + window
+}
+
+// prune drops reports that aged out of the window ending at now. It
+// reports whether any in-window reports remain (an empty window can be
+// dropped from the port map entirely).
+func (w *portWindow) prune(now, window time.Duration) bool {
+	cutoff := now - window
+	i := 0
+	for i < len(w.reports) && w.reports[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		w.reports = append(w.reports[:0:0], w.reports[i:]...)
+		for len(w.deque) > 0 && w.deque[0].at < cutoff {
+			w.deque = w.deque[1:]
+		}
+	}
+	return len(w.reports) > 0
+}
+
+// rebuildDeque reconstructs the monotonic deque from the reports slice.
+func (w *portWindow) rebuildDeque() {
+	w.deque = w.deque[:0]
+	for _, r := range w.reports {
+		for len(w.deque) > 0 && w.deque[len(w.deque)-1].maxQueue <= r.maxQueue {
+			w.deque = w.deque[:len(w.deque)-1]
+		}
+		w.deque = append(w.deque, r)
+	}
+}

@@ -264,11 +264,16 @@ func (c *Collector) applyFragsLocked(st *reasmState, p *telemetry.ProbePayload, 
 		if fresh && len(f.rec.Queues) > 0 {
 			ports := dev.queues[f.rec.Device]
 			if ports == nil {
-				ports = make(map[int][]queueReport)
+				ports = make(map[int]*portWindow)
 				dev.queues[f.rec.Device] = ports
 			}
 			for _, q := range f.rec.Queues {
-				ports[q.Port] = append(ports[q.Port], queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
+				w := ports[q.Port]
+				if w == nil {
+					w = &portWindow{}
+					ports[q.Port] = w
+				}
+				w.push(queueReport{at: now, maxQueue: q.MaxQueue, packets: q.Packets})
 			}
 		}
 		if fresh {

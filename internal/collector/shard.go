@@ -34,10 +34,12 @@ type shard struct {
 	// edges (keyed by the edge's from node).
 	linkDelay map[edgeKey]*linkState
 	linkRate  map[edgeKey]int64
-	// queues holds per-device, per-port queue reports for owned devices;
+	// queues holds per-device, per-port queue windows for owned devices;
 	// keying by device first keeps per-record pruning proportional to one
-	// device's ports, not the whole fabric's.
-	queues map[string]map[int][]queueReport
+	// device's ports, not the whole fabric's. Each port's window carries a
+	// monotonic deque so view rebuilds read the windowed max off the deque
+	// front (see queuewindow.go).
+	queues map[string]map[int]*portWindow
 	// lastReport maps owned devices to their last INT record time.
 	lastReport map[string]time.Duration
 	// onEviction observes adjacency evictions of owned edges.
@@ -81,7 +83,7 @@ func newShard() *shard {
 		isHost:     make(map[string]bool),
 		linkDelay:  make(map[edgeKey]*linkState),
 		linkRate:   make(map[edgeKey]int64),
-		queues:     make(map[string]map[int][]queueReport),
+		queues:     make(map[string]map[int]*portWindow),
 		lastReport: make(map[string]time.Duration),
 		streams:    make(map[probeKey]probeMeta),
 	}
@@ -121,16 +123,11 @@ func (sh *shard) updateDelayLocked(k edgeKey, sample time.Duration, now time.Dur
 }
 
 // pruneQueuesLocked drops queue reports of one device that aged out of the
-// queue window.
+// queue window; ports whose windows emptied are removed entirely.
 func (sh *shard) pruneQueuesLocked(device string, now, window time.Duration) {
-	cutoff := now - window
-	for port, reports := range sh.queues[device] {
-		i := 0
-		for i < len(reports) && reports[i].at < cutoff {
-			i++
-		}
-		if i > 0 {
-			sh.queues[device][port] = append(reports[:0:0], reports[i:]...)
+	for port, w := range sh.queues[device] {
+		if !w.prune(now, window) {
+			delete(sh.queues[device], port)
 		}
 	}
 }
@@ -138,9 +135,10 @@ func (sh *shard) pruneQueuesLocked(device string, now, window time.Duration) {
 // windowedQueueMax scans one port's reports and returns the maximum queue
 // occupancy among in-window reports, whether any report is in the window,
 // and the earliest time an in-window report ages out (neverExpires if none)
-// — the moment a cached view built from these reports must be rebuilt. It is
-// the single definition of the queue-window cutoff/boundary rule, shared by
-// point lookups and view builds.
+// — the moment a cached view built from these reports must be rebuilt. It
+// defines the queue-window cutoff/boundary rule; the hot paths read the
+// same answer off portWindow's monotonic deque (queuewindow.go), and
+// TestPortWindowMatchesScan holds the two equal.
 func windowedQueueMax(reports []queueReport, now, window time.Duration) (best int, found bool, expireAt time.Duration) {
 	expireAt = neverExpires
 	cutoff := now - window

@@ -209,8 +209,8 @@ func (sh *shard) buildViewLocked(c *Collector, now time.Duration, epoch uint64) 
 	}
 	expireAt := adjDeadline
 	for dev, ports := range sh.queues {
-		for port, reports := range ports {
-			best, found, exp := windowedQueueMax(reports, now, window)
+		for port, pw := range ports {
+			best, found, exp := pw.windowMax(now, window)
 			if exp < expireAt {
 				expireAt = exp
 			}
@@ -278,6 +278,7 @@ func (c *Collector) merge(views []*shardView, vector []uint64, now time.Duration
 		}
 		t.nbrIdx[i] = row
 	}
+	t.initArena()
 	if store != nil {
 		t.seq = store.advance(nodes, t.nbrIdx, t.hostFlag)
 	}

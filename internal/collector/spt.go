@@ -149,6 +149,16 @@ func (t *Topology) treeFor(dst string) *destTree {
 	if !ok {
 		return nil
 	}
+	return t.treeForIdx(idst)
+}
+
+// treeForIdx is treeFor in index space: idst is the destination's merged
+// node index (out-of-range yields nil, mirroring an unknown destination).
+func (t *Topology) treeForIdx(idst int32) *destTree {
+	if idst < 0 || int(idst) >= len(t.Nodes) {
+		return nil
+	}
+	dst := t.Nodes[idst]
 	if s := t.store; s != nil {
 		s.mu.RLock()
 		if s.seq == t.seq {

@@ -36,6 +36,22 @@ type Topology struct {
 	// hostList caches the sorted host IDs (Hosts returns a copy). It can
 	// include hosts with no current adjacency (absent from Nodes).
 	hostList []string
+	// hostIdx maps hostList positions to node indices (-1 for hosts with
+	// no current adjacency). Built by initArena.
+	hostIdx []int32
+
+	// CSR edge-metric arena (see arena.go): nbrFlat is the concatenation
+	// of the nbrIdx rows (which re-alias it), edgeStart[i]..edgeStart[i+1]
+	// spans node i's row, and the dir* arrays hold per-direction metrics at
+	// slots 2e (forward) and 2e+1 (reverse) of CSR edge e.
+	edgeStart  []int32
+	nbrFlat    []int32
+	dirDelay   []time.Duration
+	dirDelayOK []bool
+	dirJitter  []time.Duration
+	dirRate    []int64
+	dirQueue   []int32
+	dirQueueOK []bool
 	// views are the per-shard state views this snapshot composes; shardOf
 	// routes a node ID to its owning view. Both are nil in hand-crafted
 	// test topologies, where delegated lookups simply miss.
@@ -78,8 +94,15 @@ func (t *Topology) EpochVector() []uint64 {
 	return append([]uint64(nil), t.vector...)
 }
 
-// IsHost reports whether id is a known host.
-func (t *Topology) IsHost(id string) bool { return containsSorted(t.hostList, id) }
+// IsHost reports whether id is a known host. Nodes in the merged adjacency
+// answer from the flat host-flag array; hosts with no current adjacency
+// (absent from Nodes) fall back to the sorted host list.
+func (t *Topology) IsHost(id string) bool {
+	if i, ok := t.nodeIndex[id]; ok {
+		return t.hostFlag[i]
+	}
+	return containsSorted(t.hostList, id)
+}
 
 // Hosts returns all known hosts, sorted.
 func (t *Topology) Hosts() []string {
@@ -175,31 +198,32 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 		return []string{src}, nil
 	}
 	isrc, ok := t.nodeIndex[src]
-	if !ok || len(t.nbrIdx[isrc]) == 0 {
+	if !ok {
 		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
 	}
-	tree := t.treeFor(dst)
-	if tree == nil || tree.next[isrc] == -1 {
+	idst, ok := t.nodeIndex[dst]
+	if !ok {
+		idst = -1
+	}
+	p, code, at := t.PathInto(isrc, idst, nil)
+	switch code {
+	case PathOK:
+		path := make([]string, len(p))
+		for i, n := range p {
+			path[i] = t.Nodes[n]
+		}
+		return path, nil
+	case PathUnknownSrc:
+		return nil, fmt.Errorf("collector: unknown node %q in learned topology", src)
+	case PathNoRoute:
 		return nil, fmt.Errorf("collector: no learned path from %q to %q", src, dst)
+	case PathHostTransit:
+		return nil, fmt.Errorf("collector: learned path from %q to %q transits host %q (hosts do not forward)", src, dst, t.Nodes[at])
+	case PathBroken:
+		return nil, fmt.Errorf("collector: learned path from %q to %q breaks at unknown node %q", src, dst, t.Nodes[at])
+	default:
+		return nil, fmt.Errorf("collector: path loop from %q to %q", src, dst)
 	}
-	idst := t.nodeIndex[dst]
-	path := []string{src}
-	cur := isrc
-	for cur != idst {
-		if cur != isrc && t.hostFlag[cur] {
-			return nil, fmt.Errorf("collector: learned path from %q to %q transits host %q (hosts do not forward)", src, dst, t.Nodes[cur])
-		}
-		nxt := tree.next[cur]
-		if nxt < 0 {
-			return nil, fmt.Errorf("collector: learned path from %q to %q breaks at unknown node %q", src, dst, t.Nodes[cur])
-		}
-		cur = nxt
-		path = append(path, t.Nodes[cur])
-		if len(path) > len(t.Nodes)+1 {
-			return nil, fmt.Errorf("collector: path loop from %q to %q", src, dst)
-		}
-	}
-	return path, nil
 }
 
 // HopCount returns the number of links on the learned path src->dst.

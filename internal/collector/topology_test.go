@@ -112,6 +112,7 @@ func craftedTopology(nodes []string, hosts map[string]bool, neighbors map[string
 		crafted.next[t.nodeIndex[n]] = t.nodeIndex[parent]
 	}
 	t.scratch = map[string]*destTree{dst: crafted}
+	t.initArena()
 	return t
 }
 

@@ -5,12 +5,11 @@ import "intsched/internal/collector"
 // Batched ranking. A scheduler answering a burst of queries — one datagram
 // carrying N task requests, or an experiment driving many devices per tick —
 // repeats per-query overhead N times through RankFor: a snapshot
-// acquisition, a cache lookup, and a private clone allocation per query.
-// RankBatch answers the whole burst against ONE topology snapshot and one
-// rank-cache generation: every request sees the same epoch, cache hits are
-// materialized into a single shared arena (one allocation for the batch
-// instead of one clone per query), and duplicate cache keys within the
-// batch are computed once.
+// acquisition and a cache lookup per query. RankBatch answers the whole
+// burst against ONE topology snapshot and one rank-cache generation: every
+// request sees the same epoch, hits are served as zero-copy views of their
+// shared cache entries, and duplicate cache keys within the batch are
+// computed once.
 
 // batchMiss is one cacheable request whose ranking was not in the cache.
 // The generation token is captured at Lookup time, per the rank-cache
@@ -40,12 +39,12 @@ func (s *Service) RankBatchOn(topo *collector.Topology, reqs []*QueryRequest) []
 	epoch := topo.Epoch()
 
 	// Phase 1: probe the cache for every cacheable request, collecting the
-	// shared cached slices of hits and the pending misses. Nothing from the
-	// cache is mutated here; hit slices are copied out in phase 2.
-	shared := make([][]Candidate, len(reqs))
+	// hit entries and the pending misses. Uncacheable requests (and
+	// non-host requesters, whose index key cannot represent them) fall
+	// through to the single-query path.
+	entries := make([]*RankEntry, len(reqs))
 	var misses []batchMiss
 	var missKeys map[RankKey]int
-	arena := 0
 	for i, req := range reqs {
 		ranker := s.rankers[req.Metric]
 		if ranker == nil {
@@ -55,11 +54,15 @@ func (s *Service) RankBatchOn(topo *collector.Topology, reqs []*QueryRequest) []
 			out[i] = s.RankOn(topo, req)
 			continue
 		}
-		key := RankKey{From: req.From, Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
-		ranked, ok, gen := s.cache.Lookup(epoch, key)
+		fromHost := topo.HostIndex(string(req.From))
+		if fromHost < 0 {
+			out[i] = s.RankOn(topo, req)
+			continue
+		}
+		key := RankKey{From: int32(fromHost), Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
+		entry, ok, gen := s.cache.Lookup(epoch, key)
 		if ok {
-			shared[i] = ranked
-			arena += len(ranked)
+			entries[i] = entry
 			continue
 		}
 		m := batchMiss{idx: i, key: key, gen: gen, dup: -1}
@@ -74,55 +77,31 @@ func (s *Service) RankBatchOn(topo *collector.Topology, reqs []*QueryRequest) []
 		misses = append(misses, m)
 	}
 
-	// Phase 2: materialize hits from one arena — one allocation for the
-	// whole batch; each request's shaping then works on its private region.
-	if arena > 0 {
-		buf := make([]Candidate, arena)
-		off := 0
-		for i, ranked := range shared {
-			if ranked == nil {
-				continue
-			}
-			region := buf[off : off+len(ranked) : off+len(ranked)]
-			copy(region, ranked)
-			off += len(ranked)
-			out[i] = s.finishRanked(region, reqs[i])
+	// Phase 2: compute each distinct missed key once — in index space with
+	// pooled scratch when the ranker supports it — and store it under its
+	// Lookup-time generation token; Store returns the built entry even
+	// when an invalidation raced the insert, so the batch still serves
+	// what it computed. Duplicates share the first occurrence's entry.
+	for _, m := range misses {
+		if m.dup >= 0 {
+			continue
+		}
+		req := reqs[m.idx]
+		ranked := s.computeRanked(topo, s.rankers[req.Metric], req, int(m.key.From))
+		entries[m.idx] = s.cache.Store(epoch, m.gen, m.key, ranked)
+	}
+	for _, m := range misses {
+		if m.dup >= 0 {
+			entries[m.idx] = entries[misses[m.dup].idx]
 		}
 	}
 
-	// Phase 3: compute each distinct missed key once and store it under its
-	// Lookup-time generation token. A duplicate's first occurrence always
-	// precedes it in the miss list, so duplicates clone the (still
-	// unshaped) first computation instead of re-ranking; firsts are shaped
-	// last, after every duplicate has taken its clone.
-	for _, m := range misses {
-		req := reqs[m.idx]
-		if m.dup >= 0 {
-			out[m.idx] = s.finishRanked(CloneCandidates(out[misses[m.dup].idx]), req)
-			continue
-		}
-		ranked := s.rankUncached(topo, req)
-		s.cache.Store(epoch, m.gen, m.key, CloneCandidates(ranked))
-		out[m.idx] = ranked
-	}
-	for _, m := range misses {
-		if m.dup == -1 {
-			out[m.idx] = s.finishRanked(out[m.idx], reqs[m.idx])
+	// Phase 3: shape every entry-served request as zero-copy views of the
+	// shared entry storage.
+	for i, e := range entries {
+		if e != nil {
+			out[i] = s.shapeEntry(e, reqs[i])
 		}
 	}
 	return out
-}
-
-// rankUncached runs the ranking computation for one request (the RankOn
-// miss path without the cache bookkeeping).
-func (s *Service) rankUncached(topo *collector.Topology, req *QueryRequest) []Candidate {
-	ranker := s.rankers[req.Metric]
-	cands := candidatesOn(topo, req.From)
-	if req.Requirements != nil {
-		cands = s.filterCapable(cands, req.Requirements)
-	}
-	if sa, ok := ranker.(SizeAwareRanker); ok && req.DataBytes > 0 {
-		return sa.RankSize(topo, req.From, cands, req.DataBytes)
-	}
-	return ranker.Rank(topo, req.From, cands)
 }

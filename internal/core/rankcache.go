@@ -3,8 +3,6 @@ package core
 import (
 	"strings"
 	"sync"
-
-	"intsched/internal/netsim"
 )
 
 // This file implements the shared rank-result cache used across the
@@ -14,6 +12,12 @@ import (
 // collector epoch, so a ranking computed for (from, metric, dataBytes,
 // requirements) is valid for every identical query until the epoch
 // advances. Invalidation is by epoch comparison only; no timers.
+//
+// Entries are immutable RankEntry values holding the best-first ranking
+// with its reachable prefix length (and a lazily computed ID-ordered
+// variant), so every per-request shaping — unreachable filtering, ID order,
+// count truncation — is a zero-allocation reslice of shared storage instead
+// of a clone-and-sort per query.
 
 // CacheableRanker is implemented by rankers that declare whether their
 // output is a pure function of the topology snapshot and the query. Rankers
@@ -55,9 +59,14 @@ func (r *TransferTimeRanker) RankCacheable() bool { return true }
 func (r *HysteresisRanker) RankCacheable() bool { return false }
 
 // RankKey identifies one cacheable ranking computation within an epoch.
+// The key is fully index-space: no strings are hashed on the hot path
+// except the canonical requirements encoding (empty for typical queries).
 type RankKey struct {
-	// From is the querying device.
-	From netsim.NodeID
+	// From is the querying device's position in the snapshot's sorted host
+	// list. Host indices are stable within an epoch (and the cache is
+	// epoch-keyed), so the index identifies the device exactly; queries
+	// from non-host devices bypass the cache.
+	From int32
 	// Metric is the ranking strategy.
 	Metric Metric
 	// DataBytes is the (possibly bucketed) transfer-size hint.
@@ -72,6 +81,78 @@ func ReqKey(r *Requirements) string {
 		return ""
 	}
 	return "hw=" + strings.Join(r.Hardware, ",") + "|sw=" + strings.Join(r.Software, ",")
+}
+
+// RankEntry is one cached ranking: the full best-first candidate list plus
+// the precomputed handles request shaping needs. Entries are immutable
+// after Store — Shaped returns views of shared storage, and callers must
+// not modify what they are handed (clone first to mutate).
+type RankEntry struct {
+	// ranked is the best-first list. Every built-in cacheable ranker ends
+	// with sortCandidates, which groups reachable candidates before
+	// unreachable ones; reach is the length of that reachable prefix, or
+	// -1 when a custom ranker broke the grouping invariant (Shaped then
+	// falls back to allocating filters).
+	ranked []Candidate
+	reach  int
+	// byID materializes the ID-ordered variant (the paper's option two) on
+	// first use; many workloads never request it.
+	byIDOnce sync.Once
+	byID     []Candidate
+}
+
+func newRankEntry(ranked []Candidate) *RankEntry {
+	e := &RankEntry{ranked: ranked}
+	for e.reach < len(ranked) && ranked[e.reach].Reachable {
+		e.reach++
+	}
+	for _, c := range ranked[e.reach:] {
+		if c.Reachable {
+			e.reach = -1 // ungrouped: disable prefix-based shaping
+			break
+		}
+	}
+	return e
+}
+
+// Ranked returns the best-first list. Shared storage — read only.
+func (e *RankEntry) Ranked() []Candidate { return e.ranked }
+
+// sortedByID returns the list re-sorted by node ID (reachable first),
+// computing it on first use. Shared storage — read only.
+func (e *RankEntry) sortedByID() []Candidate {
+	e.byIDOnce.Do(func() {
+		e.byID = CloneCandidates(e.ranked)
+		sortCandidates(e.byID, func(a, b Candidate) bool { return a.Node < b.Node })
+	})
+	return e.byID
+}
+
+// Shaped applies per-request response shaping as zero-allocation views of
+// the entry's storage: idOrder selects the ID-ordered variant (option two),
+// exclUnre applies the recovery policy's unreachable filter (with the
+// all-unreachable graceful fallback), and count > 0 truncates. The result
+// is shared storage — read only.
+func (e *RankEntry) Shaped(idOrder, exclUnre bool, count int) []Candidate {
+	list := e.ranked
+	if idOrder {
+		list = e.sortedByID()
+	}
+	if exclUnre {
+		if e.reach < 0 {
+			// Ungrouped custom ranking: filter the slow, allocating way.
+			list = ReachableOnly(CloneCandidates(list))
+		} else if e.reach > 0 && e.reach < len(list) {
+			// Both orderings group the reachable prefix first, so the
+			// filter is a prefix view; reach == 0 or == len is the
+			// unchanged case (graceful fallback / nothing to drop).
+			list = list[:e.reach]
+		}
+	}
+	if count > 0 && count < len(list) {
+		list = list[:count]
+	}
+	return list
 }
 
 // RankCacheStats reports cache effectiveness.
@@ -94,7 +175,7 @@ type RankCache struct {
 	// set), so Store drops entries whose generation token — captured at
 	// Lookup time, before the computation — is no longer current.
 	gen     uint64
-	entries map[RankKey][]Candidate
+	entries map[RankKey]*RankEntry
 	stats   RankCacheStats
 }
 
@@ -108,40 +189,43 @@ func (c *RankCache) syncEpochLocked(epoch uint64) {
 	}
 	c.valid = true
 	c.epoch = epoch
-	c.entries = make(map[RankKey][]Candidate)
+	c.entries = make(map[RankKey]*RankEntry)
 }
 
-// Lookup returns the cached ranking for key at the given epoch, plus a
-// generation token to pass back to Store on a miss. The returned slice is
-// shared — callers must CloneCandidates before mutating (reordering,
-// in-place truncation of shared backing arrays, etc.).
-func (c *RankCache) Lookup(epoch uint64, key RankKey) ([]Candidate, bool, uint64) {
+// Lookup returns the cached entry for key at the given epoch, plus a
+// generation token to pass back to Store on a miss. The entry's contents
+// are shared — shape with Shaped, or CloneCandidates before mutating.
+func (c *RankCache) Lookup(epoch uint64, key RankKey) (*RankEntry, bool, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.syncEpochLocked(epoch)
-	ranked, ok := c.entries[key]
+	entry, ok := c.entries[key]
 	if ok {
 		c.stats.Hits++
 	} else {
 		c.stats.Misses++
 	}
-	return ranked, ok, c.gen
+	return entry, ok, c.gen
 }
 
-// Store records a computed ranking for key at the given epoch. gen is the
-// token Lookup returned before the ranking was computed; if an Invalidate
-// ran in between, the entry is silently dropped — its inputs may be stale.
-// The cache keeps the slice as passed; hand it a private copy.
-func (c *RankCache) Store(epoch, gen uint64, key RankKey, ranked []Candidate) {
+// Store records a computed ranking for key at the given epoch, taking
+// ownership of ranked (hand it a private slice; it becomes shared entry
+// storage). gen is the token Lookup returned before the ranking was
+// computed; if an Invalidate ran in between, the entry is not inserted —
+// its inputs may be stale. The built entry is returned either way, so the
+// caller can serve views of the computation it just performed.
+func (c *RankCache) Store(epoch, gen uint64, key RankKey, ranked []Candidate) *RankEntry {
+	entry := newRankEntry(ranked)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if gen != c.gen {
-		return
+		return entry
 	}
 	c.syncEpochLocked(epoch)
 	if c.epoch == epoch {
-		c.entries[key] = ranked
+		c.entries[key] = entry
 	}
+	return entry
 }
 
 // Invalidate drops all entries regardless of epoch (used when inputs

@@ -218,21 +218,21 @@ func TestRankCacheInvalidatedByQueueWindowExpiry(t *testing.T) {
 // entry, since it may have been computed from the superseded inputs.
 func TestRankCacheStoreDroppedAfterInvalidate(t *testing.T) {
 	var c RankCache
-	key := RankKey{From: "dev", Metric: MetricDelay}
+	key := RankKey{From: 3, Metric: MetricDelay}
 	_, ok, gen := c.Lookup(7, key)
 	if ok {
 		t.Fatal("unexpected hit in empty cache")
 	}
 	c.Invalidate()
 	c.Store(7, gen, key, []Candidate{{Node: "stale"}})
-	if ranked, ok, _ := c.Lookup(7, key); ok {
-		t.Fatalf("stale entry resurrected after Invalidate: %v", ranked)
+	if entry, ok, _ := c.Lookup(7, key); ok {
+		t.Fatalf("stale entry resurrected after Invalidate: %v", entry.Ranked())
 	}
 	// A Store with the current generation token is accepted.
 	_, _, gen = c.Lookup(7, key)
 	c.Store(7, gen, key, []Candidate{{Node: "fresh"}})
-	if ranked, ok, _ := c.Lookup(7, key); !ok || ranked[0].Node != "fresh" {
-		t.Fatalf("current-generation entry not stored: %v (hit=%v)", ranked, ok)
+	if entry, ok, _ := c.Lookup(7, key); !ok || entry.Ranked()[0].Node != "fresh" {
+		t.Fatalf("current-generation entry not stored (hit=%v)", ok)
 	}
 }
 

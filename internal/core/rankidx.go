@@ -1,0 +1,282 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/netsim"
+)
+
+// Index-space ranking hot path. The built-in cacheable rankers walk paths
+// and read per-hop metrics entirely in the snapshot's int32 node-index
+// coordinate system — PathInto into reusable scratch, metric reads as CSR
+// arena slot loads (see collector/arena.go) — and convert to strings only
+// when forming Candidate.Node (a reference to the snapshot's interned host
+// name, not a new string). A pooled rankScratch owns every intermediate
+// buffer, so a warmed miss computation allocates only the cloned result
+// the cache takes ownership of.
+
+// rankScratch holds the reusable buffers of one in-flight index-space
+// ranking computation. All slices follow the store-back idiom: helpers
+// return the (possibly re-homed) slice and the owner stores it back.
+type rankScratch struct {
+	cands []int32     // candidate host indices
+	path  []int32     // PathInto walk scratch
+	out   []Candidate // ranking output buffer (cloned before caching)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+// indexRanker is implemented by rankers that can rank candidates given as
+// host indices of the snapshot. cands are positions in the snapshot's
+// sorted host list; from/fromIdx are the querying device's ID and merged
+// node index (-1 when it has no adjacency). The returned slice aliases
+// s.out — callers clone before retaining.
+type indexRanker interface {
+	rankIdx(topo *collector.Topology, from netsim.NodeID, fromIdx int32, cands []int32, s *rankScratch) []Candidate
+}
+
+// sizeIndexRanker is the index-space counterpart of SizeAwareRanker.
+type sizeIndexRanker interface {
+	rankSizeIdx(topo *collector.Topology, from netsim.NodeID, fromIdx int32, cands []int32, dataBytes int64, s *rankScratch) []Candidate
+}
+
+// asIndexRanker returns r's index-space implementation — but only when r IS
+// one of the built-in rankers, not merely satisfies the interface. Embedding
+// promotes the unexported rankIdx method, so a wrapper type overriding Rank
+// would otherwise have its override silently bypassed by the fast path.
+func asIndexRanker(r Ranker) (indexRanker, bool) {
+	switch r.(type) {
+	case *DelayRanker, *BandwidthRanker, *NearestRanker, *TransferTimeRanker:
+		return r.(indexRanker), true
+	}
+	return nil, false
+}
+
+// asSizeIndexRanker is asIndexRanker for the size-aware fast path.
+func asSizeIndexRanker(r Ranker) (sizeIndexRanker, bool) {
+	tr, ok := r.(*TransferTimeRanker)
+	return tr, ok
+}
+
+// delayOverPath computes Algorithm 1's estimate over a walked index path:
+// measured link delays (fallback for unmeasured), optional jitter penalty,
+// and k × windowed queue max per switch hop. The accumulation order matches
+// DelayRanker.Estimate exactly.
+func (r *DelayRanker) delayOverPath(topo *collector.Topology, p []int32, k time.Duration) time.Duration {
+	var totalLinkDelay, totalHopDelay time.Duration
+	for i := 0; i+1 < len(p); i++ {
+		a, b := p[i], p[i+1]
+		slot := topo.DirSlot(a, b)
+		if d, ok := topo.SlotDelay(slot); ok {
+			totalLinkDelay += d
+		} else {
+			totalLinkDelay += FallbackLinkDelay
+		}
+		if r.JitterWeight > 0 {
+			totalLinkDelay += time.Duration(r.JitterWeight * float64(topo.SlotJitter(slot)))
+		}
+		if !topo.IsHostIdx(a) {
+			if q, ok := topo.SlotQueueMax(slot); ok {
+				totalHopDelay += time.Duration(q) * k
+			}
+		}
+	}
+	return totalLinkDelay + totalHopDelay
+}
+
+// rankIdx implements indexRanker for Algorithm 1.
+func (r *DelayRanker) rankIdx(topo *collector.Topology, _ netsim.NodeID, fromIdx int32, cands []int32, s *rankScratch) []Candidate {
+	k := r.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	out := s.out[:0]
+	for _, j := range cands {
+		cand := Candidate{Node: netsim.NodeID(topo.HostName(int(j)))}
+		p, code, _ := topo.PathInto(fromIdx, topo.HostNodeIndex(int(j)), s.path)
+		s.path = p
+		if code == collector.PathOK {
+			cand.Reachable = true
+			cand.Hops = len(p) - 1
+			cand.Delay = r.delayOverPath(topo, p, k)
+		}
+		out = append(out, cand)
+	}
+	s.out = out
+	sortCandidates(out, func(a, b Candidate) bool { return a.Delay < b.Delay })
+	return out
+}
+
+// bottleneckOverPath computes the bottleneck available bandwidth over a
+// walked index path, matching BandwidthRanker.Estimate exactly.
+func (r *BandwidthRanker) bottleneckOverPath(topo *collector.Topology, p []int32, cal *Calibration) float64 {
+	bottleneck := -1.0
+	for i := 0; i+1 < len(p); i++ {
+		a, b := p[i], p[i+1]
+		slot := topo.DirSlot(a, b)
+		rate := float64(topo.SlotRate(slot))
+		util := 0.0
+		if !topo.IsHostIdx(a) {
+			if q, ok := topo.SlotQueueMax(slot); ok {
+				util = cal.Utilization(q)
+			}
+		}
+		avail := rate * (1 - util)
+		if bottleneck < 0 || avail < bottleneck {
+			bottleneck = avail
+		}
+	}
+	if bottleneck < 0 {
+		bottleneck = 0
+	}
+	return bottleneck
+}
+
+// rankIdx implements indexRanker for the bandwidth strategy.
+func (r *BandwidthRanker) rankIdx(topo *collector.Topology, _ netsim.NodeID, fromIdx int32, cands []int32, s *rankScratch) []Candidate {
+	cal := r.Calibration
+	if cal == nil {
+		cal = DefaultCalibration()
+	}
+	out := s.out[:0]
+	for _, j := range cands {
+		cand := Candidate{Node: netsim.NodeID(topo.HostName(int(j)))}
+		p, code, _ := topo.PathInto(fromIdx, topo.HostNodeIndex(int(j)), s.path)
+		s.path = p
+		if code == collector.PathOK {
+			cand.Reachable = true
+			cand.Hops = len(p) - 1
+			cand.BandwidthBps = r.bottleneckOverPath(topo, p, cal)
+		}
+		out = append(out, cand)
+	}
+	s.out = out
+	sortCandidates(out, func(a, b Candidate) bool { return a.BandwidthBps > b.BandwidthBps })
+	return out
+}
+
+// rankIdx implements indexRanker for the Nearest baseline: the precomputed
+// hop table is keyed by node ID, so only the candidate enumeration is
+// index-space here (the table lookups were already allocation-free).
+func (r *NearestRanker) rankIdx(topo *collector.Topology, from netsim.NodeID, _ int32, cands []int32, s *rankScratch) []Candidate {
+	hops := r.hops[from]
+	out := s.out[:0]
+	for _, j := range cands {
+		node := netsim.NodeID(topo.HostName(int(j)))
+		h, ok := hops[node]
+		out = append(out, Candidate{Node: node, Hops: h, Reachable: ok})
+	}
+	s.out = out
+	sortCandidates(out, func(a, b Candidate) bool { return a.Hops < b.Hops })
+	return out
+}
+
+// rankIdx implements indexRanker (no size hint: delay-dominated ordering).
+func (r *TransferTimeRanker) rankIdx(topo *collector.Topology, from netsim.NodeID, fromIdx int32, cands []int32, s *rankScratch) []Candidate {
+	return r.rankSizeIdx(topo, from, fromIdx, cands, 0, s)
+}
+
+// rankSizeIdx implements sizeIndexRanker: one path walk per candidate
+// feeds both the delay and the bottleneck estimate (the string path walks
+// the identical learned path twice), keeping each accumulation chain's
+// operation order — and therefore every float result — unchanged.
+func (r *TransferTimeRanker) rankSizeIdx(topo *collector.Topology, _ netsim.NodeID, fromIdx int32, cands []int32, dataBytes int64, s *rankScratch) []Candidate {
+	delay := r.Delay
+	if delay == nil {
+		delay = &DelayRanker{}
+	}
+	bw := r.Bandwidth
+	if bw == nil {
+		bw = &BandwidthRanker{}
+	}
+	cal := bw.Calibration
+	if cal == nil {
+		cal = DefaultCalibration()
+	}
+	k := delay.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	floor := r.MinBandwidthBps
+	if floor <= 0 {
+		floor = 200_000 // 1% of the paper's 20 Mbps links
+	}
+	out := s.out[:0]
+	for _, j := range cands {
+		node := netsim.NodeID(topo.HostName(int(j)))
+		p, code, _ := topo.PathInto(fromIdx, topo.HostNodeIndex(int(j)), s.path)
+		s.path = p
+		if code != collector.PathOK {
+			out = append(out, Candidate{Node: node})
+			continue
+		}
+		avail := bw.bottleneckOverPath(topo, p, cal)
+		bwBps := avail
+		if avail < floor {
+			avail = floor
+		}
+		est := delay.delayOverPath(topo, p, k)
+		if dataBytes > 0 {
+			est += time.Duration(float64(dataBytes*8) / avail * float64(time.Second))
+		}
+		out = append(out, Candidate{
+			Node:         node,
+			Delay:        est,
+			BandwidthBps: bwBps,
+			Hops:         len(p) - 1,
+			Reachable:    true,
+		})
+	}
+	s.out = out
+	sortCandidates(out, func(a, b Candidate) bool { return a.Delay < b.Delay })
+	return out
+}
+
+// ComputeRanking computes one fresh best-first ranking against a snapshot
+// with the default candidate set (every host except from), using the
+// index-space fast path when the ranker supports it and the string path
+// otherwise. The returned slice is private to the caller. This is the
+// uncached single-query entry point the live daemon uses for rankers the
+// cache cannot serve.
+func ComputeRanking(topo *collector.Topology, r Ranker, from netsim.NodeID, dataBytes int64) []Candidate {
+	fromIdx := int32(-1)
+	if i, ok := topo.NodeIndex(string(from)); ok {
+		fromIdx = i
+	}
+	fromHost := topo.HostIndex(string(from))
+	if dataBytes > 0 {
+		if _, ok := r.(SizeAwareRanker); ok {
+			if si, ok := asSizeIndexRanker(r); ok {
+				sc := scratchPool.Get().(*rankScratch)
+				sc.cands = hostCandidatesIdx(topo, fromHost, sc.cands)
+				ranked := CloneCandidates(si.rankSizeIdx(topo, from, fromIdx, sc.cands, dataBytes, sc))
+				scratchPool.Put(sc)
+				return ranked
+			}
+			return r.(SizeAwareRanker).RankSize(topo, from, candidatesOn(topo, from), dataBytes)
+		}
+	}
+	if ir, ok := asIndexRanker(r); ok {
+		sc := scratchPool.Get().(*rankScratch)
+		sc.cands = hostCandidatesIdx(topo, fromHost, sc.cands)
+		ranked := CloneCandidates(ir.rankIdx(topo, from, fromIdx, sc.cands, sc))
+		scratchPool.Put(sc)
+		return ranked
+	}
+	return r.Rank(topo, from, candidatesOn(topo, from))
+}
+
+// hostCandidatesIdx appends every host index except fromHost into buf[:0]
+// — the index-space equivalent of the default candidate rule (every known
+// host except the requester; fromHost = -1 excludes nobody).
+func hostCandidatesIdx(topo *collector.Topology, fromHost int, buf []int32) []int32 {
+	out := buf[:0]
+	for j := 0; j < topo.HostCount(); j++ {
+		if j != fromHost {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}

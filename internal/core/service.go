@@ -304,7 +304,9 @@ func (s *Service) RankFor(req *QueryRequest) []Candidate {
 }
 
 // RankOn answers a query against a caller-supplied snapshot (RankFor with
-// the snapshot already acquired).
+// the snapshot already acquired). Cacheable queries are served as read-only
+// views of the shared cache entry — a warmed hit performs zero heap
+// allocations; callers that mutate results must CloneCandidates first.
 func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidate {
 	ranker := s.rankers[req.Metric]
 	if ranker == nil {
@@ -315,18 +317,14 @@ func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidat
 		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
 	// The cache stores the full ranked list (pre reorder/truncation); the
-	// per-request Sorted/Count shaping is applied to a private copy.
-	cacheable := !s.cfg.DisableRankCache && s.customCandidates == nil && RankerCacheable(ranker)
-	var key RankKey
-	var gen uint64
-	if cacheable {
-		key = RankKey{From: req.From, Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
-		ranked, ok, g := s.cache.Lookup(topo.Epoch(), key)
-		if ok {
-			return s.finishRanked(CloneCandidates(ranked), req)
-		}
-		gen = g
+	// per-request Sorted/Count shaping is a reslice of the entry's storage.
+	if entry, ok := s.rankCached(topo, ranker, req); ok {
+		return s.shapeEntry(entry, req)
 	}
+	// Uncacheable path (disabled cache, custom candidates, stateful or
+	// randomized rankers, non-host requesters): the historical string-space
+	// computation on fresh slices — HysteresisRanker relies on receiving
+	// private, mutable rankings here.
 	var cands []netsim.NodeID
 	if s.customCandidates != nil {
 		cands = s.customCandidates(req.From)
@@ -342,10 +340,90 @@ func (s *Service) RankOn(topo *collector.Topology, req *QueryRequest) []Candidat
 	} else {
 		ranked = ranker.Rank(topo, req.From, cands)
 	}
-	if cacheable {
-		s.cache.Store(topo.Epoch(), gen, key, CloneCandidates(ranked))
-	}
 	return s.finishRanked(ranked, req)
+}
+
+// rankCached serves one cacheable query as a shared cache entry: a hit
+// returns it outright; a miss computes the ranking — in index space with
+// pooled scratch when the ranker supports it — and stores the clone. ok is
+// false when the query cannot go through the cache.
+func (s *Service) rankCached(topo *collector.Topology, ranker Ranker, req *QueryRequest) (*RankEntry, bool) {
+	if s.cfg.DisableRankCache || s.customCandidates != nil || !RankerCacheable(ranker) {
+		return nil, false
+	}
+	fromHost := topo.HostIndex(string(req.From))
+	if fromHost < 0 {
+		// Not a known host: the index key cannot represent it. Rare (the
+		// default candidate rule targets host requesters); recompute.
+		return nil, false
+	}
+	key := RankKey{From: int32(fromHost), Metric: req.Metric, DataBytes: s.bucketBytes(req.DataBytes), Reqs: ReqKey(req.Requirements)}
+	entry, ok, gen := s.cache.Lookup(topo.Epoch(), key)
+	if ok {
+		return entry, true
+	}
+	ranked := s.computeRanked(topo, ranker, req, fromHost)
+	return s.cache.Store(topo.Epoch(), gen, key, ranked), true
+}
+
+// computeRanked runs one cacheable ranking computation and returns a
+// private slice for the cache to own. Index-capable rankers compute in
+// pooled scratch; others take the string path.
+func (s *Service) computeRanked(topo *collector.Topology, ranker Ranker, req *QueryRequest, fromHost int) []Candidate {
+	sizeAware, _ := ranker.(SizeAwareRanker)
+	sized := sizeAware != nil && req.DataBytes > 0
+	si, siOK := asSizeIndexRanker(ranker)
+	ir, irOK := asIndexRanker(ranker)
+	if (sized && siOK) || (!sized && irOK) {
+		fromIdx := int32(-1)
+		if i, ok := topo.NodeIndex(string(req.From)); ok {
+			fromIdx = i
+		}
+		sc := scratchPool.Get().(*rankScratch)
+		sc.cands = hostCandidatesIdx(topo, fromHost, sc.cands)
+		cands := sc.cands
+		if req.Requirements != nil {
+			cands = s.filterCapableIdx(topo, cands, req.Requirements)
+		}
+		var ranked []Candidate
+		if sized {
+			ranked = si.rankSizeIdx(topo, req.From, fromIdx, cands, req.DataBytes, sc)
+		} else {
+			ranked = ir.rankIdx(topo, req.From, fromIdx, cands, sc)
+		}
+		out := CloneCandidates(ranked)
+		scratchPool.Put(sc)
+		return out
+	}
+	cands := candidatesOn(topo, req.From)
+	if req.Requirements != nil {
+		cands = s.filterCapable(cands, req.Requirements)
+	}
+	if sized {
+		return sizeAware.RankSize(topo, req.From, cands, req.DataBytes)
+	}
+	return ranker.Rank(topo, req.From, cands)
+}
+
+// shapeEntry applies the per-request response shaping to a cache entry as
+// zero-copy views (the entry-backed counterpart of finishRanked).
+func (s *Service) shapeEntry(e *RankEntry, req *QueryRequest) []Candidate {
+	idOrder := !req.Sorted && req.Metric != MetricRandom
+	return e.Shaped(idOrder, s.cfg.ExcludeUnreachable, req.Count)
+}
+
+// filterCapableIdx filters candidate host indices in place against the
+// requirements (the index-space counterpart of filterCapable).
+func (s *Service) filterCapableIdx(topo *collector.Topology, cands []int32, req *Requirements) []int32 {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	out := cands[:0]
+	for _, j := range cands {
+		if s.capabilities[netsim.NodeID(topo.HostName(int(j)))].Satisfies(req) {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // bucketBytes maps a DataBytes hint to its cache-key bucket.

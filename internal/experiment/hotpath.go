@@ -1,0 +1,453 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"time"
+
+	"intsched/internal/collector"
+	"intsched/internal/core"
+	"intsched/internal/netsim"
+	"intsched/internal/wallclock"
+)
+
+// The hotpath experiment micro-benchmarks the scheduler's index-space read
+// path against the string APIs it replaced, on one warmed Fig 4 deployment
+// and one frozen snapshot: path walks (Path vs PathInto with reused
+// scratch), per-hop metric reads (string accessors vs CSR arena slots),
+// single warm ranking queries (string recompute vs cache-hit entry views),
+// and warm batches. Every cell digests both variants' outputs and fails if
+// they diverge — the speedup is only admissible because the answers are
+// byte-identical. Timings are wall-clock (a statement about this machine);
+// allocation counts come from the runtime's Mallocs counter and are exact.
+//
+// All PathInto walks live in closure-free top-level helpers: the walked
+// path aliases reusable scratch (the scratchalias contract), so it is
+// consumed in place or copied via copyPath, never captured or returned.
+
+// HotpathConfig shapes the micro-benchmark.
+type HotpathConfig struct {
+	// Sweeps is the number of measured passes per cell; each pass covers
+	// every (device, host) pair or every request once (default 300).
+	Sweeps int
+	// BatchSize is the rankbatch cell's requests per batch (default 256).
+	BatchSize int
+}
+
+func (c *HotpathConfig) normalize() {
+	if c.Sweeps <= 0 {
+		c.Sweeps = 300
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+}
+
+// HotpathCell is one measured micro-benchmark: the old (string) and new
+// (index) variant of the same read, per single operation.
+type HotpathCell struct {
+	Name        string
+	Ops         int // operations per sweep (pairs, hops, or requests)
+	OldNsOp     float64
+	NewNsOp     float64
+	OldAllocsOp float64
+	NewAllocsOp float64
+	// Digest is the shared FNV-1a digest of the cell's outputs; the cell
+	// fails before reporting if the two variants' digests differ.
+	Digest string
+}
+
+// Speedup is OldNsOp / NewNsOp.
+func (c HotpathCell) Speedup() float64 {
+	if c.NewNsOp <= 0 {
+		return 0
+	}
+	return c.OldNsOp / c.NewNsOp
+}
+
+// HotpathResult is the full run.
+type HotpathResult struct {
+	Cells []HotpathCell
+}
+
+// hotPair is one (device, host) walk endpoint pair in both coordinate
+// systems.
+type hotPair struct {
+	src, dst   string
+	isrc, idst int32
+}
+
+// hotMeter accumulates one variant's measurement: wall-clock time and the
+// runtime's exact Mallocs delta around the measured region.
+type hotMeter struct {
+	m0    runtime.MemStats
+	start time.Time
+}
+
+func startMeter() *hotMeter {
+	m := &hotMeter{}
+	runtime.ReadMemStats(&m.m0)
+	m.start = wallclock.Now()
+	return m
+}
+
+// perOp finalizes the measurement over the given operation count.
+func (m *hotMeter) perOp(ops int) (nsOp, allocsOp float64) {
+	elapsed := wallclock.Since(m.start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return float64(elapsed.Nanoseconds()) / float64(ops), float64(m1.Mallocs-m.m0.Mallocs) / float64(ops)
+}
+
+// hotDigestW hashes one variant's output stream.
+type hotDigestW struct{ h hash.Hash64 }
+
+func newHotDigest() *hotDigestW { return &hotDigestW{h: fnv.New64a()} }
+
+func (d *hotDigestW) str(s string) {
+	d.h.Write([]byte(s))
+	d.h.Write([]byte{0})
+}
+
+func (d *hotDigestW) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.h.Write(b[:])
+}
+
+func (d *hotDigestW) dur(v time.Duration) { d.u64(uint64(v)) }
+func (d *hotDigestW) f64(v float64)       { d.u64(math.Float64bits(v)) }
+
+func (d *hotDigestW) sum() string { return fmt.Sprintf("%016x", d.h.Sum64()) }
+
+// cands hashes a ranked list.
+func (d *hotDigestW) cands(cs []core.Candidate) {
+	for _, c := range cs {
+		d.str(string(c.Node))
+		d.dur(c.Delay)
+		d.f64(c.BandwidthBps)
+		d.u64(uint64(c.Hops))
+		if c.Reachable {
+			d.u64(1)
+		} else {
+			d.u64(0)
+		}
+	}
+}
+
+// copyPath returns a private copy of a walked index path (the returned path
+// aliases reusable scratch and must not be retained).
+func copyPath(p []int32) []int32 {
+	out := make([]int32, len(p))
+	copy(out, p)
+	return out
+}
+
+// digestPathwalk hashes every pair's walked path under both APIs and
+// returns the two digests (equal iff the index walk reproduces the string
+// walk exactly, unreachability included).
+func digestPathwalk(snap *collector.Topology, pairs []hotPair) (old, new string) {
+	dOld, dNew := newHotDigest(), newHotDigest()
+	var scratch []int32
+	for _, p := range pairs {
+		if sp, err := snap.Path(p.src, p.dst); err == nil {
+			for _, n := range sp {
+				dOld.str(n)
+			}
+		} else {
+			dOld.str("unreachable")
+		}
+		ip, code, _ := snap.PathInto(p.isrc, p.idst, scratch)
+		scratch = ip
+		if code == collector.PathOK {
+			for _, n := range ip {
+				dNew.str(snap.NodeName(n))
+			}
+		} else {
+			dNew.str("unreachable")
+		}
+	}
+	return dOld.sum(), dNew.sum()
+}
+
+// measurePathwalkString times Path over every pair, Sweeps times.
+func measurePathwalkString(snap *collector.Topology, pairs []hotPair, sweeps int) (nsOp, allocsOp float64) {
+	m := startMeter()
+	for i := 0; i < sweeps; i++ {
+		for _, p := range pairs {
+			_, _ = snap.Path(p.src, p.dst)
+		}
+	}
+	return m.perOp(sweeps * len(pairs))
+}
+
+// measurePathwalkIndex times PathInto with reused scratch over every pair.
+func measurePathwalkIndex(snap *collector.Topology, pairs []hotPair, sweeps int) (nsOp, allocsOp float64) {
+	m := startMeter()
+	var scratch []int32
+	for i := 0; i < sweeps; i++ {
+		for _, p := range pairs {
+			ip, _, _ := snap.PathInto(p.isrc, p.idst, scratch)
+			scratch = ip
+		}
+	}
+	return m.perOp(sweeps * len(pairs))
+}
+
+// buildIndexPaths walks every reachable pair once and returns private
+// copies of the index paths alongside the matching string paths.
+func buildIndexPaths(snap *collector.Topology, pairs []hotPair) ([][]string, [][]int32) {
+	var sPaths [][]string
+	var iPaths [][]int32
+	var scratch []int32
+	for _, p := range pairs {
+		sp, err := snap.Path(p.src, p.dst)
+		if err != nil {
+			continue
+		}
+		ip, code, _ := snap.PathInto(p.isrc, p.idst, scratch)
+		scratch = ip
+		if code != collector.PathOK {
+			continue
+		}
+		sPaths = append(sPaths, sp)
+		iPaths = append(iPaths, copyPath(ip))
+	}
+	return sPaths, iPaths
+}
+
+// readHopsString accumulates every per-hop metric over prewalked string
+// paths through the string accessors.
+func readHopsString(snap *collector.Topology, sPaths [][]string) (delay time.Duration, acc int64) {
+	for _, sp := range sPaths {
+		for i := 0; i+1 < len(sp); i++ {
+			a, b := sp[i], sp[i+1]
+			if ld, ok := snap.LinkDelay(a, b); ok {
+				delay += ld
+			}
+			delay += snap.LinkJitter(a, b)
+			acc += snap.LinkRate(a, b)
+			if q, ok := snap.QueueMax(a, b); ok {
+				acc += int64(q)
+			}
+		}
+	}
+	return delay, acc
+}
+
+// readHopsIndex accumulates the same per-hop metrics through the CSR arena
+// slots.
+func readHopsIndex(snap *collector.Topology, iPaths [][]int32) (delay time.Duration, acc int64) {
+	for _, ip := range iPaths {
+		for i := 0; i+1 < len(ip); i++ {
+			slot := snap.DirSlot(ip[i], ip[i+1])
+			if ld, ok := snap.SlotDelay(slot); ok {
+				delay += ld
+			}
+			delay += snap.SlotJitter(slot)
+			acc += snap.SlotRate(slot)
+			if q, ok := snap.SlotQueueMax(slot); ok {
+				acc += int64(q)
+			}
+		}
+	}
+	return delay, acc
+}
+
+// measureHot times fn (which performs opsPerSweep operations) over sweeps
+// passes. Only used by cells whose work does not touch reusable scratch.
+func measureHot(sweeps, opsPerSweep int, fn func()) (nsOp, allocsOp float64) {
+	m := startMeter()
+	for i := 0; i < sweeps; i++ {
+		fn()
+	}
+	return m.perOp(sweeps * opsPerSweep)
+}
+
+// Hotpath runs the micro-benchmark. Cells are measured sequentially on one
+// snapshot; the rig's probe fleet is stopped (the engine is not advanced),
+// so the epoch is frozen and warm cache entries stay valid throughout.
+func Hotpath(cfg HotpathConfig) (*HotpathResult, error) {
+	cfg.normalize()
+	rig, err := NewQueryRig(true, QPSConfig{})
+	if err != nil {
+		return nil, err
+	}
+	snap := rig.Coll.Snapshot()
+	hosts := snap.Hosts()
+	if len(rig.Devices) == 0 || len(hosts) == 0 {
+		return nil, fmt.Errorf("hotpath: rig learned no devices/hosts")
+	}
+
+	// The pair set every path cell walks: each device toward each host.
+	var pairs []hotPair
+	for _, d := range rig.Devices {
+		isrc, ok := snap.NodeIndex(string(d))
+		if !ok {
+			continue
+		}
+		for _, h := range hosts {
+			if h == string(d) {
+				continue
+			}
+			idst, ok := snap.NodeIndex(h)
+			if !ok {
+				continue
+			}
+			pairs = append(pairs, hotPair{src: string(d), dst: h, isrc: isrc, idst: idst})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("hotpath: no indexable (device, host) pairs")
+	}
+
+	res := &HotpathResult{}
+	addCell := func(name string, ops int, digestOld, digestNew string,
+		oldNs, oldAllocs, newNs, newAllocs float64) error {
+		if digestOld != digestNew {
+			return fmt.Errorf("hotpath %s: index digest %s != string digest %s (answers diverged)", name, digestNew, digestOld)
+		}
+		if newAllocs > oldAllocs {
+			return fmt.Errorf("hotpath %s: index path allocates more than the string path (%.2f > %.2f allocs/op)", name, newAllocs, oldAllocs)
+		}
+		res.Cells = append(res.Cells, HotpathCell{
+			Name: name, Ops: ops,
+			OldNsOp: oldNs, NewNsOp: newNs,
+			OldAllocsOp: oldAllocs, NewAllocsOp: newAllocs,
+			Digest: digestOld,
+		})
+		return nil
+	}
+
+	// Cell 1: path walk. Old = Path (allocates the []string result), new =
+	// PathInto into reused scratch (allocation-free once grown).
+	{
+		dOld, dNew := digestPathwalk(snap, pairs)
+		oldNs, oldAllocs := measurePathwalkString(snap, pairs, cfg.Sweeps)
+		newNs, newAllocs := measurePathwalkIndex(snap, pairs, cfg.Sweeps)
+		if err := addCell("pathwalk", len(pairs), dOld, dNew, oldNs, oldAllocs, newNs, newAllocs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cell 2: per-hop metric read over prewalked paths. Old = string
+	// accessors keyed by node names, new = CSR arena slot loads. Both
+	// accumulate the same per-hop values; the digest proves the slots carry
+	// exactly what the string maps do.
+	{
+		sPaths, iPaths := buildIndexPaths(snap, pairs)
+		hops := 0
+		for _, sp := range sPaths {
+			hops += len(sp) - 1
+		}
+		if hops == 0 {
+			return nil, fmt.Errorf("hotpath: no reachable pairs for the hopmetric cell")
+		}
+		dOld, dNew := newHotDigest(), newHotDigest()
+		sd, sa := readHopsString(snap, sPaths)
+		dOld.dur(sd)
+		dOld.u64(uint64(sa))
+		id, ia := readHopsIndex(snap, iPaths)
+		dNew.dur(id)
+		dNew.u64(uint64(ia))
+		oldNs, oldAllocs := measureHot(cfg.Sweeps, hops, func() { readHopsString(snap, sPaths) })
+		newNs, newAllocs := measureHot(cfg.Sweeps, hops, func() { readHopsIndex(snap, iPaths) })
+		if err := addCell("hopmetric", hops, dOld.sum(), dNew.sum(), oldNs, oldAllocs, newNs, newAllocs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Request mix shared by the ranking cells: every device, alternating
+	// delay and bandwidth.
+	mkReqs := func(n int) []*core.QueryRequest {
+		reqs := make([]*core.QueryRequest, n)
+		for i := range reqs {
+			metric := core.MetricDelay
+			if i%2 == 1 {
+				metric = core.MetricBandwidth
+			}
+			reqs[i] = &core.QueryRequest{From: rig.Devices[i%len(rig.Devices)], Metric: metric, Sorted: true}
+		}
+		return reqs
+	}
+	// stringRank is the pre-index read path per query: build the candidate
+	// set and run the ranker through the public string API.
+	delay := &core.DelayRanker{}
+	bw := &core.BandwidthRanker{}
+	stringRank := func(req *core.QueryRequest) []core.Candidate {
+		cands := make([]netsim.NodeID, 0, len(hosts))
+		for _, h := range hosts {
+			if h != string(req.From) {
+				cands = append(cands, netsim.NodeID(h))
+			}
+		}
+		var r core.Ranker = delay
+		if req.Metric == core.MetricBandwidth {
+			r = bw
+		}
+		return r.Rank(snap, req.From, cands)
+	}
+
+	// Cell 3: a warm single query. Old = string recompute per query, new =
+	// rank-cache hit served as zero-copy entry views.
+	{
+		reqs := mkReqs(len(rig.Devices) * 2)
+		dOld, dNew := newHotDigest(), newHotDigest()
+		for _, req := range reqs {
+			dOld.cands(stringRank(req))
+			dNew.cands(rig.Svc.RankOn(snap, req)) // also warms the cache
+		}
+		oldNs, oldAllocs := measureHot(cfg.Sweeps, len(reqs), func() {
+			for _, req := range reqs {
+				stringRank(req)
+			}
+		})
+		newNs, newAllocs := measureHot(cfg.Sweeps, len(reqs), func() {
+			for _, req := range reqs {
+				rig.Svc.RankOn(snap, req)
+			}
+		})
+		if err := addCell("rankfor", len(reqs), dOld.sum(), dNew.sum(), oldNs, oldAllocs, newNs, newAllocs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cell 4: a warm batch. Old = one string recompute per request, new =
+	// RankBatchOn against the shared entries.
+	{
+		reqs := mkReqs(cfg.BatchSize)
+		dOld, dNew := newHotDigest(), newHotDigest()
+		for _, req := range reqs {
+			dOld.cands(stringRank(req))
+		}
+		for _, ranked := range rig.Svc.RankBatchOn(snap, reqs) {
+			dNew.cands(ranked)
+		}
+		oldNs, oldAllocs := measureHot(cfg.Sweeps, len(reqs), func() {
+			for _, req := range reqs {
+				stringRank(req)
+			}
+		})
+		newNs, newAllocs := measureHot(cfg.Sweeps, len(reqs), func() {
+			rig.Svc.RankBatchOn(snap, reqs)
+		})
+		if err := addCell("rankbatch", len(reqs), dOld.sum(), dNew.sum(), oldNs, oldAllocs, newNs, newAllocs); err != nil {
+			return nil, err
+		}
+	}
+
+	// The point of the refactor: strictly fewer heap allocations overall.
+	var oldTotal, newTotal float64
+	for _, c := range res.Cells {
+		oldTotal += c.OldAllocsOp
+		newTotal += c.NewAllocsOp
+	}
+	if newTotal >= oldTotal {
+		return nil, fmt.Errorf("hotpath: index path total %.2f allocs/op, string path %.2f — not reduced", newTotal, oldTotal)
+	}
+	return res, nil
+}

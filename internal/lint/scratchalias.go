@@ -5,30 +5,34 @@ import (
 )
 
 // scratchAliasExemptPackages are skipped by scratchalias: telemetry
-// implements the codec, so returning and growing its own scratch is its
-// job, not a leak.
+// implements the codec, and collector implements PathInto (whose wrappers
+// legitimately return the re-homed scratch), so returning and growing their
+// own scratch is their job, not a leak.
 var scratchAliasExemptPackages = map[string]bool{
 	"intsched/internal/telemetry": true,
+	"intsched/internal/collector": true,
 }
 
 // ScratchAliasAnalyzer enforces the probe-codec scratch-reuse contract.
 var ScratchAliasAnalyzer = &Analyzer{
 	Name: "scratchalias",
-	Doc: `forbid letting probe-codec scratch escape the decode loop
+	Doc: `forbid letting reusable scratch escape its reuse loop
 
 telemetry.UnmarshalProbeInto decodes into a reusable payload whose Records
-and Queues slices are recycled on the next decode, and telemetry.AppendProbe
-returns (a regrowth of) the caller's scratch buffer. Everything reachable
-from the decode target, and the encoder's returned buffer, aliases that
+and Queues slices are recycled on the next decode, telemetry.AppendProbe
+returns (a regrowth of) the caller's scratch buffer, and
+collector.Topology.PathInto walks a path into (a regrowth of) caller-owned
+scratch that the next walk overwrites. Everything reachable from the decode
+target, the encoder's returned buffer, and the returned path aliases that
 scratch: in the function performing the call (and same-package functions it
 forwards the scratch to) those values must not be stored into receiver
 fields, package variables, maps, or channels, must not be captured by
 closures or goroutines, and must not be returned. Sanctioned idioms stay
 legal: in-place mutation of the payload, growing the scratch back into the
-field it came from (p.encScratch = encoded), handing the value to a
-synchronous callee (which copies what it keeps, as the collector does), and
-filling caller-provided transient state such as a frame being marshalled
-before the next reuse.`,
+place it came from (p.encScratch = encoded; s.path = p), handing the value
+to a synchronous callee (which copies what it keeps, as the collector
+does), and filling caller-provided transient state such as a frame being
+marshalled before the next reuse.`,
 	Run: runScratchAlias,
 }
 
@@ -53,9 +57,11 @@ func runScratchAlias(pass *Pass) (any, error) {
 }
 
 // scratchSeeds collects the taint roots of one function body: the decode
-// targets of UnmarshalProbeInto calls, and both the result and the dst
-// buffer of AppendProbe calls (seeding dst legalizes the store-back idiom:
-// a store into an already-tainted path is in-place scratch maintenance).
+// targets of UnmarshalProbeInto calls, both the result and the dst buffer
+// of AppendProbe calls, and both the returned path and the scratch argument
+// of Topology.PathInto calls (seeding the input buffer legalizes the
+// store-back idiom: a store into an already-tainted path is in-place
+// scratch maintenance).
 func scratchSeeds(pass *Pass, body *ast.BlockStmt) map[string]bool {
 	seeds := make(map[string]bool)
 	seed := func(e ast.Expr) {
@@ -76,12 +82,18 @@ func scratchSeeds(pass *Pass, body *ast.BlockStmt) map[string]bool {
 				if len(n.Args) > 0 {
 					seed(n.Args[0])
 				}
+			case isMethodOf(fn, "intsched/internal/collector", "Topology", "PathInto"):
+				if len(n.Args) > 2 {
+					seed(n.Args[2])
+				}
 			}
 		case *ast.AssignStmt:
-			// Bind AppendProbe's returned buffer to its destination.
+			// Bind the returned buffer/path to its destination.
 			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
 				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
-					if isPkgFunc(pass.funcObj(call), "intsched/internal/telemetry", "AppendProbe") {
+					fn := pass.funcObj(call)
+					if isPkgFunc(fn, "intsched/internal/telemetry", "AppendProbe") ||
+						isMethodOf(fn, "intsched/internal/collector", "Topology", "PathInto") {
 						seed(n.Lhs[0])
 					}
 				}

@@ -12,13 +12,11 @@ type sched struct {
 }
 
 func (s *sched) Good(epoch uint64, key core.RankKey, rank func() []core.Candidate) []core.Candidate {
-	ranked, ok, gen := s.cache.Lookup(epoch, key)
+	entry, ok, gen := s.cache.Lookup(epoch, key)
 	if ok {
-		return ranked
+		return entry.Ranked()
 	}
-	ranked = rank()
-	s.cache.Store(epoch, gen, key, ranked)
-	return ranked
+	return s.cache.Store(epoch, gen, key, rank()).Ranked()
 }
 
 func (s *sched) GoodCopy(epoch uint64, key core.RankKey) {

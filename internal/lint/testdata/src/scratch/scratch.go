@@ -1,9 +1,13 @@
 // Package scratch is the scratchalias fixture: values aliasing the probe
-// codec's reused decode/encode scratch must not outlive the call, while the
+// codec's reused decode/encode scratch — and paths walked into reusable
+// scratch by Topology.PathInto — must not outlive the call, while the
 // store-back, in-place-mutation, and synchronous-callee idioms stay clean.
 package scratch
 
-import "intsched/internal/telemetry"
+import (
+	"intsched/internal/collector"
+	"intsched/internal/telemetry"
+)
 
 type daemon struct {
 	decodeScratch telemetry.ProbePayload
@@ -83,4 +87,43 @@ func BadCapture(raw []byte) {
 		return
 	}
 	deferred = append(deferred, func() { consume(&p) }) // want `probe-codec scratch captured by a closure`
+}
+
+// walker ranks over index paths the way core's rankers do: PathInto walks
+// into reusable scratch that the next walk overwrites.
+type walker struct {
+	path     []int32
+	lastPath []int32
+}
+
+// GoodPathStoreBack is the sanctioned shape: the returned path is stored
+// back into the scratch field it was walked into, and only derived scalars
+// (hop counts, per-hop reads) outlive the call.
+func (w *walker) GoodPathStoreBack(topo *collector.Topology, src, dst int32) int {
+	p, code, _ := topo.PathInto(src, dst, w.path)
+	w.path = p
+	if code != collector.PathOK {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// GoodPathLocal keeps the walked path in a local and hands it to a
+// synchronous callee, which copies what it keeps.
+func GoodPathLocal(topo *collector.Topology, src, dst int32, scratch []int32) {
+	p, _, _ := topo.PathInto(src, dst, scratch)
+	walkHops(p)
+}
+
+func walkHops(p []int32) { _ = len(p) }
+
+func (w *walker) BadPathRetained(topo *collector.Topology, src, dst int32) {
+	p, _, _ := topo.PathInto(src, dst, w.path)
+	w.path = p
+	w.lastPath = p // want `probe-codec scratch stored in receiver field w\.lastPath`
+}
+
+func BadPathReturned(topo *collector.Topology, src, dst int32, scratch []int32) []int32 {
+	p, _, _ := topo.PathInto(src, dst, scratch)
+	return p // want `probe-codec scratch returned to the caller`
 }

@@ -589,36 +589,33 @@ func (d *CollectorDaemon) answerOn(topo *collector.Topology, req *wire.QueryRequ
 		start := time.Now()
 		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
-	// Hysteresis-wrapped rankers are stateful and bypass the cache.
-	cacheable := core.RankerCacheable(ranker)
-	key := core.RankKey{From: netsim.NodeID(req.From), Metric: metric, DataBytes: req.DataBytes}
-	ranked, hit, gen := []core.Candidate(nil), false, uint64(0)
-	if cacheable {
-		// Cached lists are shared between queries; the marshalling below
-		// only reads (and slicing for Count does not mutate), so no copy
-		// is needed.
-		ranked, hit, gen = d.cache.Lookup(topo.Epoch(), key)
+	// Hysteresis-wrapped rankers are stateful and bypass the cache, as do
+	// requesters outside the snapshot's host list (the index-space cache
+	// key cannot represent them).
+	var ranked []core.Candidate
+	fromHost := -1
+	if core.RankerCacheable(ranker) {
+		fromHost = topo.HostIndex(req.From)
 	}
-	if !hit {
-		var cands []netsim.NodeID
-		for _, h := range topo.Hosts() {
-			if h != req.From {
-				cands = append(cands, netsim.NodeID(h))
-			}
+	if fromHost >= 0 {
+		key := core.RankKey{From: int32(fromHost), Metric: metric, DataBytes: req.DataBytes}
+		entry, hit, gen := d.cache.Lookup(topo.Epoch(), key)
+		if !hit {
+			// Index-space computation in pooled scratch; the cache owns
+			// the stored clone and returns the entry even if an
+			// invalidation raced the insert.
+			fresh := core.ComputeRanking(topo, ranker, netsim.NodeID(req.From), req.DataBytes)
+			entry = d.cache.Store(topo.Epoch(), gen, key, fresh)
 		}
-		if sa, ok := ranker.(core.SizeAwareRanker); ok && req.DataBytes > 0 {
-			ranked = sa.RankSize(topo, netsim.NodeID(req.From), cands, req.DataBytes)
-		} else {
-			ranked = ranker.Rank(topo, netsim.NodeID(req.From), cands)
+		// Entry views are shared between queries; the recovery filter and
+		// the Count cap are reslices, and the marshalling below only reads,
+		// so no copy is needed.
+		ranked = entry.Shaped(false, d.exclUnre, 0)
+	} else {
+		ranked = core.ComputeRanking(topo, ranker, netsim.NodeID(req.From), req.DataBytes)
+		if d.exclUnre {
+			ranked = core.ReachableOnly(ranked)
 		}
-		if cacheable {
-			d.cache.Store(topo.Epoch(), gen, key, ranked)
-		}
-	}
-	if d.exclUnre {
-		// Recovery policy: drop candidates whose learned path aged out
-		// (ReachableOnly never mutates, so shared cached lists are safe).
-		ranked = core.ReachableOnly(ranked)
 	}
 	d.trackReroute(req.From, metric, ranked)
 	if req.Count > 0 && req.Count < len(ranked) {
