@@ -55,8 +55,10 @@ func main() {
 		fmt.Println("[]")
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(runUnit(args[0]))
-	case len(args) >= 1 && args[0] == "-source":
-		os.Exit(runSource(args[1:]))
+	case len(args) >= 1 && (args[0] == "-source" || args[0] == "-json" ||
+		strings.HasPrefix(args[0], "-baseline") || strings.HasPrefix(args[0], "-write-baseline")):
+		// -json / -baseline / -write-baseline imply source mode.
+		os.Exit(runSource(args))
 	case len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help"):
 		usage()
 	default:
@@ -67,6 +69,11 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: intlint [packages]          (runs go vet -vettool=intlint)\n")
 	fmt.Fprintf(os.Stderr, "       intlint -source [moduledir] (source mode, no go tool needed)\n\n")
+	fmt.Fprintf(os.Stderr, "source-mode flags (each implies -source when leading):\n")
+	fmt.Fprintf(os.Stderr, "  -json                  emit diagnostics as one JSON report on stdout\n")
+	fmt.Fprintf(os.Stderr, "  -baseline file         suppress findings recorded in file; exit 1 on\n")
+	fmt.Fprintf(os.Stderr, "                         fresh findings or stale (fixed) baseline entries\n")
+	fmt.Fprintf(os.Stderr, "  -write-baseline file   record the current findings as the baseline\n\n")
 	fmt.Fprintf(os.Stderr, "analyzers:\n")
 	for _, a := range lint.Analyzers() {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -204,14 +211,62 @@ func runUnit(cfgPath string) int {
 	return report(fset, findings)
 }
 
-// runSource type-checks the whole module from source — no go tool, no
-// export data, no network — and runs the suite over every package.
-func runSource(args []string) int {
-	root := "."
-	if len(args) > 0 {
-		root = args[0]
+// sourceOpts are the source-mode flags (-json, -baseline, -write-baseline
+// imply source mode when leading).
+type sourceOpts struct {
+	root          string
+	jsonOut       bool
+	baseline      string
+	writeBaseline string
+}
+
+func parseSourceArgs(args []string) (sourceOpts, error) {
+	opts := sourceOpts{root: "."}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-source":
+			// mode marker
+		case a == "-json":
+			opts.jsonOut = true
+		case a == "-baseline":
+			i++
+			if i >= len(args) {
+				return opts, fmt.Errorf("-baseline requires a file argument")
+			}
+			opts.baseline = args[i]
+		case strings.HasPrefix(a, "-baseline="):
+			opts.baseline = strings.TrimPrefix(a, "-baseline=")
+		case a == "-write-baseline":
+			i++
+			if i >= len(args) {
+				return opts, fmt.Errorf("-write-baseline requires a file argument")
+			}
+			opts.writeBaseline = args[i]
+		case strings.HasPrefix(a, "-write-baseline="):
+			opts.writeBaseline = strings.TrimPrefix(a, "-write-baseline=")
+		case strings.HasPrefix(a, "-"):
+			return opts, fmt.Errorf("unknown source-mode flag %s", a)
+		default:
+			opts.root = a
+		}
 	}
-	root, err := findModuleRoot(root)
+	return opts, nil
+}
+
+// runSource type-checks the whole module from source — no go tool, no
+// export data, no network — and runs the suite over every package. With
+// -json it emits one JSONReport on stdout; with -baseline it suppresses
+// known findings and fails on fresh findings OR stale baseline entries
+// (the baseline only ratchets down); -write-baseline regenerates the file
+// from the current findings.
+func runSource(args []string) int {
+	opts, err := parseSourceArgs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
+		return 2
+	}
+	root, err := findModuleRoot(opts.root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
 		return 2
@@ -226,18 +281,63 @@ func runSource(args []string) int {
 		fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
 		return 2
 	}
-	exit := 0
+	var diags []lint.JSONDiagnostic
 	for _, lp := range pkgs {
 		findings, err := lint.RunAnalyzers(loader.Fset, lp.Files, lp.Pkg, lp.Info, lint.Analyzers())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
 			return 2
 		}
-		if report(loader.Fset, findings) != 0 {
-			exit = 1
+		diags = append(diags, lint.FindingsToJSON(loader.Fset, root, findings)...)
+	}
+	lint.SortDiagnostics(diags)
+
+	if opts.writeBaseline != "" {
+		if err := lint.WriteBaseline(opts.writeBaseline, lint.BaselineFromDiagnostics(diags)); err != nil {
+			fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "intlint: wrote %d finding(s) to %s\n", len(diags), opts.writeBaseline)
+		return 0
+	}
+
+	fresh := len(diags)
+	var stale []lint.BaselineEntry
+	if opts.baseline != "" {
+		b, err := lint.LoadBaseline(opts.baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
+			return 2
+		}
+		fresh, stale = b.Apply(diags)
+	}
+
+	if opts.jsonOut {
+		if diags == nil {
+			diags = []lint.JSONDiagnostic{}
+		}
+		rep := lint.JSONReport{Module: loader.ModulePath, Diagnostics: diags, Stale: stale}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "intlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Baselined {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "stale baseline entry (fixed? remove it): %s %s: %s\n", e.Analyzer, e.File, e.Message)
 		}
 	}
-	return exit
+	if fresh > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // findModuleRoot walks up from dir to the directory containing go.mod.

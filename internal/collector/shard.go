@@ -15,11 +15,24 @@ import (
 // the node; probe-stream metadata lives in the shard owning the origin.
 // A probe that traverses several partitions therefore touches several
 // shards, and HandleProbe locks exactly the owners of the nodes on the hop
-// sequence (in ascending shard order) so concurrent probes through disjoint
-// partitions never contend.
+// sequence so concurrent probes through disjoint partitions never contend.
+//
+// Lock-order invariant (mechanically enforced by the shardlock analyzer in
+// internal/lint): the order key is the shard index — the shard's position
+// in Collector.shards, as computed by shardOf. A goroutine may hold at most
+// one streamMu, acquired strictly before any mu and never while holding
+// one. Multiple mu may be held simultaneously only when acquired in
+// ascending shard-index order: HandleProbe and reassembleProbe sort and
+// deduplicate the index set first (sort.Ints) and lock in a single forward
+// sweep; pairwise lockers such as SetLinkRate swap the two indices into
+// ascending order before locking (skipping the second Lock when both keys
+// land in one shard); iterators like Stats hold one mu at a time. Unlock
+// order is unconstrained — reverse order is the convention. Helpers named
+// *Locked acquire nothing and rely on the caller's locks.
 type shard struct {
 	// mu guards all owned link-state below (everything except the stream
-	// fields, which streamMu guards).
+	// fields, which streamMu guards). See the lock-order invariant on the
+	// type comment before acquiring more than one.
 	mu sync.Mutex
 
 	// adj maps device -> egress port -> neighbor for owned from-nodes.
@@ -56,9 +69,11 @@ type shard struct {
 	view atomic.Pointer[shardView]
 
 	// streamMu guards probe-stream state for origins owned by this shard.
-	// It is always acquired before any shard's mu and never while holding
-	// one, and HandleProbe holds at most one streamMu, so the two-level
-	// locking cannot deadlock.
+	// It sits above every mu in the lock order: a goroutine acquires at
+	// most one streamMu (the origin shard's — ingest is serialized per
+	// origin), always before any shard's mu and never while holding one.
+	// One stream lock plus an ascending mu sweep cannot deadlock: stream
+	// locks never nest, and the mu level is totally ordered by shard index.
 	streamMu sync.Mutex
 	streams  map[probeKey]probeMeta
 	// reasm holds per-stream reassembly buffers for probabilistic probes

@@ -21,8 +21,8 @@ import (
 // ranking computation. All slices follow the store-back idiom: helpers
 // return the (possibly re-homed) slice and the owner stores it back.
 type rankScratch struct {
-	cands []int32     // candidate host indices
-	path  []int32     // PathInto walk scratch
+	cands []int32     // unit:host — candidate positions in the sorted host list
+	path  []int32     // unit:node — PathInto walk scratch (merged node indices)
 	out   []Candidate // ranking output buffer (cloned before caching)
 }
 

@@ -55,6 +55,16 @@ type Pass struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Related points at secondary positions that explain the finding (the
+	// first lock of an unordered pair, the seed of a taint chain, the
+	// defining site of a unit). It mirrors go/analysis.RelatedInformation.
+	Related []RelatedInfo
+}
+
+// RelatedInfo is one secondary position attached to a diagnostic.
+type RelatedInfo struct {
+	Pos     token.Pos
+	Message string
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -70,6 +80,9 @@ func Analyzers() []*Analyzer {
 		RankCacheTokenAnalyzer,
 		ObsNamingAnalyzer,
 		ScratchAliasAnalyzer,
+		ShardLockAnalyzer,
+		SnapshotImmutableAnalyzer,
+		IndexSpaceAnalyzer,
 	}
 }
 

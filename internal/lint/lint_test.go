@@ -55,6 +55,28 @@ func TestScratchAlias(t *testing.T) {
 	linttest.Run(t, "internal/lint/testdata/src/scratch", "fixture/scratch", lint.ScratchAliasAnalyzer)
 }
 
+// TestShardLock includes the PR 6 regression shape: pairwise shard locking
+// with nothing ordering the pair, alongside every blessed acquisition idiom
+// in collector (ascending sorted sweep, canonical scan, sequential,
+// swap-ordered pairwise, single+defer, *Locked callees).
+func TestShardLock(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/shardlock", "fixture/shardlock", lint.ShardLockAnalyzer)
+}
+
+// TestSnapshotImmutable covers stores through published Topology snapshots
+// and cached RankEntry candidate views, against the read/reslice/clone
+// idioms the service actually uses.
+func TestSnapshotImmutable(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/snapimm", "fixture/snapimm", lint.SnapshotImmutableAnalyzer)
+}
+
+// TestIndexSpace covers the fabricated arena-slot mix-up: int32 values
+// crossing between node-index, host-index, CSR-edge, and metric-slot
+// coordinate systems.
+func TestIndexSpace(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/idxspace", "fixture/idxspace", lint.IndexSpaceAnalyzer)
+}
+
 // TestModuleIsClean runs the full suite over the repository itself: the
 // production tree must stay free of violations (intentional wall-clock use
 // goes through internal/wallclock, and so on).

@@ -203,6 +203,7 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	Related  []RelatedInfo
 }
 
 // RunAnalyzers applies the given analyzers to a type-checked package and
@@ -218,7 +219,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report: func(d Diagnostic) {
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message, Related: d.Related})
 			},
 		}
 		if _, err := a.Run(pass); err != nil {

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is intlint's machine-readable reporting layer: findings as JSON
+// diagnostics, plus a checked-in baseline that suppresses known findings so
+// CI fails only on NEW ones. The baseline matches on (analyzer, file,
+// message) with an occurrence count — deliberately not on line numbers, so
+// unrelated edits that shift a suppressed finding don't break the build —
+// and it is a ratchet: entries that no longer match anything are "stale" and
+// fail the run too, forcing the baseline to shrink as findings are fixed.
+
+// JSONRelated is a secondary position of a diagnostic.
+type JSONRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// JSONDiagnostic is one finding with a module-root-relative position.
+type JSONDiagnostic struct {
+	Analyzer  string        `json:"analyzer"`
+	File      string        `json:"file"`
+	Line      int           `json:"line"`
+	Col       int           `json:"col"`
+	Message   string        `json:"message"`
+	Related   []JSONRelated `json:"related,omitempty"`
+	Baselined bool          `json:"baselined,omitempty"`
+}
+
+// BaselineEntry suppresses up to Count findings matching the key.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the on-disk accepted-findings file (lint.baseline.json).
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// JSONReport is the top-level -json output.
+type JSONReport struct {
+	Module      string           `json:"module"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	Stale       []BaselineEntry  `json:"stale,omitempty"`
+}
+
+// relPath renders pos as a module-root-relative slash path plus line/col.
+func relPath(fset *token.FileSet, moduleRoot string, pos token.Pos) (string, int, int) {
+	p := fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(moduleRoot, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !isParentPath(rel) {
+		file = rel
+	}
+	return filepath.ToSlash(file), p.Line, p.Column
+}
+
+func isParentPath(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// FindingsToJSON converts findings to JSON diagnostics with paths relative
+// to moduleRoot.
+func FindingsToJSON(fset *token.FileSet, moduleRoot string, findings []Finding) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(findings))
+	for _, f := range findings {
+		file, line, col := relPath(fset, moduleRoot, f.Pos)
+		d := JSONDiagnostic{Analyzer: f.Analyzer, File: file, Line: line, Col: col, Message: f.Message}
+		for _, r := range f.Related {
+			rf, rl, rc := relPath(fset, moduleRoot, r.Pos)
+			d.Related = append(d.Related, JSONRelated{File: rf, Line: rl, Col: rc, Message: r.Message})
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer,
+// message — the stable order the golden files and baseline diffs rely on.
+func SortDiagnostics(diags []JSONDiagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Apply marks diagnostics covered by the baseline (setting Baselined) and
+// returns the number of fresh (uncovered) diagnostics plus the stale
+// entries whose budget was not fully consumed.
+func (b *Baseline) Apply(diags []JSONDiagnostic) (fresh int, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	for i := range diags {
+		k := baselineKey{diags[i].Analyzer, diags[i].File, diags[i].Message}
+		if budget[k] > 0 {
+			budget[k]--
+			diags[i].Baselined = true
+		} else {
+			fresh++
+		}
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if budget[k] > 0 {
+			left := e.Count
+			if left <= 0 {
+				left = 1
+			}
+			if budget[k] < left {
+				left = budget[k]
+			}
+			budget[k] = 0 // attribute leftover budget to the first entry with this key
+			e.Count = left
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// BaselineFromDiagnostics aggregates diagnostics into baseline entries.
+func BaselineFromDiagnostics(diags []JSONDiagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	var order []baselineKey
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	bl := &Baseline{Entries: make([]BaselineEntry, 0, len(order))}
+	for _, k := range order {
+		bl.Entries = append(bl.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: counts[k]})
+	}
+	return bl
+}
+
+// LoadBaseline reads a baseline file. An empty or entry-less file is a
+// valid empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+		}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline as stable, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

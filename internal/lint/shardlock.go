@@ -1,0 +1,516 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardLockAnalyzer enforces the collector's two-level shard locking
+// protocol.
+var ShardLockAnalyzer = &Analyzer{
+	Name: "shardlock",
+	Doc: `enforce ascending-order multi-shard lock acquisition
+
+The sharded collector guards each partition's link state with shard.mu and
+each origin's probe-stream state with shard.streamMu. The deadlock-freedom
+argument (internal/collector/shard.go) is a total lock order: at most one
+streamMu, acquired before any mu; multiple mu only in ascending shard-index
+order. This analyzer builds a per-function acquisition sequence over every
+Lock/Unlock of a mu or streamMu field of a struct type named "shard" and
+reports:
+
+  - a loop that acquires shard mutexes without releasing them in the same
+    iteration, unless the loop provably visits shard indices in ascending
+    order (a ranged slice sorted by sort.Ints/slices.Sort beforehand, or a
+    canonical "for i := 0; i < n; i++" scan);
+  - a second shard mu acquired while one is held, unless a preceding
+    "if i > j { i, j = j, i }" swap orders the pair's indices;
+  - a streamMu acquired while any shard mu (or another streamMu) is held —
+    the documented order is streamMu strictly first, at most one;
+  - a call made while holding a shard lock into a same-package function
+    that itself (transitively) acquires shard locks: the callee's
+    acquisition nests at an unordered level, the deadlock shape the
+    *Locked naming convention exists to prevent.
+
+Functions following the convention — acquiring nothing and relying on the
+caller's locks — pass vacuously.`,
+	Run: runShardLock,
+}
+
+// Lock-event kinds.
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+// Lock classes.
+const (
+	classMu = iota
+	classStream
+)
+
+var lockClassName = [...]string{classMu: "shard.mu", classStream: "shard.streamMu"}
+
+// lockEvent is one lock-relevant action in a function body, in source order.
+type lockEvent struct {
+	pos   token.Pos
+	kind  int
+	class int         // for evLock/evUnlock
+	index ast.Expr    // innermost index expr of the locked shard (shards[i].mu), or nil
+	loop  ast.Node    // innermost enclosing for/range statement, or nil
+	fn    *types.Func // for evCall: the same-package callee
+}
+
+// lockFunc is the per-function analysis unit (declared function or literal).
+type lockFunc struct {
+	name   string
+	body   *ast.BlockStmt
+	events []lockEvent
+	loops  []ast.Node
+}
+
+func runShardLock(pass *Pass) (any, error) {
+	var fns []*lockFunc
+	decls := make(map[*types.Func]*lockFunc)
+	for _, file := range pass.nonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lf := collectLockFunc(pass, fd.Name.Name, fd.Body)
+			fns = append(fns, lf)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = lf
+			}
+			// Function literals get their own acquisition sequence: a
+			// closure's locks are not held at the point of its definition.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fns = append(fns, collectLockFunc(pass, fd.Name.Name+" (closure)", lit.Body))
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	acquires := transitiveAcquirers(decls)
+	for _, lf := range fns {
+		checkLockFunc(pass, lf, acquires)
+	}
+	return nil, nil
+}
+
+// shardLockClass classifies a Lock/Unlock call target: mu or streamMu fields
+// of type sync.Mutex on a struct type named "shard". Everything else —
+// including same-named fields on other types, such as sptStore.mu — is not a
+// shard lock. Returns the class, the innermost shard index expression
+// (c.shards[i].mu -> i), and ok.
+func shardLockClass(pass *Pass, call *ast.CallExpr) (class int, index ast.Expr, ok bool) {
+	fun, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if fun == nil {
+		return 0, nil, false
+	}
+	name := fun.Sel.Name
+	if name != "Lock" && name != "Unlock" {
+		return 0, nil, false
+	}
+	field, _ := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if field == nil {
+		return 0, nil, false
+	}
+	switch field.Sel.Name {
+	case "mu":
+		class = classMu
+	case "streamMu":
+		class = classStream
+	default:
+		return 0, nil, false
+	}
+	sel := pass.TypesInfo.Selections[field]
+	if sel == nil {
+		return 0, nil, false
+	}
+	if named := namedOf(sel.Recv()); named == nil || named.Obj().Name() != "shard" {
+		return 0, nil, false
+	}
+	obj, _ := sel.Obj().(*types.Var)
+	if obj == nil || !isSyncMutex(obj.Type()) {
+		return 0, nil, false
+	}
+	if idx, okIdx := ast.Unparen(field.X).(*ast.IndexExpr); okIdx {
+		index = idx.Index
+	}
+	return class, index, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// collectLockFunc gathers the lock events of one function body in source
+// order, skipping nested function literals (analyzed separately).
+func collectLockFunc(pass *Pass, name string, body *ast.BlockStmt) *lockFunc {
+	lf := &lockFunc{name: name, body: body}
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			lf.loops = append(lf.loops, n.(ast.Node))
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if class, index, ok := shardLockClass(pass, n); ok {
+				sel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				kind := evLock
+				if sel.Sel.Name == "Unlock" {
+					kind = evUnlock
+				}
+				if kind == evUnlock && deferred[n] {
+					// A deferred unlock releases at return: the lock stays
+					// held for the rest of the body, so no unlock event.
+					return true
+				}
+				lf.events = append(lf.events, lockEvent{
+					pos: n.Pos(), kind: kind, class: class,
+					index: index, loop: innermostLoop(lf.loops, n.Pos()),
+				})
+				return true
+			}
+			if fn := pass.funcObj(n); fn != nil && fn.Pkg() == pass.Pkg {
+				lf.events = append(lf.events, lockEvent{pos: n.Pos(), kind: evCall, fn: fn})
+			}
+		}
+		return true
+	})
+	return lf
+}
+
+// innermostLoop returns the smallest recorded loop whose range contains pos.
+func innermostLoop(loops []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, l := range loops {
+		if l.Pos() <= pos && pos < l.End() {
+			if best == nil || l.Pos() > best.Pos() {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// transitiveAcquirers computes, for each declared function, whether it
+// acquires shard.mu / shard.streamMu directly or through same-package calls.
+func transitiveAcquirers(decls map[*types.Func]*lockFunc) map[*types.Func][2]bool {
+	acquires := make(map[*types.Func][2]bool, len(decls))
+	for fn, lf := range decls {
+		var a [2]bool
+		for _, ev := range lf.events {
+			if ev.kind == evLock {
+				a[ev.class] = true
+			}
+		}
+		acquires[fn] = a
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, lf := range decls {
+			a := acquires[fn]
+			for _, ev := range lf.events {
+				if ev.kind != evCall {
+					continue
+				}
+				if ca, ok := acquires[ev.fn]; ok {
+					if ca[classMu] && !a[classMu] {
+						a[classMu] = true
+						changed = true
+					}
+					if ca[classStream] && !a[classStream] {
+						a[classStream] = true
+						changed = true
+					}
+				}
+			}
+			acquires[fn] = a
+		}
+	}
+	return acquires
+}
+
+// checkLockFunc simulates one function's acquisition sequence and reports
+// protocol violations.
+func checkLockFunc(pass *Pass, lf *lockFunc, acquires map[*types.Func][2]bool) {
+	// held tracks the stack of currently-held lock events per class under
+	// the linear source-order approximation (sound for the straight-line
+	// lock regions this protocol produces).
+	var held [2][]lockEvent
+	for _, ev := range lf.events {
+		switch ev.kind {
+		case evLock:
+			multi := lockLoopAcquiresWithoutRelease(lf, ev)
+			switch ev.class {
+			case classMu:
+				if multi && !ascendingLoopProof(pass, lf, ev) {
+					pass.Report(Diagnostic{
+						Pos: ev.pos,
+						Message: "loop acquires multiple shard.mu without releasing in the same iteration " +
+							"and without an ascending shard-index proof; sort the index set first " +
+							"(sort.Ints) or scan indices with for i := 0; i < n; i++",
+						Related: relatedLoop(ev),
+					})
+				}
+				if len(held[classMu]) > 0 && !multi {
+					first := held[classMu][len(held[classMu])-1]
+					if !pairwiseSwapProof(pass, lf, first, ev) {
+						pass.Report(Diagnostic{
+							Pos: ev.pos,
+							Message: "second shard.mu acquired while one is held, without an ordering proof; " +
+								"swap the indices first (if i > j { i, j = j, i }) so acquisition is ascending",
+							Related: []RelatedInfo{{Pos: first.pos, Message: "first shard.mu acquired here"}},
+						})
+					}
+				}
+			case classStream:
+				if multi || len(held[classStream]) > 0 {
+					msg := "second shard.streamMu acquired while one is held; the protocol allows at most one stream lock"
+					var rel []RelatedInfo
+					if multi {
+						msg = "loop acquires multiple shard.streamMu without releasing in the same iteration; the protocol allows at most one stream lock"
+						rel = relatedLoop(ev)
+					} else {
+						rel = []RelatedInfo{{Pos: held[classStream][len(held[classStream])-1].pos, Message: "first shard.streamMu acquired here"}}
+					}
+					pass.Report(Diagnostic{Pos: ev.pos, Message: msg, Related: rel})
+				}
+				if len(held[classMu]) > 0 {
+					pass.Report(Diagnostic{
+						Pos: ev.pos,
+						Message: "shard.streamMu acquired while holding shard.mu; the lock order is " +
+							"streamMu strictly before any shard.mu",
+						Related: []RelatedInfo{{Pos: held[classMu][len(held[classMu])-1].pos, Message: "shard.mu acquired here"}},
+					})
+				}
+			}
+			held[ev.class] = append(held[ev.class], ev)
+		case evUnlock:
+			if n := len(held[ev.class]); n > 0 {
+				held[ev.class] = held[ev.class][:n-1]
+			}
+		case evCall:
+			a, ok := acquires[ev.fn]
+			if !ok {
+				continue
+			}
+			if len(held[classMu]) > 0 && (a[classMu] || a[classStream]) {
+				pass.Report(Diagnostic{
+					Pos: ev.pos,
+					Message: "call to " + ev.fn.Name() + " while holding shard.mu: the callee (transitively) acquires " +
+						"shard locks, nesting an unordered acquisition; restructure as a *Locked helper that relies on the caller's locks",
+					Related: []RelatedInfo{{Pos: held[classMu][len(held[classMu])-1].pos, Message: "shard.mu acquired here"}},
+				})
+			} else if len(held[classStream]) > 0 && a[classStream] {
+				pass.Report(Diagnostic{
+					Pos: ev.pos,
+					Message: "call to " + ev.fn.Name() + " while holding shard.streamMu: the callee (transitively) acquires " +
+						"a stream lock, but the protocol allows at most one",
+					Related: []RelatedInfo{{Pos: held[classStream][len(held[classStream])-1].pos, Message: "shard.streamMu acquired here"}},
+				})
+			}
+		}
+	}
+}
+
+func relatedLoop(ev lockEvent) []RelatedInfo {
+	if ev.loop == nil {
+		return nil
+	}
+	return []RelatedInfo{{Pos: ev.loop.Pos(), Message: "acquiring loop starts here"}}
+}
+
+// lockLoopAcquiresWithoutRelease reports whether ev is a Lock inside a loop
+// whose body contains no Unlock of the same class: each iteration acquires
+// another shard's lock and holds it (the multi-shard acquisition idiom).
+// A loop that pairs each Lock with an Unlock in the same body visits shards
+// one at a time and holds at most one lock.
+func lockLoopAcquiresWithoutRelease(lf *lockFunc, ev lockEvent) bool {
+	if ev.loop == nil {
+		return false
+	}
+	for _, other := range lf.events {
+		if other.kind == evUnlock && other.class == ev.class &&
+			other.pos >= ev.loop.Pos() && other.pos < ev.loop.End() {
+			return false
+		}
+	}
+	return true
+}
+
+// ascendingLoopProof reports whether the multi-acquiring loop provably
+// visits shard indices in ascending order: either it ranges over a slice
+// sorted earlier in the function (sort.Ints(set) / slices.Sort(set) before
+// the loop, and no later re-population), or it is a canonical ascending
+// index scan (for i := 0; i < n; i++ locking shards[i]).
+func ascendingLoopProof(pass *Pass, lf *lockFunc, ev lockEvent) bool {
+	switch loop := ev.loop.(type) {
+	case *ast.RangeStmt:
+		path := exprPath(pass.TypesInfo, loop.X)
+		if path == "" {
+			return false
+		}
+		return sortedBefore(pass, lf.body, path, loop.Pos())
+	case *ast.ForStmt:
+		return ascendingForScan(pass, loop, ev.index)
+	}
+	return false
+}
+
+// sortedBefore reports whether a sort.Ints / sort.Sort / slices.Sort call
+// whose argument has the given exprPath occurs before pos in body.
+func sortedBefore(pass *Pass, body *ast.BlockStmt, path string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || len(call.Args) == 0 {
+			return true
+		}
+		fn := pass.funcObj(call)
+		if isPkgFunc(fn, "sort", "Ints") || isPkgFunc(fn, "sort", "Sort") || isPkgFunc(fn, "slices", "Sort") {
+			if exprPath(pass.TypesInfo, call.Args[0]) == path {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ascendingForScan recognizes for i := 0; i < n; i++ (or i <= n) where the
+// lock's shard index is exactly i.
+func ascendingForScan(pass *Pass, loop *ast.ForStmt, index ast.Expr) bool {
+	if loop.Init == nil || loop.Cond == nil || loop.Post == nil || index == nil {
+		return false
+	}
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok || !isZeroLiteral(pass, init.Rhs[0]) {
+		return false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) || !sameObject(pass, cond.X, iv) {
+		return false
+	}
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC || !sameObject(pass, post.X, iv) {
+		return false
+	}
+	return sameObject(pass, index, iv)
+}
+
+func isZeroLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// sameObject reports whether both expressions are identifiers resolving to
+// the same object.
+func sameObject(pass *Pass, a, b ast.Expr) bool {
+	ai, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := ast.Unparen(b).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ao := pass.TypesInfo.ObjectOf(ai)
+	return ao != nil && ao == pass.TypesInfo.ObjectOf(bi)
+}
+
+// pairwiseSwapProof reports whether the pair of lock index expressions is
+// ordered by a preceding conditional swap: if a > b { a, b = b, a } (or
+// b < a), with the first lock indexing by a and the second by b.
+func pairwiseSwapProof(pass *Pass, lf *lockFunc, first, second lockEvent) bool {
+	if first.index == nil || second.index == nil {
+		return false
+	}
+	ai, ok := ast.Unparen(first.index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := ast.Unparen(second.index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	aObj, bObj := pass.TypesInfo.ObjectOf(ai), pass.TypesInfo.ObjectOf(bi)
+	if aObj == nil || bObj == nil || aObj == bObj {
+		return false // same index relocked is a self-deadlock; unresolvable indices are unprovable
+	}
+	found := false
+	ast.Inspect(lf.body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() >= first.pos {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.GTR && cond.Op != token.LSS) {
+			return true
+		}
+		// The comparison must involve exactly the two index objects.
+		x, okx := ast.Unparen(cond.X).(*ast.Ident)
+		y, oky := ast.Unparen(cond.Y).(*ast.Ident)
+		if !okx || !oky {
+			return true
+		}
+		xo, yo := pass.TypesInfo.ObjectOf(x), pass.TypesInfo.ObjectOf(y)
+		if !(xo == aObj && yo == bObj || xo == bObj && yo == aObj) {
+			return true
+		}
+		if swapsObjects(pass, ifs.Body, aObj, bObj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// swapsObjects reports whether the block contains a, b = b, a over the two
+// objects.
+func swapsObjects(pass *Pass, body *ast.BlockStmt, a, b types.Object) bool {
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 2 {
+			continue
+		}
+		l0, ok0 := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		l1, ok1 := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+		r0, ok2 := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+		r1, ok3 := ast.Unparen(as.Rhs[1]).(*ast.Ident)
+		if !ok0 || !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		info := pass.TypesInfo
+		lo0, lo1 := info.ObjectOf(l0), info.ObjectOf(l1)
+		ro0, ro1 := info.ObjectOf(r0), info.ObjectOf(r1)
+		if lo0 == ro1 && lo1 == ro0 &&
+			(lo0 == a && lo1 == b || lo0 == b && lo1 == a) {
+			return true
+		}
+	}
+	return false
+}

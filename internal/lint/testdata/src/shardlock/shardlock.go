@@ -1,0 +1,190 @@
+// Package shardlock is the shardlock fixture: every acquisition shape of
+// the collector's two-level locking protocol, blessed and broken. The mini
+// shard/coll types mirror internal/collector's shape — the analyzer keys on
+// mu/streamMu fields of a struct type named "shard", wherever it lives.
+package shardlock
+
+import (
+	"sort"
+	"sync"
+)
+
+type shard struct {
+	mu       sync.Mutex
+	streamMu sync.Mutex
+	links    map[string]int
+}
+
+type coll struct {
+	shards []shard
+}
+
+// GoodAscendingSorted is the HandleProbe idiom: sort the index set, lock
+// ascending, unlock in reverse.
+func (c *coll) GoodAscendingSorted(set []int) {
+	sort.Ints(set)
+	for _, i := range set {
+		c.shards[i].mu.Lock()
+	}
+	for k := len(set) - 1; k >= 0; k-- {
+		c.shards[set[k]].mu.Unlock()
+	}
+}
+
+// GoodAscendingScan locks every shard via the canonical ascending index
+// scan.
+func (c *coll) GoodAscendingScan() {
+	for i := 0; i < len(c.shards); i++ {
+		c.shards[i].mu.Lock()
+	}
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// GoodSequential holds at most one lock at a time: no ordering obligation.
+func (c *coll) GoodSequential() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].links)
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// GoodPairwise is the SetLinkRate idiom: order the pair before locking.
+func (c *coll) GoodPairwise(a, b int) {
+	i, j := a, b
+	if i > j {
+		i, j = j, i
+	}
+	c.shards[i].mu.Lock()
+	if j != i {
+		c.shards[j].mu.Lock()
+	}
+	if j != i {
+		c.shards[j].mu.Unlock()
+	}
+	c.shards[i].mu.Unlock()
+}
+
+// GoodSingleDefer holds one lock to function end via defer.
+func (c *coll) GoodSingleDefer(i int) int {
+	c.shards[i].mu.Lock()
+	defer c.shards[i].mu.Unlock()
+	return len(c.shards[i].links)
+}
+
+// GoodStreamThenMu is the documented two-level order: one streamMu strictly
+// before any ascending mu set.
+func (c *coll) GoodStreamThenMu(o int, set []int) {
+	c.shards[o].streamMu.Lock()
+	sort.Ints(set)
+	for _, i := range set {
+		c.shards[i].mu.Lock()
+	}
+	for k := len(set) - 1; k >= 0; k-- {
+		c.shards[set[k]].mu.Unlock()
+	}
+	c.shards[o].streamMu.Unlock()
+}
+
+// GoodClosure: a closure's locks belong to the closure, not the definer.
+func (c *coll) GoodClosure(i int) func() int {
+	return func() int {
+		c.shards[i].mu.Lock()
+		defer c.shards[i].mu.Unlock()
+		return len(c.shards[i].links)
+	}
+}
+
+// pruneLocked follows the *Locked convention: it relies on the caller's
+// lock and acquires nothing itself.
+func (c *coll) pruneLocked(i int) {
+	for k := range c.shards[i].links {
+		delete(c.shards[i].links, k)
+	}
+}
+
+// GoodLockedHelper calls a non-acquiring helper while holding the lock.
+func (c *coll) GoodLockedHelper(i int) {
+	c.shards[i].mu.Lock()
+	c.pruneLocked(i)
+	c.shards[i].mu.Unlock()
+}
+
+// lint:shardlock — the deliberately reversed acquisition this analyzer
+// exists to catch: nothing orders i and j, so when shardOf(b) < shardOf(a)
+// this runs descending against HandleProbe's ascending sweep and deadlocks.
+func (c *coll) BadReversedPair(i, j int) {
+	c.shards[i].mu.Lock()
+	c.shards[j].mu.Lock() // want `second shard\.mu acquired while one is held`
+	c.shards[j].mu.Unlock()
+	c.shards[i].mu.Unlock()
+}
+
+// BadUnsortedLoop accumulates locks over an index set nothing sorted.
+func (c *coll) BadUnsortedLoop(set []int) {
+	for _, i := range set {
+		c.shards[i].mu.Lock() // want `loop acquires multiple shard\.mu without releasing`
+	}
+	for k := len(set) - 1; k >= 0; k-- {
+		c.shards[set[k]].mu.Unlock()
+	}
+}
+
+// BadStreamAfterMu inverts the two-level order.
+func (c *coll) BadStreamAfterMu(i, o int) {
+	c.shards[i].mu.Lock()
+	c.shards[o].streamMu.Lock() // want `shard\.streamMu acquired while holding shard\.mu`
+	c.shards[o].streamMu.Unlock()
+	c.shards[i].mu.Unlock()
+}
+
+// BadDoubleStream holds two stream locks; the protocol allows at most one.
+func (c *coll) BadDoubleStream(a, b int) {
+	c.shards[a].streamMu.Lock()
+	c.shards[b].streamMu.Lock() // want `second shard\.streamMu acquired while one is held`
+	c.shards[b].streamMu.Unlock()
+	c.shards[a].streamMu.Unlock()
+}
+
+// rebalance acquires a shard lock itself.
+func (c *coll) rebalance(i int) {
+	c.shards[i].mu.Lock()
+	c.shards[i].links = nil
+	c.shards[i].mu.Unlock()
+}
+
+// touch acquires transitively, through rebalance.
+func (c *coll) touch(i int) {
+	c.rebalance(i)
+}
+
+// BadCallWhileHeld nests rebalance's acquisition under a held lock.
+func (c *coll) BadCallWhileHeld(i int) {
+	c.shards[i].mu.Lock()
+	c.rebalance(i) // want `call to rebalance while holding shard\.mu`
+	c.shards[i].mu.Unlock()
+}
+
+// BadTransitiveCall nests an acquisition two calls deep.
+func (c *coll) BadTransitiveCall(i int) {
+	c.shards[i].mu.Lock()
+	c.touch(i) // want `call to touch while holding shard\.mu`
+	c.shards[i].mu.Unlock()
+}
+
+// store has a mu field too, but its owner is not a shard: the sptStore-style
+// exclusion. Unordered double acquisition here is someone else's protocol.
+type store struct {
+	mu sync.Mutex
+}
+
+func (s *store) Twice(other *store) {
+	s.mu.Lock()
+	other.mu.Lock()
+	other.mu.Unlock()
+	s.mu.Unlock()
+}
