@@ -16,7 +16,10 @@
 // deterministic vs probabilistic PINT-style telemetry and writes
 // results/BENCH_telemetry.json; -telemetry-smoke shrinks it to CI size. The
 // hotpath experiment (by name only) micro-benchmarks the index-space read
-// path against the string APIs and writes results/BENCH_hotpath.json.
+// path against the string APIs and writes results/BENCH_hotpath.json. The
+// adaptive experiment (by name only) compares static vs controller-driven
+// probe cadence at several telemetry budgets and writes
+// results/BENCH_adaptive.json; -adaptive-smoke shrinks it to CI size.
 package main
 
 import (
@@ -43,11 +46,12 @@ var (
 	seeds      = flag.Int("seeds", 1, "replicate fig5/6/7 across this many seeds and report mean±std gains")
 	tasks      = flag.Int("tasks", 200, "tasks per experiment run (paper: 200)")
 	fig3dur    = flag.Duration("fig3dur", 300*time.Second, "measurement duration per Fig 3 utilization level (paper: 300s)")
-	expFlag    = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,faults,qps,all (plus parbench and scale, by name only)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: table1,fig3,fig5,fig6,fig7,fig8,fig9,ablation,faults,qps,all (plus parbench, scale, telemetry, hotpath, and adaptive, by name only)")
 	queries    = flag.Int("queries", 50_000, "ranking queries per mode in the qps experiment")
 	parallel   = flag.Int("parallel", 0, "worker pool size for independent experiment cells (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 	scaleSmoke = flag.Bool("scale-smoke", false, "scale experiment: shrink the fabrics to CI size (small Clos + 2-region metro)")
 	telemSmoke = flag.Bool("telemetry-smoke", false, "telemetry experiment: shrink to CI size (fewer tasks, two sampling rates, 2-region metro)")
+	adaptSmoke = flag.Bool("adaptive-smoke", false, "adaptive experiment: shrink to CI size (fewer tasks, one budget)")
 )
 
 // pool runs independent scenario cells; initialized in main from -parallel.
@@ -88,7 +92,7 @@ func main() {
 	for _, extra := range []struct {
 		name string
 		fn   func() error
-	}{{"parbench", parbench}, {"scale", scale}, {"telemetry", telemetryExp}, {"hotpath", hotpath}} {
+	}{{"parbench", parbench}, {"scale", scale}, {"telemetry", telemetryExp}, {"hotpath", hotpath}, {"adaptive", adaptiveExp}} {
 		if !want[extra.name] {
 			continue
 		}
@@ -264,6 +268,91 @@ func telemetryExp() error {
 		return err
 	}
 	fmt.Println("wrote results/BENCH_telemetry.json")
+	return nil
+}
+
+// adaptiveExp sweeps static vs controller-driven probe cadence over the
+// faults workload at several telemetry budgets. The experiment itself
+// enforces the control loop's claims (fewer probe bytes than static-full,
+// no worse mis-scheduling or fault detection than the equal-budget static
+// cell, back-offs actually engaged); the printed digest lines fold the
+// controller's decision counters and are diffed across -parallel widths in
+// CI to prove the control loop replays deterministically.
+func adaptiveExp() error {
+	res, err := pool.Adaptive(experiment.AdaptiveConfig{
+		Seed:      *seed,
+		TaskCount: *tasks,
+		Smoke:     *adaptSmoke,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("static vs adaptive probe cadence under the faults schedule, per telemetry budget:")
+	fmt.Println(res.Table())
+	for _, c := range res.Cells {
+		fmt.Printf("adaptive digest %s %s\n", c.Name, c.Digest)
+	}
+	fmt.Println("(adaptive cells undercut static-full bytes at equal-or-better mis rate and detection latency)")
+
+	type cellJSON struct {
+		Name             string  `json:"name"`
+		Budget           float64 `json:"budget"`
+		Adaptive         bool    `json:"adaptive"`
+		ProbeIntervalMs  float64 `json:"probe_interval_ms"`
+		Decisions        int     `json:"decisions"`
+		Mis              int     `json:"mis"`
+		MisPct           float64 `json:"mis_pct"`
+		MeanCompletionMs float64 `json:"mean_completion_ms"`
+		Incomplete       int     `json:"incomplete"`
+		ProbesSent       uint64  `json:"probes_sent"`
+		TelemetryBytes   uint64  `json:"telemetry_bytes"`
+		Evictions        int     `json:"evictions"`
+		MaxDetectMs      float64 `json:"max_detect_ms"`
+		Directives       uint64  `json:"directives"`
+		Tightens         uint64  `json:"tightens"`
+		SilenceTightens  uint64  `json:"silence_tightens"`
+		Backoffs         uint64  `json:"backoffs"`
+		BudgetClamps     uint64  `json:"budget_clamps"`
+		Digest           string  `json:"digest"`
+	}
+	report := struct {
+		Bench string     `json:"bench"`
+		Smoke bool       `json:"smoke"`
+		Seed  int64      `json:"seed"`
+		Tasks int        `json:"tasks"`
+		Cells []cellJSON `json:"cells"`
+	}{
+		Bench: "adaptive",
+		Smoke: *adaptSmoke,
+		Seed:  *seed,
+		Tasks: res.Cfg.TaskCount,
+	}
+	for _, c := range res.Cells {
+		report.Cells = append(report.Cells, cellJSON{
+			Name: c.Name, Budget: c.Budget, Adaptive: c.Adaptive,
+			ProbeIntervalMs: float64(c.ProbeInterval.Microseconds()) / 1000,
+			Decisions:       c.Decisions, Mis: c.Mis, MisPct: c.MisPct,
+			MeanCompletionMs: float64(c.MeanCompletion.Microseconds()) / 1000,
+			Incomplete:       c.Incomplete, ProbesSent: c.ProbesSent,
+			TelemetryBytes: c.TelemetryBytes, Evictions: c.Evictions,
+			MaxDetectMs: float64(c.MaxDetect.Microseconds()) / 1000,
+			Directives:  c.Directives, Tightens: c.Tightens,
+			SilenceTightens: c.SilenceTightens, Backoffs: c.Backoffs,
+			BudgetClamps: c.BudgetClamps, Digest: c.Digest,
+		})
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("results/BENCH_adaptive.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote results/BENCH_adaptive.json")
 	return nil
 }
 

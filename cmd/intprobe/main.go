@@ -28,6 +28,7 @@ func main() {
 		interval   = flag.Duration("interval", 100*time.Millisecond, "probing interval (paper default 100ms)")
 		telemMode  = flag.String("telemetry-mode", "deterministic", "telemetry mode stamped into probe headers: deterministic or probabilistic (PINT-style per-hop sampling)")
 		sampleRate = flag.Float64("sample-rate", 1.0, "probabilistic per-hop insertion probability in [0,1] (ignored in deterministic mode)")
+		adaptive   = flag.Bool("adaptive", false, "honor collector cadence directives (default: static interval, directives dropped)")
 	)
 	flag.Parse()
 	if *uplink == "" {
@@ -46,11 +47,17 @@ func main() {
 	}
 	defer agent.Close()
 	agent.SetTelemetry(mode, telemetry.RateToWire(*sampleRate))
+	if *adaptive {
+		agent.EnableAdaptive()
+	}
 	agent.Start()
 	fmt.Printf("intprobe: %s probing %s every %v via %s (host address %s, telemetry %s",
 		agent.ID(), *collector, *interval, *uplink, agent.Addr(), mode)
 	if mode == telemetry.ModeProbabilistic {
 		fmt.Printf(" p=%.2f", *sampleRate)
+	}
+	if *adaptive {
+		fmt.Print(", adaptive cadence")
 	}
 	fmt.Println(")")
 

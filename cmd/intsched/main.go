@@ -38,6 +38,9 @@ func main() {
 		report   = flag.Duration("report", 10*time.Second, "coverage report interval (0 disables)")
 		shards   = flag.Int("shards", 1, "collector link-state shards; probes through disjoint partitions ingest concurrently")
 		ingestQ  = flag.Int("ingest-queue", 0, "per-shard async ingest queue depth (0 keeps ingest synchronous on the UDP receive loop)")
+		adaptive = flag.Bool("adaptive", false, "run the adaptive cadence control loop: per-stream probe-interval directives sent back along probe return paths (agents must opt in with intprobe -adaptive)")
+		probeBgt = flag.Float64("probe-budget", 0, "adaptive probe budget as a fraction (0,1] of the full static rate (0 disables the cap)")
+		adaptBas = flag.Duration("adaptive-base", 100*time.Millisecond, "fleet static probe interval anchoring the adaptive cadence clamps")
 	)
 	flag.Parse()
 
@@ -53,6 +56,9 @@ func main() {
 		ExcludeUnreachable: *exclUnre,
 		Shards:             *shards,
 		IngestQueue:        *ingestQ,
+		Adaptive:           *adaptive,
+		AdaptiveBase:       *adaptBas,
+		ProbeBudget:        *probeBgt,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "intsched: %v\n", err)

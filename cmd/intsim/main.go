@@ -45,6 +45,8 @@ func main() {
 		telemMode  = flag.String("telemetry-mode", "deterministic", "telemetry mode: deterministic | probabilistic (PINT-style per-hop sampling with collector reassembly)")
 		sampleRate = flag.Float64("sample-rate", 1.0, "probabilistic per-hop insertion probability in [0,1] (ignored in deterministic mode)")
 		queueDelta = flag.Int("queue-delta", 0, "value-approximation threshold: suppress a port's queue report unless its maximum moved by more than this many packets (probabilistic mode; 0 reports every flush)")
+		adaptive   = flag.Bool("adaptive", false, "run the adaptive cadence control loop: the collector retunes per-stream probe intervals from its own telemetry signals")
+		probeBgt   = flag.Float64("probe-budget", 0, "adaptive probe budget as a fraction (0,1] of the full static rate (0 disables the cap; requires -adaptive)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,8 @@ func main() {
 		TelemetryMode:       mode,
 		SampleRate:          *sampleRate,
 		QueueDeltaThreshold: *queueDelta,
+		Adaptive:            *adaptive,
+		ProbeBudget:         *probeBgt,
 	}
 	if *topoFile != "" {
 		data, err := os.ReadFile(*topoFile)
@@ -164,6 +168,11 @@ func main() {
 	fmt.Println(tb.String())
 	fmt.Printf("overall: mean transfer %v, mean completion %v, incomplete %d\n",
 		res.MeanTransfer().Round(time.Millisecond), res.MeanCompletion().Round(time.Millisecond), res.Incomplete)
+
+	if sc.Adaptive {
+		fmt.Printf("adaptive: %d directives applied (%d churn tightens, %d silence tightens, %d back-offs, %d budget clamps)\n",
+			res.DirectivesApplied, res.CadenceTightens, res.SilenceTightens, res.CadenceBackoffs, res.BudgetClamps)
+	}
 
 	if len(sc.Faults) > 0 {
 		fmt.Printf("faults: %d events applied, %d reroutes, %d probes dropped; %d adjacency evictions, %d path remaps\n",

@@ -147,6 +147,11 @@ type probeMeta struct {
 	// path is the hop sequence (origin, devices..., target) of the last
 	// accepted probe; a change means the route under the stream moved.
 	path []string
+	// remaps and resets are this stream's cumulative path-remap and
+	// reassembly-reset counts — the per-stream decomposition of the global
+	// pathRemaps/reasmResets counters, exposed through StreamSignals so the
+	// adaptive controller can react to churn deltas per stream.
+	remaps, resets uint64
 }
 
 // Collector builds and maintains the scheduler's view of the network.

@@ -47,8 +47,13 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 		// the reassembly stage instead of treating the stack as a full
 		// path. Stream metadata still advances so the sequence gate spans
 		// mode changes (path stays nil: fragments, not a hop sequence).
-		c.reassembleProbe(os, key, p, target, now)
-		os.streams[key] = probeMeta{seq: p.Seq, at: now}
+		reset := c.reassembleProbe(os, key, p, target, now)
+		meta := probeMeta{seq: p.Seq, at: now, remaps: prevMeta.remaps, resets: prevMeta.resets}
+		if reset {
+			meta.remaps++
+			meta.resets++
+		}
+		os.streams[key] = meta
 		return
 	}
 	if os.reasm != nil {
@@ -101,7 +106,10 @@ func (c *Collector) HandleProbe(p *telemetry.ProbePayload) {
 		c.shards[set[i]].mu.Unlock()
 	}
 
-	meta := probeMeta{seq: p.Seq, at: now}
+	meta := probeMeta{seq: p.Seq, at: now, remaps: prevMeta.remaps, resets: prevMeta.resets}
+	if remap {
+		meta.remaps++
+	}
 	if seen && !remap {
 		meta.path = prevMeta.path // unchanged: reuse, no allocation
 	} else {

@@ -85,9 +85,11 @@ func (st *reasmState) impliedEdges(dst []edgeKey, origin, target string) []edgeK
 	return dst
 }
 
-// reassembleProbe ingests one accepted probabilistic probe. Callers hold the
-// origin shard's streamMu (and no shard mu).
-func (c *Collector) reassembleProbe(os *shard, key probeKey, p *telemetry.ProbePayload, target string, now time.Duration) {
+// reassembleProbe ingests one accepted probabilistic probe and reports
+// whether it reset a contradicted reassembly buffer (the stream's route
+// moved), so the caller can bump the stream's per-stream churn counters.
+// Callers hold the origin shard's streamMu (and no shard mu).
+func (c *Collector) reassembleProbe(os *shard, key probeKey, p *telemetry.ProbePayload, target string, now time.Duration) bool {
 	hops := p.HopCount
 	if os.reasm == nil {
 		os.reasm = make(map[probeKey]*reasmState)
@@ -203,6 +205,7 @@ func (c *Collector) reassembleProbe(os *shard, key probeKey, p *telemetry.ProbeP
 		}
 		st.cycleSeen = 0
 	}
+	return reset
 }
 
 // applyFragsLocked applies the merged buffer to the owning shards. Fragments

@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"intsched/internal/core"
+	"intsched/internal/stats"
+	"intsched/internal/workload"
+)
+
+// The adaptive experiment measures what the control loop buys: total probe
+// bytes against fault-detection latency and mis-schedule rate, static
+// versus adaptive at several telemetry budgets. Every cell replays the
+// fault-recovery workload (the same Fig 4 schedule as -exp faults). Three
+// kinds of cells share the axis:
+//
+//   - static-full: the paper's static cadence at the base interval — the
+//     bytes ceiling every adaptive cell must undercut.
+//   - static-<f>: static cadence stretched to base/f, i.e. the naive way to
+//     spend a fraction-f budget. Its queue window and adjacency TTL stretch
+//     with the interval, so fault detection slows proportionally.
+//   - adaptive-<f>: the controller at the base interval under a budget of
+//     f × the static full rate. The queue window (and therefore the TTL)
+//     stays anchored to the base interval, so detection stays fast while
+//     back-off spends the budget where the network churns.
+//
+// The experiment enforces its claims as errors rather than reporting them:
+// each adaptive cell must use fewer probe bytes than static-full, mis-
+// schedule no more than the equal-budget static cell, and detect faults
+// (worst-case eviction silence) no slower than the equal-budget static
+// cell. Each cell's digest folds the placement decisions and the
+// controller's decision counters, so a `-parallel 1` vs `-parallel 4` diff
+// proves the control loop replays identically under pool interleaving.
+
+// AdaptiveConfig shapes the adaptive experiment.
+type AdaptiveConfig struct {
+	// Seed drives workload generation and probe-loss draws.
+	Seed int64
+	// TaskCount is the number of tasks per cell (default 200).
+	TaskCount int
+	// ProbeInterval is the base probing period (default 100 ms).
+	ProbeInterval time.Duration
+	// MeanInterarrival is the mean job inter-arrival time (default 600 ms,
+	// matching the faults experiment every cell replays).
+	MeanInterarrival time.Duration
+	// Metric is the ranking strategy under test (zero value: delay).
+	Metric core.Metric
+	// Budgets are the telemetry budget fractions to sweep (default 0.5,
+	// 0.25). Each adds a static-<f> and an adaptive-<f> cell.
+	Budgets []float64
+	// Smoke shrinks the experiment to CI size: fewer tasks, one budget.
+	Smoke bool
+}
+
+func (c *AdaptiveConfig) normalize() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TaskCount <= 0 {
+		c.TaskCount = 200
+		if c.Smoke {
+			c.TaskCount = 60
+		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 600 * time.Millisecond
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = []float64{0.5, 0.25}
+		if c.Smoke {
+			c.Budgets = []float64{0.5}
+		}
+	}
+}
+
+// AdaptiveCell is one measured configuration.
+type AdaptiveCell struct {
+	// Name labels the cell: "static-full", "static-<f>", "adaptive-<f>".
+	Name string
+	// Budget is the telemetry budget fraction (1.0 for static-full).
+	Budget float64
+	// Adaptive marks controller-driven cells.
+	Adaptive bool
+	// ProbeInterval is the cell's configured (base) probing period.
+	ProbeInterval time.Duration
+	// Decisions / Mis / MisPct measure scheduling quality.
+	Decisions, Mis int
+	MisPct         float64
+	MeanCompletion time.Duration
+	Incomplete     int
+	// ProbesSent / TelemetryBytes are the telemetry spend.
+	ProbesSent     uint64
+	TelemetryBytes uint64
+	// Evictions counts adjacency evictions; MaxDetect is the worst-case
+	// probe silence at eviction (the fault-detection latency bound).
+	Evictions int
+	MaxDetect time.Duration
+	// Controller activity (zero for static cells).
+	Directives, Tightens, SilenceTightens, Backoffs, BudgetClamps uint64
+	// Digest hashes the placement decisions, task metrics, probe spend,
+	// and controller counters — byte-identical across pool parallelism.
+	Digest string
+}
+
+// AdaptiveResult is the full experiment.
+type AdaptiveResult struct {
+	Cfg AdaptiveConfig
+	// Cells: static-full first, then static-<f>, adaptive-<f> per budget.
+	Cells []AdaptiveCell
+}
+
+// adaptiveDigest extends the decision digest with the run's probe spend
+// and controller decision counters, so the CI parallelism diff also proves
+// the control loop itself — not just its scheduling consequences — replays
+// deterministically.
+func adaptiveDigest(run *RunResult) string {
+	return fmt.Sprintf("%s-%x", telemetryDigest(run),
+		run.ProbesSent^run.DirectivesApplied<<1^run.CadenceTightens<<2^
+			run.SilenceTightens<<3^run.CadenceBackoffs<<4^run.BudgetClamps<<5^
+			uint64(len(run.EvictionSilences))<<6)
+}
+
+// Adaptive sweeps static and adaptive cadence control over the fault-
+// recovery workload and enforces the control loop's claims.
+func (p *Pool) Adaptive(cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	cfg.normalize()
+
+	type axis struct {
+		name     string
+		interval time.Duration
+		adaptive bool
+		budget   float64
+	}
+	cells := []axis{{name: "static-full", interval: cfg.ProbeInterval, budget: 1.0}}
+	for _, f := range cfg.Budgets {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("adaptive: budget fraction %v outside (0, 1]", f)
+		}
+		cells = append(cells,
+			axis{name: fmt.Sprintf("static-%.2f", f), interval: time.Duration(float64(cfg.ProbeInterval) / f), budget: f},
+			axis{name: fmt.Sprintf("adaptive-%.2f", f), interval: cfg.ProbeInterval, adaptive: true, budget: f},
+		)
+	}
+
+	events := FaultsConfig{
+		TaskCount:        cfg.TaskCount,
+		MeanInterarrival: cfg.MeanInterarrival,
+	}.normalize().Schedule()
+	scenarios := make([]Scenario, len(cells))
+	for i, ax := range cells {
+		scenarios[i] = Scenario{
+			Seed:               cfg.Seed,
+			Workload:           workload.Serverless,
+			Metric:             cfg.Metric,
+			TaskCount:          cfg.TaskCount,
+			MeanInterarrival:   cfg.MeanInterarrival,
+			ProbeInterval:      ax.interval,
+			Faults:             events,
+			ExcludeUnreachable: true,
+			RecordDecisions:    true,
+			Adaptive:           ax.adaptive,
+		}
+		if ax.adaptive {
+			scenarios[i].ProbeBudget = ax.budget
+		}
+		if err := scenarios[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := p.RunScenarios(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &AdaptiveResult{Cfg: cfg, Cells: make([]AdaptiveCell, len(runs))}
+	for i, run := range runs {
+		cell := AdaptiveCell{
+			Name:            cells[i].name,
+			Budget:          cells[i].budget,
+			Adaptive:        cells[i].adaptive,
+			ProbeInterval:   cells[i].interval,
+			Decisions:       len(run.Decisions),
+			Mis:             run.MisScheduled(),
+			MeanCompletion:  run.MeanCompletion(),
+			Incomplete:      run.Incomplete,
+			ProbesSent:      run.ProbesSent,
+			TelemetryBytes:  run.TelemetryBytes,
+			Evictions:       len(run.EvictionSilences),
+			MaxDetect:       run.MaxEvictionSilence(),
+			Directives:      run.DirectivesApplied,
+			Tightens:        run.CadenceTightens,
+			SilenceTightens: run.SilenceTightens,
+			Backoffs:        run.CadenceBackoffs,
+			BudgetClamps:    run.BudgetClamps,
+			Digest:          adaptiveDigest(run),
+		}
+		if cell.Decisions > 0 {
+			cell.MisPct = 100 * float64(cell.Mis) / float64(cell.Decisions)
+		}
+		out.Cells[i] = cell
+	}
+
+	// Enforce the control loop's claims cell by cell. Index layout:
+	// 0 = static-full, then (static, adaptive) pairs per budget.
+	full := &out.Cells[0]
+	for bi := range cfg.Budgets {
+		st, ad := &out.Cells[1+2*bi], &out.Cells[2+2*bi]
+		if ad.TelemetryBytes >= full.TelemetryBytes {
+			return nil, fmt.Errorf("adaptive: %s spent %d probe bytes, not below static-full's %d (back-off never paid for itself)",
+				ad.Name, ad.TelemetryBytes, full.TelemetryBytes)
+		}
+		if ad.Mis > st.Mis {
+			return nil, fmt.Errorf("adaptive: %s mis-scheduled %d tasks vs %d for %s at the same budget (fresh cadence should not schedule worse)",
+				ad.Name, ad.Mis, st.Mis, st.Name)
+		}
+		if st.Evictions > 0 && ad.Evictions > 0 && ad.MaxDetect > st.MaxDetect {
+			return nil, fmt.Errorf("adaptive: %s worst-case detection %v exceeds %v for %s at the same budget (the controller masked a failure)",
+				ad.Name, ad.MaxDetect, st.MaxDetect, st.Name)
+		}
+		// Tight budgets may reach max cadence purely through budget clamps
+		// (the allocator grows every interval on the first evaluation before
+		// any stream earns a voluntary back-off), so "the controller
+		// engaged" means directives were applied, not that any one reason
+		// fired.
+		if ad.Directives == 0 {
+			return nil, fmt.Errorf("adaptive: %s applied no directives — the controller never engaged", ad.Name)
+		}
+	}
+	return out, nil
+}
+
+// Adaptive runs the sweep serially; see (*Pool).Adaptive.
+func Adaptive(cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	return (*Pool)(nil).Adaptive(cfg)
+}
+
+// Table renders the sweep.
+func (r *AdaptiveResult) Table() string {
+	tb := stats.NewTable("adaptive", "budget", "interval", "probes", "probe bytes", "mis", "mis %",
+		"evictions", "max detect", "directives", "backoffs", "clamps", "digest")
+	for _, c := range r.Cells {
+		tb.AddRow(c.Name, fmt.Sprintf("%.2f", c.Budget), c.ProbeInterval,
+			c.ProbesSent, c.TelemetryBytes, c.Mis, fmt.Sprintf("%.2f", c.MisPct),
+			c.Evictions, c.MaxDetect.Round(time.Millisecond),
+			c.Directives, c.Backoffs, c.BudgetClamps, c.Digest)
+	}
+	return tb.String()
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"intsched/internal/adapt"
 	"intsched/internal/collector"
 	"intsched/internal/core"
 	"intsched/internal/dataplane"
@@ -132,6 +133,16 @@ type Scenario struct {
 	// whose maximum changed by no more than this many packets since the
 	// last report (PINT value approximation; 0 reports every flush).
 	QueueDeltaThreshold int
+	// Adaptive enables the adaptive probing control loop (internal/adapt):
+	// a sim-time controller re-reads the collector's churn signals every
+	// 5×ProbeInterval and retunes each probe stream's cadence within
+	// [ProbeInterval/4, 4×ProbeInterval]. Off by default; disabled runs
+	// schedule exactly the same events as the pre-adaptive simulator.
+	Adaptive bool
+	// ProbeBudget caps the adaptive fleet's aggregate probe rate, as a
+	// fraction of the static full-cadence rate (streams / ProbeInterval).
+	// Zero means uncapped; meaningful only with Adaptive.
+	ProbeBudget float64
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -217,6 +228,31 @@ type RunResult struct {
 	// deterministic mode).
 	RecordsReassembled    uint64
 	ReassemblyCompletions uint64
+	// Adaptive-controller activity (all zero when Scenario.Adaptive is
+	// off): directives applied to fleet probers and the controller's
+	// per-rule decision counts.
+	DirectivesApplied uint64
+	CadenceTightens   uint64
+	SilenceTightens   uint64
+	CadenceBackoffs   uint64
+	BudgetClamps      uint64
+	// EvictionSilences records each adjacency eviction's probe silence —
+	// the per-edge fault-detection latency — in eviction order. Populated
+	// when RecordDecisions or Adaptive is set.
+	EvictionSilences []time.Duration
+}
+
+// MaxEvictionSilence returns the largest probe silence among recorded
+// adjacency evictions — the worst-case fault-detection latency of the run
+// (zero when no eviction was recorded).
+func (r *RunResult) MaxEvictionSilence() time.Duration {
+	var max time.Duration
+	for _, s := range r.EvictionSilences {
+		if s > max {
+			max = s
+		}
+	}
+	return max
 }
 
 // MisScheduled counts decisions whose placement was unusable when made.
@@ -397,6 +433,19 @@ func Run(sc Scenario) (*RunResult, error) {
 		fleet.SetTelemetry(sc.TelemetryMode, telemetry.RateToWire(sc.SampleRate))
 	}
 
+	// Adaptive probing control loop: a sim-time driver on the engine's own
+	// event loop, so controller decisions replay identically per seed. The
+	// budget fraction is anchored to the static full-cadence rate of this
+	// fleet, making budgets comparable across topologies.
+	var adriver *adapt.SimDriver
+	if sc.Adaptive && fleet != nil {
+		acfg := adapt.Config{BaseInterval: sc.ProbeInterval}
+		if sc.ProbeBudget > 0 {
+			acfg.MaxProbesPerSec = sc.ProbeBudget * float64(len(fleet.Probers())) / sc.ProbeInterval.Seconds()
+		}
+		adriver = adapt.NewSimDriver(engine, adapt.NewController(acfg), coll, fleet)
+	}
+
 	// Background traffic.
 	var bg *traffic.Background
 	switch sc.Background {
@@ -447,6 +496,14 @@ func Run(sc Scenario) (*RunResult, error) {
 				})
 			}
 		}
+	}
+	if sc.RecordDecisions || sc.Adaptive {
+		// Record per-eviction probe silence (detection latency). The hook
+		// only appends to the result — it cannot perturb the simulation, so
+		// recording runs stay byte-identical to non-recording ones.
+		coll.SetEvictionHook(func(from, to string, silence time.Duration) {
+			out.EvictionSilences = append(out.EvictionSilences, silence)
+		})
 	}
 
 	// Per-packet INT has no probes: seed initial visibility with small
@@ -512,6 +569,15 @@ func Run(sc Scenario) (*RunResult, error) {
 	if fleet != nil {
 		fleet.Stop()
 		out.ProbesSent = fleet.TotalSent()
+	}
+	if adriver != nil {
+		adriver.Stop()
+		st := adriver.Controller().Stats()
+		out.DirectivesApplied = adriver.Applied()
+		out.CadenceTightens = st.Tightens
+		out.SilenceTightens = st.SilenceTightens
+		out.CadenceBackoffs = st.Backoffs
+		out.BudgetClamps = st.BudgetClamps
 	}
 
 	out.Incomplete = totalTasks - done

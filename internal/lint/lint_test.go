@@ -35,6 +35,15 @@ func TestSimDeterminismPint(t *testing.T) {
 	linttest.Run(t, "internal/lint/testdata/src/pintdet", "fixture/pintdet", lint.SimDeterminismAnalyzer)
 }
 
+// TestSimDeterminismAdapt covers the adaptive probing controller: cadence
+// decisions stamped from the wall clock or jittered through the global rand
+// stream would break the byte-identity of the adaptive decision digest that
+// CI diffs across -parallel settings.
+func TestSimDeterminismAdapt(t *testing.T) {
+	lint.SimSidePackages["fixture/adaptdet"] = true
+	linttest.Run(t, "internal/lint/testdata/src/adaptdet", "fixture/adaptdet", lint.SimDeterminismAnalyzer)
+}
+
 // TestTransientPacket includes the PR 3 regression: a handler retaining
 // delivered packets in a ring buffer while netsim recycles them.
 func TestTransientPacket(t *testing.T) {

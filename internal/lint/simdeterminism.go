@@ -35,6 +35,10 @@ var SimSidePackages = map[string]bool{
 	// unnamed or global rand stream there would make the reassembled
 	// topology — and every figure derived from it — non-reproducible.
 	"intsched/internal/pint": true,
+	// adapt's cadence decisions feed the per-cell adaptive digest that CI
+	// diffs across -parallel settings: a wall-clock age or global-rand
+	// jitter inside the controller would break that byte-identity.
+	"intsched/internal/adapt": true,
 }
 
 // forbiddenTimeFuncs are package time functions that read or wait on the

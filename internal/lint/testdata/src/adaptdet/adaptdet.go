@@ -1,0 +1,37 @@
+// Package adaptdet is the simdeterminism fixture for the adaptive probing
+// controller: cadence decisions derived from the wall clock (signal ages
+// measured with time.Now) or jittered through the global math/rand stream
+// would make the directive sequence — and the per-cell adaptive digest the
+// CI diffs across -parallel settings — differ run to run. Signal ages must
+// come from the collector's injected clock and any jitter from a named,
+// explicitly seeded stream (simtime.Rand.Stream).
+package adaptdet
+
+import (
+	"math/rand"
+	"time"
+
+	"intsched/internal/adapt"
+	"intsched/internal/simtime"
+)
+
+// WallclockAge stamps a signal's probe-silence age off the wall clock, so
+// two replays of the same scenario feed the controller different ages.
+func WallclockAge(lastProbe time.Time) adapt.Signal {
+	age := time.Since(lastProbe) // want `call to time\.Since in sim-side package`
+	return adapt.Signal{Origin: "n1", Target: "sched", Age: age}
+}
+
+// GlobalJitter perturbs a directive interval through the unnamed global
+// stream, entangling the cadence plan with every other goroutine's draws.
+func GlobalJitter(iv time.Duration) time.Duration {
+	return iv + time.Duration(rand.Int63n(int64(iv/8))) // want `call to global math/rand\.Int63n in sim-side package`
+}
+
+// SeededEval is the sanctioned idiom: ages come in pre-computed from the
+// collector's injected clock, and any randomness the caller wants is drawn
+// from a named stream derived from the scenario seed.
+func SeededEval(ctrl *adapt.Controller, sigs []adapt.Signal, root *simtime.Rand) []adapt.Directive {
+	_ = root.Stream("adapt")
+	return ctrl.Decide(sigs)
+}

@@ -19,9 +19,20 @@ type ProbeAgent struct {
 	collector string
 	conn      *net.UDPConn
 	uplink    *net.UDPAddr
-	interval  time.Duration
+
+	// adaptive gates cadence directives: until EnableAdaptive, directive
+	// datagrams are dropped like any other unexpected kind, so a
+	// new-collector/old-agent (or unconfigured) pairing degrades to the
+	// static cadence rather than erroring — the v1-compat default.
+	adaptive atomic.Bool
+	// ticker drives the periodic prober; created in Start so directive
+	// handling (which Resets it) and the probe loop share one instance.
+	ticker *time.Ticker
 
 	mu         sync.Mutex
+	interval   time.Duration // current probe cadence, guarded by mu after Start
+	lastDirSeq uint64        // newest applied directive sequence number
+	applied    uint64        // directives applied
 	seq        uint64
 	mode       telemetry.Mode
 	sampleRate uint16
@@ -71,14 +82,14 @@ func (a *ProbeAgent) Addr() string { return a.conn.LocalAddr().String() }
 // traffic addressed to this host (the agent doubles as the host's traffic
 // sink).
 func (a *ProbeAgent) Start() {
+	a.ticker = time.NewTicker(a.interval)
 	a.wg.Add(2)
 	go func() {
 		defer a.wg.Done()
-		ticker := time.NewTicker(a.interval)
-		defer ticker.Stop()
+		defer a.ticker.Stop()
 		for {
 			select {
-			case <-ticker.C:
+			case <-a.ticker.C:
 				if !a.paused.Load() {
 					_ = a.EmitProbe()
 				}
@@ -126,7 +137,52 @@ func (a *ProbeAgent) handle(d *wire.Datagram) {
 		if ch != nil {
 			ch <- time.Duration(time.Now().UnixNano() - d.SentAtNs)
 		}
+	case wire.KindDirective:
+		// Cadence directives ride the probe return path. They only apply
+		// after explicit opt-in; malformed frames decode as no-directive and
+		// stale sequence numbers are ignored, so reordered or replayed
+		// datagrams cannot roll the cadence back.
+		if !a.adaptive.Load() {
+			return
+		}
+		dir, ok := telemetry.DecodeDirective(d.Payload)
+		if !ok {
+			return
+		}
+		a.mu.Lock()
+		if dir.Seq <= a.lastDirSeq || dir.Interval == a.interval {
+			if dir.Seq > a.lastDirSeq {
+				a.lastDirSeq = dir.Seq
+			}
+			a.mu.Unlock()
+			return
+		}
+		a.lastDirSeq = dir.Seq
+		a.interval = dir.Interval
+		a.applied++
+		a.mu.Unlock()
+		a.ticker.Reset(dir.Interval)
 	}
+}
+
+// EnableAdaptive opts the agent into collector-driven cadence directives.
+// Without it the agent keeps its configured static interval and drops
+// directive datagrams — the v1-compat default.
+func (a *ProbeAgent) EnableAdaptive() { a.adaptive.Store(true) }
+
+// Interval returns the agent's current probe cadence.
+func (a *ProbeAgent) Interval() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.interval
+}
+
+// DirectivesApplied returns how many cadence directives changed the agent's
+// interval.
+func (a *ProbeAgent) DirectivesApplied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
 }
 
 // Ping measures the overlay round-trip time to another host (whose agent

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"intsched/internal/adapt"
 	"intsched/internal/collector"
 	"intsched/internal/core"
 	"intsched/internal/netsim"
@@ -61,6 +62,18 @@ type CollectorDaemon struct {
 	rerouteMu         sync.Mutex
 	lastTop           map[rerouteKey]netsim.NodeID
 	exclUnre          bool
+
+	// Adaptive cadence control (nil ctrl when disabled). The control loop
+	// is the only writer of ctrl state; metrics readers share adaptMu.
+	adaptMu        sync.Mutex
+	adaptCtrl      *adapt.Controller
+	adaptBudget    float64 // budget fraction of the full static rate
+	directivesSent *obs.Counter
+	// originAddrs records the return UDP address (the last-hop soft switch)
+	// of each origin's newest probe, so directives can ride the probe path
+	// back toward the agent.
+	originMu    sync.Mutex
+	originAddrs map[string]*net.UDPAddr
 }
 
 // rerouteKey identifies a device's query stream for reroute tracking.
@@ -113,6 +126,20 @@ type DaemonConfig struct {
 	// instead of stalling the UDP receive loop. Zero keeps ingest
 	// synchronous on the receive goroutine.
 	IngestQueue int
+	// Adaptive starts the cadence control loop: the daemon periodically
+	// runs the adapt controller over the collector's stream signals and
+	// sends the resulting directives back along each stream's probe return
+	// path. Agents only honor them after ProbeAgent.EnableAdaptive, so a
+	// mixed fleet degrades to static cadence.
+	Adaptive bool
+	// AdaptiveBase is the fleet's static probe interval, anchoring the
+	// controller's cadence clamps and evaluation period (100 ms when zero).
+	AdaptiveBase time.Duration
+	// ProbeBudget caps the aggregate directive-allocated probe rate as a
+	// fraction (0, 1] of the full static rate (stream count / AdaptiveBase).
+	// Zero means no budget: streams still back off on stability but are
+	// never force-slowed.
+	ProbeBudget float64
 }
 
 // NewCollectorDaemon starts the daemon for scheduler node id.
@@ -164,6 +191,11 @@ func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
 	}
 	d.exclUnre = cfg.ExcludeUnreachable
 	d.lastTop = make(map[rerouteKey]netsim.NodeID)
+	if cfg.Adaptive {
+		d.adaptCtrl = adapt.NewController(adapt.Config{BaseInterval: cfg.AdaptiveBase})
+		d.adaptBudget = cfg.ProbeBudget
+		d.originAddrs = make(map[string]*net.UDPAddr)
+	}
 	d.initObs(cfg)
 	if cfg.HTTPAddr != "" {
 		ln, err := net.Listen("tcp", cfg.HTTPAddr)
@@ -183,7 +215,69 @@ func NewCollectorDaemon(id string, cfg DaemonConfig) (*CollectorDaemon, error) {
 	d.wg.Add(2)
 	go d.probeLoop()
 	go d.queryLoop()
+	if d.adaptCtrl != nil {
+		d.wg.Add(1)
+		go d.controlLoop()
+	}
 	return d, nil
+}
+
+// controlLoop periodically runs the adaptive controller over the collector's
+// stream signals and sends each resulting cadence directive back along its
+// stream's probe return path. Live mode runs on the wall clock — determinism
+// is the simulator driver's contract, not this loop's.
+func (d *CollectorDaemon) controlLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.adaptCtrl.Config().EvalInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-ticker.C:
+			sigs := adapt.SignalsFrom(d.coll)
+			d.adaptMu.Lock()
+			if d.adaptBudget > 0 && len(sigs) > 0 {
+				base := d.adaptCtrl.Config().BaseInterval
+				d.adaptCtrl.SetBudget(d.adaptBudget*float64(len(sigs))/base.Seconds(), 0)
+			}
+			dirs := d.adaptCtrl.Decide(sigs)
+			d.adaptMu.Unlock()
+			for _, dir := range dirs {
+				d.sendDirective(dir)
+			}
+		}
+	}
+}
+
+// sendDirective encodes one cadence directive and sends it toward the
+// origin agent via the UDP peer (the last-hop soft switch) that delivered
+// the origin's newest probe; the switch forwards it by overlay destination.
+// Origins whose return address is not yet known are skipped — the next
+// evaluation retries, since the controller re-emits on any further change
+// and agents seq-gate whatever arrives.
+func (d *CollectorDaemon) sendDirective(dir adapt.Directive) {
+	d.originMu.Lock()
+	addr := d.originAddrs[dir.Origin]
+	d.originMu.Unlock()
+	if addr == nil {
+		return
+	}
+	dg := &wire.Datagram{
+		Kind:     wire.KindDirective,
+		TTL:      wire.DefaultTTL,
+		Src:      d.id,
+		Dst:      dir.Origin,
+		SentAtNs: time.Now().UnixNano(),
+		Payload:  telemetry.EncodeDirective(telemetry.CadenceDirective{Interval: dir.Interval, Seq: dir.Seq}),
+	}
+	buf, err := dg.Marshal()
+	if err != nil {
+		return
+	}
+	if _, err := d.udp.WriteToUDP(buf, addr); err == nil {
+		d.directivesSent.Inc()
+	}
 }
 
 // initObs builds the daemon's metrics registry and health model.
@@ -315,6 +409,65 @@ func (d *CollectorDaemon) initObs(cfg DaemonConfig) {
 		read := c.read
 		d.reg.CounterFunc(obs.Opts{Name: c.name, Help: c.help}, func() float64 {
 			return float64(read(d.cache.Stats()))
+		})
+	}
+
+	// Adaptive cadence control: the allocated per-class cadences, the
+	// directive counters by reason, and how much of the probe budget the
+	// current allocation uses. Readers run on scrape goroutines, so every
+	// controller access shares adaptMu with the control loop.
+	if d.adaptCtrl != nil {
+		d.directivesSent = d.reg.Counter(obs.Opts{
+			Name: "intsched_cadence_directives_sent_total",
+			Help: "Cadence directives sent back along probe return paths.",
+		})
+		for _, c := range []struct {
+			class string
+			read  func(adapt.CadenceSummary) float64
+		}{
+			{"tight", func(s adapt.CadenceSummary) float64 { return s.TightMicros }},
+			{"base", func(s adapt.CadenceSummary) float64 { return s.BaseMicros }},
+			{"backoff", func(s adapt.CadenceSummary) float64 { return s.BackoffMicros }},
+		} {
+			read := c.read
+			d.reg.GaugeFunc(obs.Opts{
+				Name:   "intsched_probe_cadence_us",
+				Help:   "Mean allocated probe interval per cadence class, microseconds.",
+				Labels: []obs.Label{{Key: "class", Value: c.class}},
+			}, func() float64 {
+				d.adaptMu.Lock()
+				defer d.adaptMu.Unlock()
+				return read(d.adaptCtrl.Cadences())
+			})
+		}
+		for _, r := range []struct {
+			reason string
+			read   func(adapt.Stats) uint64
+		}{
+			{adapt.ReasonTighten.String(), func(s adapt.Stats) uint64 { return s.Tightens }},
+			{adapt.ReasonSilence.String(), func(s adapt.Stats) uint64 { return s.SilenceTightens }},
+			{adapt.ReasonFanOut.String(), func(s adapt.Stats) uint64 { return s.FanOuts }},
+			{adapt.ReasonBackoff.String(), func(s adapt.Stats) uint64 { return s.Backoffs }},
+			{adapt.ReasonBudget.String(), func(s adapt.Stats) uint64 { return s.BudgetClamps }},
+		} {
+			read := r.read
+			d.reg.CounterFunc(obs.Opts{
+				Name:   "intsched_cadence_directives_total",
+				Help:   "Cadence directives decided by the adaptive controller, by reason.",
+				Labels: []obs.Label{{Key: "reason", Value: r.reason}},
+			}, func() float64 {
+				d.adaptMu.Lock()
+				defer d.adaptMu.Unlock()
+				return float64(read(d.adaptCtrl.Stats()))
+			})
+		}
+		d.reg.GaugeFunc(obs.Opts{
+			Name: "intsched_probe_budget_utilization",
+			Help: "Allocated probe rate over the effective budget cap (0 when unbudgeted).",
+		}, func() float64 {
+			d.adaptMu.Lock()
+			defer d.adaptMu.Unlock()
+			return d.adaptCtrl.Stats().BudgetUtilization
 		})
 	}
 
@@ -462,7 +615,7 @@ func (d *CollectorDaemon) probeLoop() {
 	// slices) can be recycled as soon as ingest returns.
 	var payload telemetry.ProbePayload
 	for {
-		n, _, err := d.udp.ReadFromUDP(buf)
+		n, from, err := d.udp.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
@@ -481,6 +634,13 @@ func (d *CollectorDaemon) probeLoop() {
 		if err := telemetry.UnmarshalProbeInto(&payload, dg.Payload); err != nil {
 			d.payloadErrors.Inc()
 			continue
+		}
+		if d.adaptCtrl != nil {
+			// Remember the probe's UDP peer (its last-hop switch) as the
+			// origin's directive return path.
+			d.originMu.Lock()
+			d.originAddrs[payload.Origin] = from
+			d.originMu.Unlock()
 		}
 		d.ingest(&payload)
 	}

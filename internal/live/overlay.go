@@ -38,6 +38,12 @@ type OverlaySpec struct {
 	// asynchronous probe ingest (see DaemonConfig).
 	Shards      int
 	IngestQueue int
+	// Adaptive starts the daemon's cadence control loop (anchored at
+	// ProbeInterval) and opts every agent into its directives; ProbeBudget
+	// optionally caps the aggregate probe rate as a fraction of the full
+	// static rate (see DaemonConfig).
+	Adaptive    bool
+	ProbeBudget float64
 }
 
 // Overlay is a running live topology on loopback sockets.
@@ -80,6 +86,9 @@ func StartOverlay(spec OverlaySpec) (*Overlay, error) {
 		DegradedAfter: spec.DegradedAfter,
 		Shards:        spec.Shards,
 		IngestQueue:   spec.IngestQueue,
+		Adaptive:      spec.Adaptive,
+		AdaptiveBase:  spec.ProbeInterval,
+		ProbeBudget:   spec.ProbeBudget,
 	})
 	if err != nil {
 		return fail(err)
@@ -205,6 +214,9 @@ func StartOverlay(spec OverlaySpec) (*Overlay, error) {
 		sw.Start()
 	}
 	for _, a := range o.Agents {
+		if spec.Adaptive {
+			a.EnableAdaptive()
+		}
 		a.Start()
 	}
 	return o, nil

@@ -51,6 +51,10 @@ func NewProber(nw *netsim.Network, origin, collector netsim.NodeID, interval tim
 // Origin returns the probing host.
 func (p *Prober) Origin() netsim.NodeID { return p.origin }
 
+// Target returns the host the prober sends toward — the stream's target in
+// the collector's (origin, target) keying.
+func (p *Prober) Target() netsim.NodeID { return p.collector }
+
 // Interval returns the current probing period.
 func (p *Prober) Interval() time.Duration { return p.interval }
 
@@ -117,6 +121,31 @@ func (f *Fleet) SetInterval(interval time.Duration) {
 	for _, p := range f.probers {
 		p.SetInterval(interval)
 	}
+}
+
+// SetStreamInterval updates the period of the single prober matching the
+// (origin, target) stream key, reporting whether one was found — the
+// application point for adaptive cadence directives. The fleet is small
+// (one prober per edge host), so a linear scan beats maintaining an index.
+func (f *Fleet) SetStreamInterval(origin, target string, interval time.Duration) bool {
+	for _, p := range f.probers {
+		if string(p.origin) == origin && string(p.collector) == target {
+			p.SetInterval(interval)
+			return true
+		}
+	}
+	return false
+}
+
+// StreamInterval returns the current period of the prober matching the
+// (origin, target) stream key, and whether one exists.
+func (f *Fleet) StreamInterval(origin, target string) (time.Duration, bool) {
+	for _, p := range f.probers {
+		if string(p.origin) == origin && string(p.collector) == target {
+			return p.interval, true
+		}
+	}
+	return 0, false
 }
 
 // SetTelemetry updates every prober's telemetry mode and sampling rate.

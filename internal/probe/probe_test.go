@@ -107,6 +107,47 @@ func TestFleetSkipsCollector(t *testing.T) {
 	}
 }
 
+func TestFleetSetStreamInterval(t *testing.T) {
+	n, e := buildStar(t)
+	f := NewFleet(n, []netsim.NodeID{"n1", "n2", "sched"}, "sched", 100*time.Millisecond)
+	defer f.Stop()
+	// Directives address one (origin, target) stream; the rest of the
+	// fleet keeps its cadence.
+	if !f.SetStreamInterval("n1", "sched", 500*time.Millisecond) {
+		t.Fatal("SetStreamInterval rejected a known stream")
+	}
+	if iv, ok := f.StreamInterval("n1", "sched"); !ok || iv != 500*time.Millisecond {
+		t.Fatalf("stream interval %v/%v after directive", iv, ok)
+	}
+	if iv, ok := f.StreamInterval("n2", "sched"); !ok || iv != 100*time.Millisecond {
+		t.Fatalf("untargeted stream moved to %v/%v", iv, ok)
+	}
+	// Unknown streams are reported, not invented.
+	if f.SetStreamInterval("n9", "sched", time.Second) {
+		t.Fatal("SetStreamInterval accepted an unknown origin")
+	}
+	if _, ok := f.StreamInterval("n1", "elsewhere"); ok {
+		t.Fatal("StreamInterval reported an unknown target")
+	}
+	// The directive changes the emission rate, not just the accessor.
+	e.Run(time.Second)
+	var n1, n2 uint64
+	for _, p := range f.Probers() {
+		switch p.Origin() {
+		case "n1":
+			n1 = p.Sent
+		case "n2":
+			n2 = p.Sent
+		}
+	}
+	if n2 != 10 {
+		t.Fatalf("n2 sent %d probes in 1s at 100ms, want 10", n2)
+	}
+	if n1 != 2 {
+		t.Fatalf("n1 sent %d probes in 1s at 500ms, want 2", n1)
+	}
+}
+
 func TestProbePacketsAreFixedSize(t *testing.T) {
 	n, e := buildStar(t)
 	n.Node("sched").Handler = func(p *netsim.Packet) {

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Cadence-directive codec. The adaptive control loop sends per-stream
+// probing-interval directives from the collector back to the probing
+// agents. Unlike the probe codec, the decoder here never errors: an agent
+// that cannot parse a directive frame — wrong magic, unknown version,
+// forged or truncated length — simply keeps its current cadence. That is
+// the v1-compat contract: a new collector talking to an old agent (or a
+// corrupted frame) must look like "no directive", never like a protocol
+// failure that could wedge the probe stream.
+//
+// Wire layout (big-endian), fixed size:
+//
+//	magic    uint16  (DirectiveMarker)
+//	version  uint8   (directiveVersion)
+//	flags    uint8   (reserved, ignored on decode)
+//	seq      uint64  (controller-wide monotonic sequence number)
+//	interval int64   (probing period, nanoseconds, > 0)
+
+// DirectiveMarker distinguishes directive frames from probe payloads
+// (GeneveMarker) sharing the overlay return path.
+const DirectiveMarker uint16 = 0x0AD1
+
+const (
+	directiveVersion = 1
+	// DirectiveWireSize is the exact encoded size of a directive frame.
+	DirectiveWireSize = 2 + 1 + 1 + 8 + 8
+)
+
+// CadenceDirective instructs a probe stream to adopt a new emission
+// interval. Seq orders directives: appliers ignore frames whose Seq is not
+// strictly newer than the last applied one, so reordered datagrams cannot
+// roll a cadence back.
+type CadenceDirective struct {
+	Interval time.Duration
+	Seq      uint64
+}
+
+// AppendDirective appends the encoded directive frame to buf.
+func AppendDirective(buf []byte, d CadenceDirective) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, DirectiveMarker)
+	buf = append(buf, directiveVersion, 0)
+	buf = binary.BigEndian.AppendUint64(buf, d.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.Interval))
+	return buf
+}
+
+// EncodeDirective encodes the directive frame into a fresh buffer.
+func EncodeDirective(d CadenceDirective) []byte {
+	return AppendDirective(make([]byte, 0, DirectiveWireSize), d)
+}
+
+// DecodeDirective parses a directive frame. ok is false — and the frame
+// must be treated as "no directive" — for anything but a well-formed
+// current-version frame with a positive interval: short or oversized
+// buffers, wrong magic, unknown version bytes, and non-positive intervals
+// all decode to nothing rather than an error.
+func DecodeDirective(b []byte) (d CadenceDirective, ok bool) {
+	if len(b) != DirectiveWireSize {
+		return CadenceDirective{}, false
+	}
+	if binary.BigEndian.Uint16(b) != DirectiveMarker {
+		return CadenceDirective{}, false
+	}
+	if b[2] != directiveVersion {
+		return CadenceDirective{}, false
+	}
+	// b[3] is reserved flags: ignored for forward compatibility.
+	iv := int64(binary.BigEndian.Uint64(b[12:]))
+	if iv <= 0 {
+		return CadenceDirective{}, false
+	}
+	return CadenceDirective{Seq: binary.BigEndian.Uint64(b[4:]), Interval: time.Duration(iv)}, true
+}

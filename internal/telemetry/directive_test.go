@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirectiveRoundTrip(t *testing.T) {
+	want := CadenceDirective{Interval: 250 * time.Millisecond, Seq: 7}
+	b := EncodeDirective(want)
+	if len(b) != DirectiveWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), DirectiveWireSize)
+	}
+	got, ok := DecodeDirective(b)
+	if !ok || got != want {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, want)
+	}
+}
+
+// Everything malformed decodes as "no directive" — never an error an agent
+// could trip over.
+func TestDecodeDirectiveRejectsAsNoDirective(t *testing.T) {
+	valid := EncodeDirective(CadenceDirective{Interval: time.Second, Seq: 1})
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      valid[:DirectiveWireSize-1],
+		"oversized":      append(append([]byte(nil), valid...), 0),
+		"wrong magic":    mutate(func(b []byte) { b[0], b[1] = 0x01, 0x03 }),
+		"future version": mutate(func(b []byte) { b[2] = directiveVersion + 1 }),
+		"zero interval": mutate(func(b []byte) {
+			for i := 12; i < 20; i++ {
+				b[i] = 0
+			}
+		}),
+		"negative interval": mutate(func(b []byte) { b[12] = 0x80 }),
+	}
+	for name, frame := range cases {
+		if d, ok := DecodeDirective(frame); ok {
+			t.Errorf("%s: decoded %+v, want no directive", name, d)
+		}
+	}
+}
+
+// The reserved flags byte is ignored on decode for forward compatibility.
+func TestDecodeDirectiveIgnoresFlags(t *testing.T) {
+	b := EncodeDirective(CadenceDirective{Interval: time.Millisecond, Seq: 2})
+	b[3] = 0xff
+	if _, ok := DecodeDirective(b); !ok {
+		t.Fatal("set reserved flags rejected the frame")
+	}
+}
+
+// A directive frame on the probe path must not parse as a probe, and a probe
+// payload must not parse as a directive: the markers partition the return
+// path.
+func TestDirectiveAndProbeFramesAreDisjoint(t *testing.T) {
+	dir := EncodeDirective(CadenceDirective{Interval: time.Second, Seq: 3})
+	var p ProbePayload
+	if err := UnmarshalProbeInto(&p, dir); err == nil {
+		t.Fatal("directive frame decoded as a probe payload")
+	}
+	probe, err := MarshalProbe(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := DecodeDirective(probe[:min(len(probe), DirectiveWireSize)]); ok {
+		t.Fatalf("probe payload prefix decoded as directive %+v", d)
+	}
+}

@@ -56,8 +56,37 @@ func FuzzUnmarshalProbeInto(f *testing.F) {
 	f.Add(forgedQ)
 	f.Add([]byte{0x01, 0x03, 3, 0}) // unsupported version
 	f.Add([]byte{})
+	// Cadence-directive frames share the probe return path, so they also
+	// land here: a well-formed directive, a truncated one, one with an
+	// unknown version byte, and one with a forged (oversized) length. All
+	// must decode as "not a probe" without wedging the decoder, and
+	// DecodeDirective must treat the malformed ones as no-directive.
+	dir := EncodeDirective(CadenceDirective{Interval: 250 * 1000 * 1000, Seq: 42})
+	f.Add(dir)
+	f.Add(dir[:DirectiveWireSize-6])
+	badVer := append([]byte(nil), dir...)
+	badVer[2] = 0x7f
+	f.Add(badVer)
+	f.Add(append(append([]byte(nil), dir...), 0xde, 0xad))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// DecodeDirective never errors and never panics: arbitrary bytes are
+		// either a well-formed current-version frame or "no directive".
+		if d, ok := DecodeDirective(data); ok {
+			if len(data) != DirectiveWireSize {
+				t.Fatalf("accepted a directive frame of %d bytes", len(data))
+			}
+			if d.Interval <= 0 {
+				t.Fatalf("accepted non-positive interval %v", d.Interval)
+			}
+			if data[2] != directiveVersion {
+				t.Fatalf("accepted unknown directive version %#x", data[2])
+			}
+			reenc := EncodeDirective(d)
+			if d2, ok2 := DecodeDirective(reenc); !ok2 || d2 != d {
+				t.Fatalf("directive round-trip diverged: %+v -> %+v (ok=%v)", d, d2, ok2)
+			}
+		}
 		var fresh ProbePayload
 		freshErr := UnmarshalProbeInto(&fresh, data)
 

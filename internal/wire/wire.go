@@ -30,6 +30,11 @@ const (
 	KindProbe
 	KindPing
 	KindPong
+	// KindDirective carries a collector→prober cadence directive
+	// (telemetry.CadenceDirective) back along the probe return path.
+	// Pre-directive receivers drop unknown kinds silently, so mixed-version
+	// fleets degrade to static cadence rather than erroring.
+	KindDirective
 )
 
 // MaxNodeName bounds node identifiers on the wire.
